@@ -1,0 +1,60 @@
+"""Component micro-benchmarks: raw throughput of the Python codec implementations.
+
+These are *not* paper numbers (the paper benchmarks the C implementations of
+SZx/ZFP); they measure this repository's numpy codecs so that regressions in
+the compression kernels are caught and so the README can quote honest figures
+for the pure-Python substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression import PipelinedSZx, SZxCompressor, ZFPCompressor
+from repro.datasets import load_field
+
+
+@pytest.fixture(scope="module")
+def rtm_data():
+    return load_field("rtm", seed=1).flatten()
+
+
+@pytest.fixture(scope="module")
+def cesm_data():
+    return load_field("cesm", "CLOUD", seed=1).flatten()
+
+
+class TestSZxThroughput:
+    @pytest.mark.parametrize("eb", [1e-2, 1e-4])
+    def test_compress_rtm(self, benchmark, rtm_data, eb):
+        codec = SZxCompressor(error_bound=eb)
+        buf = benchmark(codec.compress, rtm_data)
+        assert buf.ratio > 1.0
+
+    def test_decompress_rtm(self, benchmark, rtm_data):
+        codec = SZxCompressor(error_bound=1e-3)
+        payload = codec.compress(rtm_data).payload
+        out = benchmark(codec.decompress, payload)
+        assert out.size == rtm_data.size
+
+    def test_pipelined_compress(self, benchmark, rtm_data):
+        codec = PipelinedSZx(error_bound=1e-3)
+        buf = benchmark(codec.compress, rtm_data)
+        assert buf.ratio > 1.0
+
+
+class TestZfpThroughput:
+    def test_zfp_abs_compress(self, benchmark, cesm_data):
+        codec = ZFPCompressor(mode="abs", error_bound=1e-3)
+        buf = benchmark(codec.compress, cesm_data)
+        assert buf.ratio > 1.0
+
+    def test_zfp_fxr_compress(self, benchmark, cesm_data):
+        codec = ZFPCompressor(mode="fxr", rate=8)
+        buf = benchmark(codec.compress, cesm_data)
+        assert buf.ratio == pytest.approx(4.0, rel=0.05)
+
+    def test_zfp_abs_decompress(self, benchmark, cesm_data):
+        codec = ZFPCompressor(mode="abs", error_bound=1e-3)
+        payload = codec.compress(cesm_data).payload
+        out = benchmark(codec.decompress, payload)
+        assert out.size == cesm_data.size

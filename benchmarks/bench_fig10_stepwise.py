@@ -1,0 +1,14 @@
+"""Benchmark: Figure 10: end-to-end time of the AD/DI/ND/Overlap step-wise variants.
+
+Regenerates the corresponding paper content via ``repro.harness`` (experiment
+``fig10``) at the ``small`` scale and checks the headline qualitative result.
+Run with ``pytest benchmarks/bench_fig10_stepwise.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.harness.experiments.stepwise_breakdown import run_fig10_stepwise
+
+
+def test_fig10(run_experiment_once):
+    result = run_experiment_once(run_fig10_stepwise, scale="small")
+    overlap = [r for r in result.rows if r['variant'] == 'Overlap']
+    assert all(r['normalized_to_AD'] < 0.7 for r in overlap)

@@ -1,0 +1,16 @@
+"""Benchmark: Figure 11: C-Allreduce vs all baselines across message sizes.
+
+Regenerates the corresponding paper content via ``repro.harness`` (experiment
+``fig11``) at the ``small`` scale and checks the headline qualitative result.
+Run with ``pytest benchmarks/bench_fig11_datasizes.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.harness.experiments.allreduce_comparison import run_fig11_datasizes
+
+
+def test_fig11(run_experiment_once):
+    result = run_experiment_once(run_fig11_datasizes, scale="small")
+    ccoll = [r for r in result.rows if r['implementation'] == 'C-Allreduce']
+    assert all(r['normalized'] < 0.75 for r in ccoll)
+    cpr = [r for r in result.rows if r['implementation'] in ('SZx', 'ZFP(ABS)', 'ZFP(FXR)')]
+    assert all(r['normalized'] > 0.95 for r in cpr)

@@ -1,0 +1,14 @@
+"""Benchmark: Figure 12: node-count scaling at a fixed 678 MB message.
+
+Regenerates the corresponding paper content via ``repro.harness`` (experiment
+``fig12``) at the ``small`` scale and checks the headline qualitative result.
+Run with ``pytest benchmarks/bench_fig12_scaling.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.harness.experiments.allreduce_comparison import run_fig12_scaling
+
+
+def test_fig12(run_experiment_once):
+    result = run_experiment_once(run_fig12_scaling, scale="small")
+    ccoll = [r for r in result.rows if r['implementation'] == 'C-Allreduce' and r['n_ranks'] >= 4]
+    assert all(r['normalized'] < 0.8 for r in ccoll)

@@ -1,0 +1,14 @@
+"""Benchmark: Figure 13 (+Table VI): per-field comparison on Hurricane and CESM-ATM fields.
+
+Regenerates the corresponding paper content via ``repro.harness`` (experiment
+``fig13``) at the ``small`` scale and checks the headline qualitative result.
+Run with ``pytest benchmarks/bench_fig13_fields.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.harness.experiments.allreduce_comparison import run_fig13_fields
+
+
+def test_fig13(run_experiment_once):
+    result = run_experiment_once(run_fig13_fields, scale="small")
+    ccoll = [r for r in result.rows if r['implementation'] == 'C-Allreduce']
+    assert all(r['speedup_vs_allreduce'] > 1.2 for r in ccoll)

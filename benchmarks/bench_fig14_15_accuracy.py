@@ -1,0 +1,13 @@
+"""Benchmark: Figures 14-15: accuracy (PSNR/NRMSE) of the C-Allreduce result.
+
+Regenerates the corresponding paper content via ``repro.harness`` (experiment
+``fig14_15``) at the ``small`` scale and checks the headline qualitative result.
+Run with ``pytest benchmarks/bench_fig14_15_accuracy.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.harness.experiments.allreduce_comparison import run_fig14_15_accuracy
+
+
+def test_fig14_15(run_experiment_once):
+    result = run_experiment_once(run_fig14_15_accuracy, scale="small")
+    assert all(r['within_chain_bound'] for r in result.rows)

@@ -1,0 +1,14 @@
+"""Benchmark: Figure 16: C-Scatter and C-Bcast speedups vs the originals and CPR-P2P.
+
+Regenerates the corresponding paper content via ``repro.harness`` (experiment
+``fig16``) at the ``small`` scale and checks the headline qualitative result.
+Run with ``pytest benchmarks/bench_fig16_scatter_bcast.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.harness.experiments.scatter_bcast import run_fig16_scatter_bcast
+
+
+def test_fig16(run_experiment_once):
+    result = run_experiment_once(run_fig16_scatter_bcast, scale="small")
+    c_rows = [r for r in result.rows if r['implementation'] in ('C-Bcast', 'C-Scatter')]
+    assert all(r['speedup_vs_baseline'] > 1.3 for r in c_rows)

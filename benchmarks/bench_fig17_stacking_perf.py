@@ -1,0 +1,14 @@
+"""Benchmark: Figure 17: image-stacking performance across error bounds and rates.
+
+Regenerates the corresponding paper content via ``repro.harness`` (experiment
+``fig17``) at the ``small`` scale and checks the headline qualitative result.
+Run with ``pytest benchmarks/bench_fig17_stacking_perf.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.harness.experiments.stacking import run_fig17_stacking_perf
+
+
+def test_fig17(run_experiment_once):
+    result = run_experiment_once(run_fig17_stacking_perf, scale="small")
+    ccoll = {r['setting']: r['speedup_vs_allreduce'] for r in result.rows if r['method'] == 'c-allreduce'}
+    assert ccoll['ABS 1e-02'] > 1.15

@@ -1,0 +1,15 @@
+"""Benchmark: Figure 18: stacked-image quality across error bounds and rates.
+
+Regenerates the corresponding paper content via ``repro.harness`` (experiment
+``fig18``) at the ``small`` scale and checks the headline qualitative result.
+Run with ``pytest benchmarks/bench_fig18_stacking_quality.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.harness.experiments.stacking import run_fig18_stacking_quality
+
+
+def test_fig18(run_experiment_once):
+    result = run_experiment_once(run_fig18_stacking_quality, scale="small")
+    by = {(r['method'], r['setting']): r['psnr_db'] for r in result.rows}
+    assert by[('c-allreduce', 'ABS 1e-04')] > by[('c-allreduce', 'ABS 1e-02')]
+    assert by[('c-allreduce', 'ABS 1e-03')] > by[('cpr-zfp-fxr', 'FXR 4')]

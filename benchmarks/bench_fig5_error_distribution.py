@@ -1,0 +1,13 @@
+"""Benchmark: Figures 5-6: normality of first- and second-generation compression errors.
+
+Regenerates the corresponding paper content via ``repro.harness`` (experiment
+``fig5``) at the ``small`` scale and checks the headline qualitative result.
+Run with ``pytest benchmarks/bench_fig5_error_distribution.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.harness.experiments.fig5_error_distribution import run_fig5_fig6
+
+
+def test_fig5(run_experiment_once):
+    result = run_experiment_once(run_fig5_fig6, scale="small")
+    assert all(r['within_3sigma'] >= 0.9 for r in result.rows)

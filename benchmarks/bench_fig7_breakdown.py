@@ -1,0 +1,14 @@
+"""Benchmark: Figure 7: AD vs DI execution-time breakdown.
+
+Regenerates the corresponding paper content via ``repro.harness`` (experiment
+``fig7``) at the ``small`` scale and checks the headline qualitative result.
+Run with ``pytest benchmarks/bench_fig7_breakdown.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.harness.experiments.stepwise_breakdown import run_fig7_breakdown
+
+
+def test_fig7(run_experiment_once):
+    result = run_experiment_once(run_fig7_breakdown, scale="small")
+    di = [r for r in result.rows if r['variant'] == 'DI']
+    assert all(r['ComDecom'] == max(v for k, v in r.items() if k not in ('size_mb', 'variant', 'total_time_s')) for r in di)

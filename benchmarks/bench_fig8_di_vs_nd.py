@@ -1,0 +1,15 @@
+"""Benchmark: Figure 8: DI vs ND compression and allgather-stage time.
+
+Regenerates the corresponding paper content via ``repro.harness`` (experiment
+``fig8``) at the ``small`` scale and checks the headline qualitative result.
+Run with ``pytest benchmarks/bench_fig8_di_vs_nd.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.harness.experiments.stepwise_breakdown import run_fig8_di_vs_nd
+
+
+def test_fig8(run_experiment_once):
+    result = run_experiment_once(run_fig8_di_vs_nd, scale="small")
+    di = {r['size_mb']: r for r in result.rows if r['variant'] == 'DI'}
+    nd = {r['size_mb']: r for r in result.rows if r['variant'] == 'ND'}
+    assert all(nd[s]['ComDecom'] < di[s]['ComDecom'] for s in nd)

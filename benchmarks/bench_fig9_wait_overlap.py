@@ -1,0 +1,13 @@
+"""Benchmark: Figure 9: reduce-scatter Wait time, ND vs Overlap (73-80% reduction in the paper).
+
+Regenerates the corresponding paper content via ``repro.harness`` (experiment
+``fig9``) at the ``small`` scale and checks the headline qualitative result.
+Run with ``pytest benchmarks/bench_fig9_wait_overlap.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.harness.experiments.stepwise_breakdown import run_fig9_wait_overlap
+
+
+def test_fig9(run_experiment_once):
+    result = run_experiment_once(run_fig9_wait_overlap, scale="small")
+    assert all(r['reduction_pct'] > 60 for r in result.rows)

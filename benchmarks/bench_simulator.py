@@ -1,0 +1,49 @@
+"""Component micro-benchmarks: throughput of the discrete-event MPI simulator.
+
+The large-scale figures (128 simulated ranks) execute hundreds of thousands of
+engine commands; this benchmark tracks the engine's command-processing rate so
+simulator regressions show up independently of the collectives built on top.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collectives import CollectiveContext, run_ring_allreduce
+from repro.mpisim import Compute, Irecv, Isend, NetworkModel, Waitall, run_simulation
+
+NET = NetworkModel(latency=1e-6, bandwidth=1e9, eager_threshold=1024, inflight_window=1024**2)
+
+
+def ring_exchange_program(rounds):
+    def program(rank, size):
+        left = (rank - 1) % size
+        right = (rank + 1) % size
+        payload = np.zeros(2048)
+        for step in range(rounds):
+            recv_req = yield Irecv(source=left, tag=step)
+            send_req = yield Isend(dest=right, data=payload, tag=step)
+            yield Waitall([recv_req, send_req])
+            yield Compute(1e-6, category="Others")
+        return rank
+
+    return program
+
+
+class TestEngineThroughput:
+    def test_ring_exchange_16_ranks(self, benchmark):
+        result = benchmark(run_simulation, 16, ring_exchange_program(64), NET)
+        assert result.total_time > 0
+
+    def test_ring_exchange_64_ranks(self, benchmark):
+        result = benchmark(run_simulation, 64, ring_exchange_program(16), NET)
+        assert result.total_time > 0
+
+
+class TestCollectiveThroughput:
+    def test_baseline_allreduce_32_ranks(self, benchmark):
+        rng = np.random.default_rng(0)
+        inputs = [rng.standard_normal(20_000) for _ in range(32)]
+        outcome = benchmark(
+            run_ring_allreduce, inputs, 32, CollectiveContext(), NET
+        )
+        np.testing.assert_allclose(outcome.value(0), np.sum(inputs, axis=0), rtol=1e-10)

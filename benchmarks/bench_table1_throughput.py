@@ -1,0 +1,16 @@
+"""Benchmark: Table I: compression/decompression throughput per codec and dataset.
+
+Regenerates the corresponding paper content via ``repro.harness`` (experiment
+``table1``) at the ``small`` scale and checks the headline qualitative result.
+Run with ``pytest benchmarks/bench_table1_throughput.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.harness.experiments.compressor_tables import run_table1
+
+
+def test_table1(run_experiment_once):
+    result = run_experiment_once(run_table1, scale="small")
+    assert len(result.rows) == 27
+    szx = {(r['dataset'], r['setting']): r['model_compress_MBps'] for r in result.rows if r['codec'] == 'szx'}
+    zfp = {(r['dataset'], r['setting']): r['model_compress_MBps'] for r in result.rows if r['codec'] == 'zfp_abs'}
+    assert all(szx[k] > zfp[k] for k in szx)

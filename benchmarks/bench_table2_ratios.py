@@ -1,0 +1,14 @@
+"""Benchmark: Table II: compression ratios (min/avg/max) per codec, bound and dataset.
+
+Regenerates the corresponding paper content via ``repro.harness`` (experiment
+``table2``) at the ``small`` scale and checks the headline qualitative result.
+Run with ``pytest benchmarks/bench_table2_ratios.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.harness.experiments.compressor_tables import run_table2
+
+
+def test_table2(run_experiment_once):
+    result = run_experiment_once(run_table2, scale="small")
+    szx_rtm = {r['setting']: r['ratio_avg'] for r in result.rows if r['codec'] == 'szx' and r['dataset'] == 'rtm'}
+    assert szx_rtm['ABS 1e-02'] > szx_rtm['ABS 1e-03'] > szx_rtm['ABS 1e-04']

@@ -1,0 +1,14 @@
+"""Benchmark: Table III: compression quality (PSNR) per codec, bound and dataset.
+
+Regenerates the corresponding paper content via ``repro.harness`` (experiment
+``table3``) at the ``small`` scale and checks the headline qualitative result.
+Run with ``pytest benchmarks/bench_table3_psnr.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.harness.experiments.compressor_tables import run_table3
+
+
+def test_table3(run_experiment_once):
+    result = run_experiment_once(run_table3, scale="small")
+    szx_rtm = {r['setting']: r['psnr_avg'] for r in result.rows if r['codec'] == 'szx' and r['dataset'] == 'rtm'}
+    assert szx_rtm['ABS 1e-04'] > szx_rtm['ABS 1e-03'] > szx_rtm['ABS 1e-02']

@@ -1,0 +1,14 @@
+"""Benchmark: Table VI: per-field SZx compression ratios for the Figure 13 fields.
+
+Regenerates the corresponding paper content via ``repro.harness`` (experiment
+``table6``) at the ``small`` scale and checks the headline qualitative result.
+Run with ``pytest benchmarks/bench_table6_field_ratios.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.harness.experiments.compressor_tables import run_table6
+
+
+def test_table6(run_experiment_once):
+    result = run_experiment_once(run_table6, scale="small")
+    assert len(result.rows) == 4
+    assert all(r['ratio_avg'] > 2 for r in result.rows)

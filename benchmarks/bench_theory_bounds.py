@@ -1,0 +1,13 @@
+"""Benchmark: Section III-B: validation of the error-propagation theorems.
+
+Regenerates the corresponding paper content via ``repro.harness`` (experiment
+``theory``) at the ``small`` scale and checks the headline qualitative result.
+Run with ``pytest benchmarks/bench_theory_bounds.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.harness.experiments.theory_bounds import run_theory_bounds
+
+
+def test_theory(run_experiment_once):
+    result = run_experiment_once(run_theory_bounds, scale="small")
+    assert all(r['holds'] for r in result.rows)

@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures through the
+experiment harness (``repro.harness``).  The experiments are full simulations,
+so each benchmark runs a single round (``benchmark.pedantic``) and prints the
+resulting table when pytest is invoked with ``-s``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment_once(benchmark):
+    """Run a harness experiment exactly once under the benchmark timer."""
+
+    def _run(func, *args, **kwargs):
+        result = benchmark.pedantic(lambda: func(*args, **kwargs), rounds=1, iterations=1)
+        print()
+        print(result.to_text())
+        return result
+
+    return _run

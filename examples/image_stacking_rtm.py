@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""RTM image stacking with error-controlled collectives (paper Section IV-E).
+
+Each simulated rank holds one partial seismic image; the final image is their
+element-wise sum, computed with an Allreduce.  The script compares the
+original MPI_Allreduce, C-Allreduce at three error bounds, and the CPR-P2P
+baselines, reporting both the performance and the quality of the stacked image
+(the content of Figures 17 and 18).
+
+Run with::
+
+    python examples/image_stacking_rtm.py [--ranks 16] [--virtual-mb 256]
+"""
+
+import argparse
+
+from repro.apps import generate_partial_images, run_image_stacking
+from repro.harness import format_table
+from repro.perfmodel import default_network
+from repro.utils.units import MB
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ranks", type=int, default=16, help="simulated ranks (nodes)")
+    parser.add_argument("--virtual-mb", type=float, default=256.0, help="virtual image size per rank")
+    parser.add_argument("--image-side", type=int, default=96, help="real image side length")
+    args = parser.parse_args()
+
+    network = default_network()
+    partials = generate_partial_images(
+        args.ranks, image_shape=(args.image_side, args.image_side), depth=16, seed=1
+    )
+    multiplier = max(1.0, args.virtual_mb * MB / partials[0].nbytes)
+
+    rows = []
+    baseline_time = None
+
+    def record(method, setting, **kwargs):
+        nonlocal baseline_time
+        outcome = run_image_stacking(
+            args.ranks,
+            method=method,
+            partial_images=partials,
+            size_multiplier=multiplier,
+            network=network,
+            **kwargs,
+        )
+        if method == "allreduce":
+            baseline_time = outcome.total_time
+        rows.append(
+            {
+                "method": method,
+                "setting": setting,
+                "time_ms": outcome.total_time * 1e3,
+                "speedup": baseline_time / outcome.total_time if baseline_time else None,
+                "psnr_db": outcome.quality.psnr,
+                "nrmse": outcome.quality.nrmse,
+                "ratio": outcome.compression_ratio,
+            }
+        )
+
+    record("allreduce", "exact")
+    for eb in (1e-2, 1e-3, 1e-4):
+        record("c-allreduce", f"ABS {eb:.0e}", error_bound=eb)
+    for eb in (1e-2, 1e-3, 1e-4):
+        record("cpr-szx", f"ABS {eb:.0e}", error_bound=eb)
+    for rate in (4, 8, 16):
+        record("cpr-zfp-fxr", f"FXR {rate}", rate=float(rate))
+
+    print(f"Image stacking on {args.ranks} simulated ranks, "
+          f"{args.virtual_mb:.0f} MB virtual image per rank\n")
+    print(format_table(rows))
+    print(
+        "\nTakeaways (cf. Figures 17-18): C-Allreduce is the only variant that beats the\n"
+        "original Allreduce, its quality rises as the bound tightens, and the fixed-rate\n"
+        "baseline trades away exactly the accuracy that image stacking needs."
+    )
+
+
+if __name__ == "__main__":
+    main()

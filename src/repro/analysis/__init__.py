@@ -1,0 +1,53 @@
+"""Error-propagation theory (Section III-B) and its empirical validation."""
+
+from repro.analysis.distribution import (
+    NormalFit,
+    compression_errors,
+    fit_normal_mle,
+    normality_report,
+    second_generation_errors,
+)
+from repro.analysis.montecarlo import (
+    CoverageResult,
+    measured_sum_coverage,
+    simulate_average_error_std,
+    simulate_maxmin_variance,
+    simulate_sum_coverage,
+)
+from repro.analysis.propagation import (
+    DEFAULT_CONFIDENCE,
+    AggregationBound,
+    average_error_std,
+    corollary1_interval,
+    cpr_p2p_movement_bound,
+    maxmin_error_variance,
+    movement_framework_bound,
+    probability_within,
+    sigma_from_error_bound,
+    sum_error_interval,
+    sum_error_std,
+)
+
+__all__ = [
+    "compression_errors",
+    "second_generation_errors",
+    "NormalFit",
+    "fit_normal_mle",
+    "normality_report",
+    "sigma_from_error_bound",
+    "AggregationBound",
+    "sum_error_std",
+    "sum_error_interval",
+    "corollary1_interval",
+    "average_error_std",
+    "maxmin_error_variance",
+    "probability_within",
+    "movement_framework_bound",
+    "cpr_p2p_movement_bound",
+    "DEFAULT_CONFIDENCE",
+    "CoverageResult",
+    "simulate_sum_coverage",
+    "simulate_average_error_std",
+    "simulate_maxmin_variance",
+    "measured_sum_coverage",
+]

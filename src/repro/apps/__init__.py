@@ -1,0 +1,15 @@
+"""End-user applications built on the C-Coll collectives."""
+
+from repro.apps.image_stacking import (
+    STACKING_METHODS,
+    StackingResult,
+    generate_partial_images,
+    run_image_stacking,
+)
+
+__all__ = [
+    "STACKING_METHODS",
+    "StackingResult",
+    "generate_partial_images",
+    "run_image_stacking",
+]

@@ -1,0 +1,105 @@
+"""C-Allreduce: the paper's flagship collective (Section III-E).
+
+The ring allreduce is split into its two stages and each stage gets the
+framework that fits it:
+
+* the **reduce-scatter** stage uses the collective *computation* framework —
+  per-round PIPE-SZx compression pipelined with the transfers
+  (:mod:`repro.ccoll.computation`);
+* the **allgather** stage uses the collective *data-movement* framework — the
+  reduced chunk is compressed exactly once, the compressed chunks circulate
+  around the ring with balanced sizes, and everything is decompressed only at
+  the end (:mod:`repro.ccoll.movement`).
+
+Running with ``overlap=False`` turns off the computation-framework pipelining
+and yields the paper's intermediate "ND" (Novel Design) variant of Table V.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ccoll.adapter import CompressionAdapter
+from repro.ccoll.computation import (
+    DEFAULT_SEGMENT_UNCOMPRESSED_BYTES,
+    c_reduce_scatter_program,
+)
+from repro.ccoll.config import CCollConfig
+from repro.ccoll.movement import CCollOutcome, _finish, c_allgather_program
+from repro.collectives.context import CollectiveContext, as_rank_arrays
+from repro.mpisim.launcher import run_simulation
+from repro.mpisim.network import NetworkModel
+
+__all__ = ["c_allreduce_program", "run_c_allreduce"]
+
+#: tag offset separating the allgather stage from the reduce-scatter stage
+_AG_TAG_OFFSET = 1_000_000
+
+
+def c_allreduce_program(
+    rank: int,
+    size: int,
+    my_vector: np.ndarray,
+    rs_adapter: CompressionAdapter,
+    ag_adapter: CompressionAdapter,
+    ctx: CollectiveContext,
+    overlap: bool = True,
+    max_segments: int = 32,
+    segment_bytes: int = DEFAULT_SEGMENT_UNCOMPRESSED_BYTES,
+):
+    """Rank program for C-Allreduce; returns the reconstructed reduced vector."""
+    if size == 1:
+        return np.ascontiguousarray(my_vector).reshape(-1)
+
+    # stage 1: compression-pipelined ring reduce-scatter
+    reduced_chunk = yield from c_reduce_scatter_program(
+        rank,
+        size,
+        my_vector,
+        rs_adapter,
+        ctx,
+        overlap=overlap,
+        max_segments=max_segments,
+        segment_bytes=segment_bytes,
+    )
+
+    # stage 2: compress-once ring allgather of the reduced chunks
+    blocks = yield from c_allgather_program(
+        rank, size, reduced_chunk, ag_adapter, ctx, tag_offset=_AG_TAG_OFFSET
+    )
+    return np.concatenate(blocks)
+
+
+def run_c_allreduce(
+    inputs,
+    n_ranks: int,
+    config: Optional[CCollConfig] = None,
+    network: Optional[NetworkModel] = None,
+    overlap: Optional[bool] = None,
+) -> CCollOutcome:
+    """Run C-Allreduce (or its non-overlapped ND variant with ``overlap=False``)."""
+    config = config or CCollConfig()
+    ctx = config.context()
+    vectors = as_rank_arrays(inputs, n_ranks)
+    use_overlap = config.use_overlap if overlap is None else overlap
+
+    rs_adapters = [
+        CompressionAdapter(config.make_pipelined_codec(), ctx) for _ in range(n_ranks)
+    ]
+    ag_adapters = [CompressionAdapter(config.make_codec(), ctx) for _ in range(n_ranks)]
+
+    def factory(rank: int, size: int):
+        return c_allreduce_program(
+            rank,
+            size,
+            vectors[rank],
+            rs_adapters[rank],
+            ag_adapters[rank],
+            ctx,
+            overlap=use_overlap,
+        )
+
+    sim = run_simulation(n_ranks, factory, network=network)
+    return _finish(sim.rank_values, sim, rs_adapters + ag_adapters)

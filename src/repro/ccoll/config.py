@@ -1,0 +1,107 @@
+"""Configuration of the C-Coll framework.
+
+One :class:`CCollConfig` instance describes everything a C-Coll collective
+needs besides the data: which error-bounded codec to use and with what bound,
+how the pipelined compressor is chunked, which of the two optimization
+frameworks are active, and how real bytes map to virtual (paper-scale) bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.collectives.context import CollectiveContext
+from repro.compression.base import Compressor
+from repro.compression.pipelined import DEFAULT_CHUNK_ELEMS, PipelinedSZx
+from repro.compression.registry import make_compressor
+from repro.perfmodel.costmodel import CostModel
+from repro.utils.validation import ensure_positive
+
+__all__ = ["CCollConfig"]
+
+
+@dataclass(frozen=True)
+class CCollConfig:
+    """Settings shared by every C-Coll collective.
+
+    Parameters
+    ----------
+    codec:
+        Name of the error-bounded codec used by C-Coll ("szx" in the paper;
+        "zfp_abs"/"zfp_fxr" are accepted for the CPR-P2P baselines).
+    error_bound:
+        Absolute error bound handed to the codec (ignored by "zfp_fxr").
+    rate:
+        Bits per value for the fixed-rate baseline codec.
+    pipeline_chunk_elems:
+        PIPE-SZx chunk granularity (5120 data points in the paper).
+    overlap_polls_per_chunk:
+        How many progress polls the simulator issues while one reduce-scatter
+        chunk is being (de)compressed in the overlapped framework.  More polls
+        model a finer pipeline at the cost of simulation commands.
+    use_movement_framework:
+        Enable the collective data-movement framework (compress once, forward
+        compressed, decompress at the end).  Disabling it yields the CPR-P2P
+        behaviour for data-movement collectives.
+    use_overlap:
+        Enable the collective computation framework (PIPE-SZx progress polling
+        during compression/decompression in reduce-scatter).
+    size_multiplier:
+        Virtual bytes represented by each real byte (see
+        :class:`repro.collectives.context.CollectiveContext`).
+    cost:
+        Cost model used to convert work into virtual seconds.
+    """
+
+    codec: str = "szx"
+    error_bound: float = 1e-3
+    rate: float = 8.0
+    pipeline_chunk_elems: int = DEFAULT_CHUNK_ELEMS
+    overlap_polls_per_chunk: int = 8
+    use_movement_framework: bool = True
+    use_overlap: bool = True
+    size_multiplier: float = 1.0
+    cost: CostModel = field(default_factory=CostModel.broadwell_omnipath)
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.error_bound, "error_bound")
+        ensure_positive(self.rate, "rate")
+        if self.pipeline_chunk_elems < 1:
+            raise ValueError("pipeline_chunk_elems must be >= 1")
+        if self.overlap_polls_per_chunk < 1:
+            raise ValueError("overlap_polls_per_chunk must be >= 1")
+        ensure_positive(self.size_multiplier, "size_multiplier")
+
+    # ---------------------------------------------------------------- helpers
+
+    def make_codec(self) -> Compressor:
+        """Instantiate the configured codec."""
+        name = self.codec.lower()
+        if name == "szx":
+            return make_compressor("szx", error_bound=self.error_bound)
+        if name == "pipe_szx":
+            return PipelinedSZx(
+                error_bound=self.error_bound, chunk_elems=self.pipeline_chunk_elems
+            )
+        if name == "zfp_abs":
+            return make_compressor("zfp_abs", error_bound=self.error_bound)
+        if name == "zfp_fxr":
+            return make_compressor("zfp_fxr", rate=self.rate)
+        if name == "null":
+            return make_compressor("null")
+        raise ValueError(f"unsupported C-Coll codec {self.codec!r}")
+
+    def make_pipelined_codec(self) -> PipelinedSZx:
+        """The PIPE-SZx instance used by the collective computation framework."""
+        return PipelinedSZx(
+            error_bound=self.error_bound, chunk_elems=self.pipeline_chunk_elems
+        )
+
+    def context(self) -> CollectiveContext:
+        """Collective execution context (cost model + virtual-size scaling)."""
+        return CollectiveContext(cost=self.cost, size_multiplier=self.size_multiplier)
+
+    def with_updates(self, **kwargs) -> "CCollConfig":
+        """Return a copy with some fields replaced."""
+        return replace(self, **kwargs)

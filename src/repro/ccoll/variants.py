@@ -1,0 +1,63 @@
+"""The step-wise Allreduce variants of Table V.
+
+============  =================================================================
+Abbreviation  Implementation
+============  =================================================================
+``AD``        Original MPI_Allreduce (no compression) — the ring baseline.
+``DI``        Direct Integration: CPR-P2P compression on every message.
+``ND``        Novel Design: the collective data-movement framework on the
+              allgather stage (compress once, balanced pipeline), reduce-scatter
+              still CPR-P2P style.
+``Overlap``   ND plus the collective computation framework (PIPE-SZx
+              compression/communication overlap) — i.e. the full C-Allreduce.
+============  =================================================================
+
+``run_allreduce_variant`` is the single entry point the harness uses for
+Figures 7-13.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ccoll.allreduce import run_c_allreduce
+from repro.ccoll.config import CCollConfig
+from repro.ccoll.cpr_p2p import run_cpr_allreduce
+from repro.ccoll.movement import CCollOutcome
+from repro.collectives.allreduce import run_ring_allreduce
+from repro.mpisim.network import NetworkModel
+
+__all__ = ["ALLREDUCE_VARIANTS", "run_allreduce_variant"]
+
+ALLREDUCE_VARIANTS = ("AD", "DI", "ND", "Overlap")
+
+
+def run_allreduce_variant(
+    variant: str,
+    inputs,
+    n_ranks: int,
+    config: Optional[CCollConfig] = None,
+    network: Optional[NetworkModel] = None,
+) -> CCollOutcome:
+    """Run one of the Table V allreduce variants and return its outcome.
+
+    ``variant`` is one of ``"AD"``, ``"DI"``, ``"ND"``, ``"Overlap"``
+    (case-insensitive; ``"C-Allreduce"`` is accepted as an alias of
+    ``"Overlap"``).
+    """
+    config = config or CCollConfig()
+    name = variant.strip().lower()
+    if name in ("ad", "allreduce", "original"):
+        outcome = run_ring_allreduce(
+            inputs, n_ranks, ctx=config.context(), network=network
+        )
+        return CCollOutcome(values=outcome.values, sim=outcome.sim, compression_ratio=None)
+    if name in ("di", "cpr-p2p", "cpr_p2p"):
+        return run_cpr_allreduce(inputs, n_ranks, config=config, network=network)
+    if name in ("nd", "novel design", "novel_design"):
+        return run_c_allreduce(inputs, n_ranks, config=config, network=network, overlap=False)
+    if name in ("overlap", "c-allreduce", "c_allreduce", "callreduce"):
+        return run_c_allreduce(inputs, n_ranks, config=config, network=network, overlap=True)
+    raise ValueError(
+        f"unknown allreduce variant {variant!r}; expected one of {ALLREDUCE_VARIANTS}"
+    )

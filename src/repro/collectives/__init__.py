@@ -1,0 +1,45 @@
+"""Stock MPI collective algorithms (the uncompressed baselines).
+
+These are the algorithms the paper's evaluation compares against (its "AD" /
+"Baseline" bars): ring allgather, ring reduce-scatter, ring allreduce,
+binomial-tree broadcast / scatter / gather / reduce, and pairwise all-to-all.
+The C-Coll variants in :mod:`repro.ccoll` reuse the same communication
+structures with compression integrated.
+"""
+
+from repro.collectives.allgather import ring_allgather_program, run_ring_allgather
+from repro.collectives.allreduce import ring_allreduce_program, run_ring_allreduce
+from repro.collectives.alltoall import pairwise_alltoall_program, run_pairwise_alltoall
+from repro.collectives.bcast import binomial_bcast_program, run_binomial_bcast
+from repro.collectives.context import CollectiveContext, CollectiveOutcome, as_rank_arrays
+from repro.collectives.gather import binomial_gather_program, run_binomial_gather
+from repro.collectives.reduce import binomial_reduce_program, run_binomial_reduce
+from repro.collectives.reduce_scatter import (
+    partition_chunks,
+    ring_reduce_scatter_program,
+    run_ring_reduce_scatter,
+)
+from repro.collectives.scatter import binomial_scatter_program, run_binomial_scatter
+
+__all__ = [
+    "CollectiveContext",
+    "CollectiveOutcome",
+    "as_rank_arrays",
+    "partition_chunks",
+    "ring_allgather_program",
+    "run_ring_allgather",
+    "ring_reduce_scatter_program",
+    "run_ring_reduce_scatter",
+    "ring_allreduce_program",
+    "run_ring_allreduce",
+    "binomial_bcast_program",
+    "run_binomial_bcast",
+    "binomial_scatter_program",
+    "run_binomial_scatter",
+    "binomial_gather_program",
+    "run_binomial_gather",
+    "binomial_reduce_program",
+    "run_binomial_reduce",
+    "pairwise_alltoall_program",
+    "run_pairwise_alltoall",
+]

@@ -1,0 +1,76 @@
+"""Ring allgather (the baseline algorithm of Figure 2, without compression).
+
+Every rank contributes one block; after ``N - 1`` rounds every rank holds all
+``N`` blocks.  In round ``i`` rank ``r`` sends block ``(r - i) mod N`` to its
+right neighbour and receives block ``(r - i - 1) mod N`` from its left
+neighbour, so each block travels once around the ring.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.collectives.context import CollectiveContext, CollectiveOutcome, as_rank_arrays
+from repro.mpisim.commands import Compute, Irecv, Isend, Waitall
+from repro.mpisim.launcher import run_simulation
+from repro.mpisim.network import NetworkModel
+from repro.mpisim.timeline import CAT_ALLGATHER
+
+__all__ = ["ring_allgather_program", "run_ring_allgather"]
+
+
+def ring_allgather_program(
+    rank: int,
+    size: int,
+    my_block: np.ndarray,
+    ctx: CollectiveContext,
+    wait_category: str = CAT_ALLGATHER,
+    copy_category: str = CAT_ALLGATHER,
+):
+    """Rank program for the ring allgather; returns the list of all blocks."""
+    blocks: List[Optional[np.ndarray]] = [None] * size
+    blocks[rank] = my_block
+    if size == 1:
+        return blocks
+
+    left = (rank - 1) % size
+    right = (rank + 1) % size
+    send_index = rank
+    for step in range(size - 1):
+        recv_index = (rank - step - 1) % size
+        recv_req = yield Irecv(source=left, tag=step)
+        send_req = yield Isend(
+            dest=right,
+            data=blocks[send_index],
+            nbytes=ctx.vbytes(blocks[send_index]),
+            tag=step,
+        )
+        received, _ = yield Waitall([recv_req, send_req], category=wait_category)
+        blocks[recv_index] = received
+        # copy the received block into the gathered output buffer
+        yield Compute(ctx.memcpy_seconds(received), category=copy_category)
+        send_index = recv_index
+    return blocks
+
+
+def run_ring_allgather(
+    inputs,
+    n_ranks: int,
+    ctx: Optional[CollectiveContext] = None,
+    network: Optional[NetworkModel] = None,
+) -> CollectiveOutcome:
+    """Run the ring allgather on ``n_ranks`` simulated ranks.
+
+    ``inputs`` holds one block per rank; every rank's result is the list of
+    all blocks in rank order.
+    """
+    ctx = ctx or CollectiveContext()
+    blocks = as_rank_arrays(inputs, n_ranks)
+
+    def factory(rank: int, size: int):
+        return ring_allgather_program(rank, size, blocks[rank], ctx)
+
+    sim = run_simulation(n_ranks, factory, network=network)
+    return CollectiveOutcome(values=sim.rank_values, sim=sim)

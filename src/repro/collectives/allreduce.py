@@ -1,0 +1,89 @@
+"""Ring allreduce (reduce-scatter + allgather), the paper's main baseline (AD).
+
+The ring allreduce moves ``2 (N-1)/N * D`` bytes per rank for a ``D``-byte
+vector, which is bandwidth-optimal and the reason the paper (Section III-E)
+uses it for long messages.  The time breakdown labels match Figure 7:
+reduce-scatter waits are "Wait", its copies "Memcpy", its reductions
+"Reduction", the whole allgather stage is "Allgather", and buffer management
+is "Others".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.collectives.context import CollectiveContext, CollectiveOutcome, as_rank_arrays
+from repro.collectives.reduce_scatter import partition_chunks
+from repro.mpisim.commands import Compute, Irecv, Isend, Waitall
+from repro.mpisim.launcher import run_simulation
+from repro.mpisim.network import NetworkModel
+from repro.mpisim.timeline import CAT_ALLGATHER, CAT_MEMCPY, CAT_OTHERS, CAT_REDUCTION, CAT_WAIT
+
+__all__ = ["ring_allreduce_program", "run_ring_allreduce"]
+
+
+def ring_allreduce_program(
+    rank: int,
+    size: int,
+    my_vector: np.ndarray,
+    ctx: CollectiveContext,
+):
+    """Rank program for the uncompressed ring allreduce; returns the reduced vector."""
+    chunks = partition_chunks(my_vector, size)
+    if size == 1:
+        return np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+
+    left = (rank - 1) % size
+    right = (rank + 1) % size
+
+    # working buffers for the whole collective ("Others" in Figure 7)
+    yield Compute(ctx.alloc_seconds(my_vector), category=CAT_OTHERS)
+
+    # ---------------------------------------------------------- reduce-scatter
+    for step in range(size - 1):
+        send_index = (rank - step - 1) % size
+        recv_index = (rank - step - 2) % size
+        outgoing = chunks[send_index]
+        recv_req = yield Irecv(source=left, tag=step)
+        send_req = yield Isend(
+            dest=right, data=outgoing, nbytes=ctx.vbytes(outgoing), tag=step
+        )
+        received, _ = yield Waitall([recv_req, send_req], category=CAT_WAIT)
+        yield Compute(ctx.memcpy_seconds(received), category=CAT_MEMCPY)
+        chunks[recv_index] = chunks[recv_index] + received
+        yield Compute(ctx.reduce_seconds(received), category=CAT_REDUCTION)
+
+    # ------------------------------------------------------------- allgather
+    send_index = rank
+    for step in range(size - 1):
+        recv_index = (rank - step - 1) % size
+        outgoing = chunks[send_index]
+        recv_req = yield Irecv(source=left, tag=size + step)
+        send_req = yield Isend(
+            dest=right, data=outgoing, nbytes=ctx.vbytes(outgoing), tag=size + step
+        )
+        received, _ = yield Waitall([recv_req, send_req], category=CAT_ALLGATHER)
+        chunks[recv_index] = received
+        yield Compute(ctx.memcpy_seconds(received), category=CAT_ALLGATHER)
+        send_index = recv_index
+
+    return np.concatenate(chunks)
+
+
+def run_ring_allreduce(
+    inputs,
+    n_ranks: int,
+    ctx: Optional[CollectiveContext] = None,
+    network: Optional[NetworkModel] = None,
+) -> CollectiveOutcome:
+    """Run the uncompressed ring allreduce (the paper's AD baseline)."""
+    ctx = ctx or CollectiveContext()
+    vectors = as_rank_arrays(inputs, n_ranks)
+
+    def factory(rank: int, size: int):
+        return ring_allreduce_program(rank, size, vectors[rank], ctx)
+
+    sim = run_simulation(n_ranks, factory, network=network)
+    return CollectiveOutcome(values=sim.rank_values, sim=sim)

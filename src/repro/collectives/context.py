@@ -1,0 +1,112 @@
+"""Shared execution context for collective algorithms.
+
+Every collective rank program (both the stock baselines in this package and
+the C-Coll variants in :mod:`repro.ccoll`) needs two things besides the data:
+
+* a :class:`~repro.perfmodel.CostModel` to convert local work (memcpy,
+  reduction, compression) into virtual seconds, and
+* the *size multiplier* trick: the harness can declare that every real byte in
+  the simulation stands for ``size_multiplier`` virtual bytes, so that the
+  paper's 28-678 MB message sweeps can be simulated with proportionally
+  smaller (but still real) arrays without changing any algorithm code.  All
+  virtual byte counts — network message sizes and compute durations alike —
+  are scaled consistently through this context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+import numpy as np
+
+from repro.mpisim.engine import payload_nbytes
+from repro.mpisim.launcher import SimulationResult
+from repro.perfmodel.costmodel import CostModel
+from repro.utils.validation import ensure_positive
+
+__all__ = ["CollectiveContext", "CollectiveOutcome", "as_rank_arrays"]
+
+
+@dataclass(frozen=True)
+class CollectiveContext:
+    """Cost model plus virtual-size scaling shared by all collective programs."""
+
+    cost: CostModel = field(default_factory=CostModel.broadwell_omnipath)
+    size_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.size_multiplier, "size_multiplier")
+
+    # ------------------------------------------------------------- virtual sizes
+
+    def vbytes(self, data: Any) -> int:
+        """Virtual size (bytes) of a payload as seen by the network and cost model."""
+        return int(round(payload_nbytes(data) * self.size_multiplier))
+
+    def vbytes_raw(self, nbytes: float) -> int:
+        """Scale an explicit real byte count to virtual bytes."""
+        return int(round(float(nbytes) * self.size_multiplier))
+
+    # ------------------------------------------------------------ local compute
+
+    def memcpy_seconds(self, data: Any) -> float:
+        """Virtual time to copy ``data`` locally."""
+        return self.cost.memcpy_seconds(self.vbytes(data))
+
+    def reduce_seconds(self, data: Any) -> float:
+        """Virtual time to reduce ``data`` element-wise with another operand."""
+        return self.cost.reduce_seconds(self.vbytes(data))
+
+    def alloc_seconds(self, data: Any) -> float:
+        """Virtual time to allocate a buffer the size of ``data``."""
+        return self.cost.alloc_seconds(self.vbytes(data))
+
+    def compress_seconds(self, codec: Any, data: Any, ratio: Optional[float] = None) -> float:
+        """Virtual time to compress ``data`` (uncompressed size) with ``codec``."""
+        return self.cost.compress_seconds(codec, self.vbytes(data), ratio=ratio)
+
+    def decompress_seconds(self, codec: Any, data: Any, ratio: Optional[float] = None) -> float:
+        """Virtual time to decompress back to ``data``'s uncompressed size."""
+        return self.cost.decompress_seconds(codec, self.vbytes(data), ratio=ratio)
+
+
+@dataclass
+class CollectiveOutcome:
+    """Return value of every collective runner: per-rank results plus the simulation."""
+
+    values: List[Any]
+    sim: SimulationResult
+
+    @property
+    def total_time(self) -> float:
+        """Virtual makespan of the collective."""
+        return self.sim.total_time
+
+    def value(self, rank: int) -> Any:
+        """Result of one rank."""
+        return self.values[rank]
+
+
+def as_rank_arrays(inputs, n_ranks: int) -> List[np.ndarray]:
+    """Normalise collective input into one flat float array per rank.
+
+    ``inputs`` may be a list with one array per rank, or a single array that
+    every rank contributes identically (convenient in tests and examples).
+    """
+    if isinstance(inputs, np.ndarray):
+        inputs = [inputs] * n_ranks
+    inputs = list(inputs)
+    if len(inputs) != n_ranks:
+        raise ValueError(f"expected {n_ranks} per-rank arrays, got {len(inputs)}")
+    arrays = []
+    for rank, arr in enumerate(inputs):
+        arr = np.ascontiguousarray(arr).reshape(-1)
+        if not np.issubdtype(arr.dtype, np.floating):
+            raise TypeError(f"rank {rank} input must be a float array, got {arr.dtype}")
+        arrays.append(arr)
+    first = arrays[0]
+    for rank, arr in enumerate(arrays):
+        if arr.size != first.size or arr.dtype != first.dtype:
+            raise ValueError("all per-rank arrays must share the same length and dtype")
+    return arrays

@@ -1,0 +1,129 @@
+"""Compressor interface shared by every codec in the reproduction.
+
+Every compressor turns a flat float array into a *self-describing* byte string
+(so that the byte string can travel through the simulated MPI network with no
+side-band metadata) and back.  The :class:`CompressedBuffer` wrapper carries
+the byte payload together with bookkeeping used by the harness (original size,
+ratio, the codec that produced it).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.compression.errors import UnsupportedDataError
+from repro.metrics.ratios import compression_ratio
+from repro.utils.validation import ensure_1d_float_array
+
+__all__ = ["CompressedBuffer", "Compressor", "check_compressible"]
+
+
+@dataclass(frozen=True)
+class CompressedBuffer:
+    """A compressed representation of a flat float array.
+
+    Attributes
+    ----------
+    payload:
+        Self-describing byte string (header + body) produced by a compressor.
+    original_count:
+        Number of elements in the original array.
+    original_dtype:
+        Dtype of the original array (restored on decompression).
+    codec:
+        Name of the codec that produced the payload.
+    meta:
+        Optional codec-specific metadata (for diagnostics only; decompression
+        must never need it, the payload is self-describing).
+    """
+
+    payload: bytes
+    original_count: int
+    original_dtype: np.dtype
+    codec: str
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the compressed payload in bytes."""
+        return len(self.payload)
+
+    @property
+    def original_nbytes(self) -> int:
+        """Size of the original (uncompressed) data in bytes."""
+        return int(self.original_count) * np.dtype(self.original_dtype).itemsize
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (original bytes / compressed bytes)."""
+        return compression_ratio(self.original_nbytes, self.nbytes)
+
+
+def check_compressible(data: np.ndarray, name: str = "data") -> np.ndarray:
+    """Validate that ``data`` is a finite 1-D float array and return it.
+
+    The codecs in this library target scientific floating-point fields; NaN and
+    Inf values are rejected up front so that the error-bound guarantee is
+    meaningful.
+    """
+    arr = ensure_1d_float_array(data, name)
+    if arr.size and not np.all(np.isfinite(arr)):
+        raise UnsupportedDataError(f"{name} contains NaN or Inf values")
+    return arr
+
+
+class Compressor(abc.ABC):
+    """Abstract base class for all codecs.
+
+    Subclasses implement :meth:`compress_bytes` / :meth:`decompress_bytes` on
+    self-describing byte strings; the public :meth:`compress` /
+    :meth:`decompress` wrappers add validation and the
+    :class:`CompressedBuffer` bookkeeping.
+    """
+
+    #: short identifier used by the registry and in harness tables
+    name: str = "base"
+    #: True when the codec honours a user-specified absolute error bound
+    error_bounded: bool = False
+
+    @abc.abstractmethod
+    def compress_bytes(self, data: np.ndarray) -> bytes:
+        """Compress a validated 1-D float array into a self-describing payload."""
+
+    @abc.abstractmethod
+    def decompress_bytes(self, payload: bytes) -> np.ndarray:
+        """Reconstruct the array from a payload produced by :meth:`compress_bytes`."""
+
+    def compress(self, data) -> CompressedBuffer:
+        """Validate ``data`` and compress it, returning a :class:`CompressedBuffer`."""
+        arr = check_compressible(data)
+        payload = self.compress_bytes(arr)
+        return CompressedBuffer(
+            payload=payload,
+            original_count=arr.size,
+            original_dtype=arr.dtype,
+            codec=self.name,
+        )
+
+    def decompress(self, compressed) -> np.ndarray:
+        """Decompress either a :class:`CompressedBuffer` or a raw payload."""
+        payload = compressed.payload if isinstance(compressed, CompressedBuffer) else compressed
+        return self.decompress_bytes(bytes(payload))
+
+    def roundtrip(self, data) -> np.ndarray:
+        """Convenience: compress then decompress (used heavily in tests)."""
+        return self.decompress(self.compress(data))
+
+    # -- introspection ------------------------------------------------------
+
+    def describe(self) -> Dict[str, object]:
+        """Return a dictionary describing the codec configuration."""
+        return {"name": self.name, "error_bounded": self.error_bounded}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        params = ", ".join(f"{k}={v!r}" for k, v in self.describe().items() if k != "name")
+        return f"{type(self).__name__}({params})"

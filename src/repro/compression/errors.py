@@ -1,0 +1,17 @@
+"""Exceptions raised by the compression subsystem."""
+
+from __future__ import annotations
+
+__all__ = ["CompressionError", "DecompressionError", "UnsupportedDataError"]
+
+
+class CompressionError(RuntimeError):
+    """Raised when a buffer cannot be compressed (bad parameters, bad data)."""
+
+
+class DecompressionError(RuntimeError):
+    """Raised when a compressed buffer is malformed or truncated."""
+
+
+class UnsupportedDataError(CompressionError):
+    """Raised when the input data cannot be handled (NaN/Inf, wrong dtype)."""

@@ -1,0 +1,68 @@
+"""Binary header encoding shared by the codecs.
+
+Every codec payload starts with a small fixed header identifying the codec, the
+original dtype, and the element count, so that payloads are fully
+self-describing (needed because compressed chunks travel through the simulated
+network as opaque byte strings).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.errors import DecompressionError
+
+__all__ = ["PayloadHeader", "DTYPE_CODES", "CODE_DTYPES"]
+
+#: mapping numpy dtype -> 1-byte code stored in the header
+DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
+CODE_DTYPES = {code: dtype for dtype, code in DTYPE_CODES.items()}
+
+_STRUCT = struct.Struct("<4sBBQd")
+
+
+@dataclass(frozen=True)
+class PayloadHeader:
+    """Fixed-size header at the front of every compressed payload."""
+
+    magic: bytes
+    dtype: np.dtype
+    count: int
+    param: float  # error bound (ABS codecs) or rate (FXR codecs); 0.0 if unused
+    version: int = 1
+
+    SIZE = _STRUCT.size
+
+    def pack(self) -> bytes:
+        """Serialise the header to its fixed-size binary form."""
+        if len(self.magic) != 4:
+            raise ValueError("magic must be exactly 4 bytes")
+        return _STRUCT.pack(
+            self.magic, self.version, DTYPE_CODES[np.dtype(self.dtype)], self.count, self.param
+        )
+
+    @classmethod
+    def unpack(cls, payload: bytes, expected_magic: bytes) -> "PayloadHeader":
+        """Parse and validate a header from the front of ``payload``."""
+        if len(payload) < cls.SIZE:
+            raise DecompressionError(
+                f"payload too small for header ({len(payload)} < {cls.SIZE} bytes)"
+            )
+        magic, version, dtype_code, count, param = _STRUCT.unpack_from(payload, 0)
+        if magic != expected_magic:
+            raise DecompressionError(
+                f"bad magic {magic!r}: payload was not produced by this codec "
+                f"(expected {expected_magic!r})"
+            )
+        if dtype_code not in CODE_DTYPES:
+            raise DecompressionError(f"unknown dtype code {dtype_code}")
+        return cls(
+            magic=magic,
+            dtype=CODE_DTYPES[dtype_code],
+            count=count,
+            param=param,
+            version=version,
+        )

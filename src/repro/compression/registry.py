@@ -1,0 +1,56 @@
+"""Codec registry and factory.
+
+The experiment harness, the C-Coll configuration layer, and the command-line
+examples all refer to codecs by name ("szx", "zfp_abs", "zfp_fxr", ...); this
+module maps those names to constructor calls with the right keyword arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.compression.base import Compressor
+from repro.compression.null import NullCompressor
+from repro.compression.pipelined import PipelinedSZx
+from repro.compression.szx import SZxCompressor
+from repro.compression.zfp import MODE_ABS, MODE_FXR, ZFPCompressor
+
+__all__ = ["make_compressor", "available_compressors", "register_compressor"]
+
+_FACTORIES: Dict[str, Callable[..., Compressor]] = {}
+
+
+def register_compressor(name: str, factory: Callable[..., Compressor]) -> None:
+    """Register a codec factory under ``name`` (overwrites an existing entry)."""
+    _FACTORIES[name.lower()] = factory
+
+
+def available_compressors() -> list:
+    """Names of all registered codecs, sorted."""
+    return sorted(_FACTORIES)
+
+
+def make_compressor(name: str, **kwargs) -> Compressor:
+    """Instantiate a codec by name.
+
+    Supported names (and their keyword arguments):
+
+    * ``"szx"`` — ``error_bound``, ``block_size``, ``error_mode``
+    * ``"pipe_szx"`` — ``error_bound``, ``chunk_elems``, ``block_size``
+    * ``"zfp_abs"`` — ``error_bound``, ``block_size``
+    * ``"zfp_fxr"`` — ``rate``, ``block_size``
+    * ``"null"`` — no arguments
+    """
+    key = name.lower()
+    if key not in _FACTORIES:
+        raise KeyError(
+            f"unknown compressor {name!r}; available: {', '.join(available_compressors())}"
+        )
+    return _FACTORIES[key](**kwargs)
+
+
+register_compressor("szx", SZxCompressor)
+register_compressor("pipe_szx", PipelinedSZx)
+register_compressor("zfp_abs", lambda **kw: ZFPCompressor(mode=MODE_ABS, **kw))
+register_compressor("zfp_fxr", lambda **kw: ZFPCompressor(mode=MODE_FXR, **kw))
+register_compressor("null", NullCompressor)

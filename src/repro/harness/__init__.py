@@ -1,0 +1,22 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+``run_experiment("fig11")`` (or ``python -m repro.harness fig11``) produces an
+:class:`~repro.harness.reporting.ExperimentResult` whose rows mirror the
+corresponding table/figure; ``EXPERIMENTS`` lists everything available.
+"""
+
+from repro.harness.common import SCALES, ScaleSettings, resolve_scale
+from repro.harness.reporting import ExperimentResult, format_table
+from repro.harness.runner import EXPERIMENTS, list_experiments, run_all, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "EXPERIMENTS",
+    "list_experiments",
+    "run_experiment",
+    "run_all",
+    "SCALES",
+    "ScaleSettings",
+    "resolve_scale",
+]

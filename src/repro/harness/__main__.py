@@ -1,0 +1,6 @@
+"""``python -m repro.harness`` — regenerate the paper's tables and figures."""
+
+from repro.harness.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,1 @@
+"""One experiment module per table/figure of the paper (see DESIGN.md's index)."""

@@ -1,0 +1,80 @@
+"""Figures 5 and 6: compression errors follow a normal-like distribution.
+
+Figure 5 fits a normal distribution (MLE) to the point-wise compression errors
+of climate / weather / seismic fields; Figure 6 repeats the exercise for the
+second-generation errors ``e2`` (compressing already-reconstructed data).  The
+experiment reports the fitted parameters and the empirical 1/2/3-sigma
+coverage so the "looks Gaussian" claim becomes a number.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.distribution import (
+    compression_errors,
+    normality_report,
+    second_generation_errors,
+)
+from repro.compression.registry import make_compressor
+from repro.datasets.registry import load_field
+from repro.harness.common import resolve_scale
+from repro.harness.reporting import ExperimentResult
+
+__all__ = ["run_fig5_fig6"]
+
+_FIELDS = (
+    ("cesm", "CLOUD", "Climate"),
+    ("hurricane", "QVAPORf", "Weather"),
+    ("rtm", "snapshot", "Seismic Wave"),
+)
+
+
+def run_fig5_fig6(scale="small", error_bound: float = 1e-3) -> ExperimentResult:
+    """Fit MLE normals to first- and second-generation compression errors."""
+    settings = resolve_scale(scale)
+    result = ExperimentResult(
+        experiment="fig5_fig6",
+        title="Normality of compression errors (first and second generation)",
+        paper_reference=(
+            "Figures 5-6: the MLE normal fit tracks the measured error histogram for SZ3 and ZFP "
+            "on climate/weather/seismic data, including the e2 errors"
+        ),
+        columns=[
+            "codec",
+            "dataset",
+            "generation",
+            "mu",
+            "sigma",
+            "within_1sigma",
+            "within_2sigma",
+            "within_3sigma",
+            "skewness",
+        ],
+    )
+    for codec_name, kwargs in (("szx", {"error_bound": error_bound}),
+                               ("zfp_abs", {"error_bound": error_bound})):
+        codec = make_compressor(codec_name, **kwargs)
+        for application, field, label in _FIELDS:
+            data = load_field(application, None if application == "rtm" else field, seed=2)
+            flat = data.flatten()[: settings.table_points]
+            for generation, errors in (
+                ("e1", compression_errors(codec, flat)),
+                ("e2", second_generation_errors(codec, flat)),
+            ):
+                report = normality_report(errors)
+                result.add_row(
+                    codec=codec_name,
+                    dataset=label,
+                    generation=generation,
+                    mu=report["mu"],
+                    sigma=report["sigma"],
+                    within_1sigma=report["within_1sigma"],
+                    within_2sigma=report["within_2sigma"],
+                    within_3sigma=report["within_3sigma"],
+                    skewness=report["skewness"],
+                )
+    result.add_note(
+        "a normal distribution gives 68.3% / 95.4% / 99.7% coverage; quantisation errors are "
+        "closer to uniform on rough fields (1-sigma coverage below 0.68), which is why the "
+        "validation in repro.analysis also evaluates Theorem 1 with the measured sigma."
+    )
+    return result

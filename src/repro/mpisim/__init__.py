@@ -1,0 +1,76 @@
+"""Discrete-event MPI runtime simulator.
+
+This package replaces the MPICH/Omni-Path cluster used by the paper with a
+deterministic simulator: rank programs are Python generators yielding MPI-like
+commands; payloads move for real (numpy arrays / byte strings), and time is
+modelled by an alpha-beta network with rendezvous progress-on-poll semantics
+(see :mod:`repro.mpisim.network` for why that matters to C-Coll).
+"""
+
+from repro.mpisim.commands import (
+    Barrier,
+    Command,
+    Compute,
+    Irecv,
+    Isend,
+    Probe,
+    Test,
+    Wait,
+    Waitall,
+)
+from repro.mpisim.engine import Engine, RankResult, payload_nbytes
+from repro.mpisim.errors import (
+    DeadlockError,
+    InvalidCommandError,
+    RankProgramError,
+    SimulationError,
+)
+from repro.mpisim.launcher import SimulationResult, run_simulation
+from repro.mpisim.network import PROGRESS_ASYNC, PROGRESS_ON_POLL, NetworkModel, TransferState
+from repro.mpisim.requests import RecvRequest, Request, SendRequest
+from repro.mpisim.timeline import (
+    CAT_ALLGATHER,
+    CAT_COMDECOM,
+    CAT_MEMCPY,
+    CAT_OTHERS,
+    CAT_REDUCTION,
+    CAT_WAIT,
+    STANDARD_CATEGORIES,
+    TimeBreakdown,
+)
+
+__all__ = [
+    "Command",
+    "Compute",
+    "Isend",
+    "Irecv",
+    "Wait",
+    "Waitall",
+    "Test",
+    "Probe",
+    "Barrier",
+    "Engine",
+    "RankResult",
+    "payload_nbytes",
+    "SimulationResult",
+    "run_simulation",
+    "NetworkModel",
+    "TransferState",
+    "PROGRESS_ON_POLL",
+    "PROGRESS_ASYNC",
+    "Request",
+    "SendRequest",
+    "RecvRequest",
+    "TimeBreakdown",
+    "STANDARD_CATEGORIES",
+    "CAT_COMDECOM",
+    "CAT_ALLGATHER",
+    "CAT_MEMCPY",
+    "CAT_WAIT",
+    "CAT_REDUCTION",
+    "CAT_OTHERS",
+    "SimulationError",
+    "DeadlockError",
+    "InvalidCommandError",
+    "RankProgramError",
+]

@@ -1,0 +1,516 @@
+"""Discrete-event engine that executes rank programs in virtual time.
+
+The engine is the heart of the MPI runtime simulator.  Every rank of the
+simulated communicator is a Python generator (see
+:mod:`repro.mpisim.commands`); the engine resumes one rank at a time — always
+the runnable rank with the smallest virtual clock, ties broken by rank id, so
+simulations are fully deterministic — and interprets the commands it yields:
+
+* ``Compute`` advances the rank's clock by a modelled duration;
+* ``Isend``/``Irecv`` post messages and return request handles;
+* ``Wait``/``Waitall`` complete requests, advancing the clock according to the
+  network model (and blocking the rank when the outcome depends on another
+  rank that has not progressed far enough yet);
+* ``Test`` enters the progress engine without blocking, which is what lets
+  transfers advance while a rank is busy compressing (the PIPE-SZx overlap).
+
+Payloads are carried by reference, so all data-level results of a simulated
+collective (reduced arrays, decompressed chunks) are numerically real; only
+*time* is modelled.
+
+Causality note: rank programs that branch on ``Test``/``Probe`` results may
+observe a message one poll later than a wall-clock-accurate simulation would
+deliver it (the engine evaluates polls against the messages posted so far).
+All algorithms in this package use polling purely as a progress hook, for
+which the effect is bounded by a single polling interval.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.mpisim.commands import (
+    Barrier,
+    Command,
+    Compute,
+    Irecv,
+    Isend,
+    Probe,
+    Test,
+    Wait,
+    Waitall,
+)
+from repro.mpisim.errors import DeadlockError, InvalidCommandError, RankProgramError
+from repro.mpisim.network import NetworkModel, TransferState
+from repro.mpisim.requests import RecvRequest, Request, SendRequest
+from repro.mpisim.timeline import TimeBreakdown
+
+__all__ = ["Engine", "RankResult", "payload_nbytes"]
+
+RankProgram = Generator[Command, Any, Any]
+ProgramFactory = Callable[[int, int], RankProgram]
+
+_READY = "ready"
+_BLOCKED = "blocked"
+_DONE = "done"
+
+_BLOCK_RECV_MATCH = "recv-match"
+_BLOCK_SEND_COMPLETION = "send-completion"
+_BLOCK_BARRIER = "barrier"
+
+
+def payload_nbytes(data: Any) -> int:
+    """Best-effort size in bytes of a message payload."""
+    if data is None:
+        return 0
+    nbytes = getattr(data, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        return len(data)
+    return len(pickle.dumps(data))
+
+
+@dataclass
+class _RecvPosting:
+    """A posted receive that has not been matched to a send yet."""
+
+    req_id: int
+    rank: int
+    source: int
+    tag: int
+    post_time: float
+
+
+@dataclass
+class _Message:
+    """A posted send and, once matched, the transfer it drives."""
+
+    msg_id: int
+    src: int
+    dst: int
+    tag: int
+    data: Any
+    nbytes: int
+    send_req_id: int
+    send_post_time: float
+    transfer: TransferState
+    recv_req_id: Optional[int] = None
+    recv_post_time: Optional[float] = None
+
+    @property
+    def matched(self) -> bool:
+        return self.recv_req_id is not None
+
+
+@dataclass
+class _RankState:
+    """Execution state of one simulated rank."""
+
+    rank: int
+    gen: RankProgram
+    clock: float = 0.0
+    status: str = _READY
+    resume_value: Any = None
+    breakdown: TimeBreakdown = field(default_factory=TimeBreakdown)
+    result: Any = None
+    bytes_sent: int = 0
+    messages_sent: int = 0
+    commands_executed: int = 0
+    # wait continuation (shared by Wait and Waitall)
+    wait_pending: List[Request] = field(default_factory=list)
+    wait_results: List[Any] = field(default_factory=list)
+    wait_category: str = "Wait"
+    wait_single: bool = True
+    block_kind: Optional[str] = None
+    block_req_id: Optional[int] = None
+    barrier_category: str = "Others"
+
+
+@dataclass
+class RankResult:
+    """Per-rank outcome of a simulation (see :class:`repro.mpisim.launcher.SimulationResult`)."""
+
+    rank: int
+    value: Any
+    finish_time: float
+    breakdown: TimeBreakdown
+    bytes_sent: int
+    messages_sent: int
+
+
+class Engine:
+    """Runs ``n_ranks`` rank programs to completion in virtual time."""
+
+    def __init__(
+        self,
+        n_ranks: int,
+        program_factory: ProgramFactory,
+        network: Optional[NetworkModel] = None,
+        max_commands: int = 50_000_000,
+    ) -> None:
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        self.n_ranks = int(n_ranks)
+        self.network = network if network is not None else NetworkModel()
+        self.max_commands = int(max_commands)
+        self._states = [
+            _RankState(rank=r, gen=program_factory(r, self.n_ranks)) for r in range(self.n_ranks)
+        ]
+        self._next_request_id = 0
+        self._next_message_id = 0
+        # request id -> _Message (sends, and receives once matched) or _RecvPosting
+        self._req_obj: Dict[int, Any] = {}
+        # (dst, src, tag) -> FIFO of unmatched sends / receives
+        self._unmatched_sends: Dict[Tuple[int, int, int], deque] = {}
+        self._unmatched_recvs: Dict[Tuple[int, int, int], deque] = {}
+        # receiver rank -> matched, not-yet-consumed incoming messages
+        self._incoming: Dict[int, List[_Message]] = {r: [] for r in range(self.n_ranks)}
+        self._barrier_waiting: List[Tuple[int, float]] = []
+        self._commands_total = 0
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> List[RankResult]:
+        """Execute every rank program to completion and return per-rank results."""
+        while True:
+            ready = [s for s in self._states if s.status == _READY]
+            if not ready:
+                if all(s.status == _DONE for s in self._states):
+                    break
+                raise DeadlockError(self._describe_deadlock())
+            state = min(ready, key=lambda s: (s.clock, s.rank))
+            self._step(state)
+            self._commands_total += 1
+            if self._commands_total > self.max_commands:
+                raise RuntimeError(
+                    f"simulation exceeded max_commands={self.max_commands}; "
+                    "a rank program is probably looping forever"
+                )
+        return [
+            RankResult(
+                rank=s.rank,
+                value=s.result,
+                finish_time=s.clock,
+                breakdown=s.breakdown,
+                bytes_sent=s.bytes_sent,
+                messages_sent=s.messages_sent,
+            )
+            for s in self._states
+        ]
+
+    # ----------------------------------------------------------- scheduling
+
+    def _step(self, state: _RankState) -> None:
+        """Resume one rank program by one command."""
+        value, state.resume_value = state.resume_value, None
+        try:
+            command = state.gen.send(value)
+        except StopIteration as stop:
+            state.status = _DONE
+            state.result = stop.value
+            return
+        except Exception as exc:  # surfaces bugs in rank programs with context
+            raise RankProgramError(f"rank {state.rank} raised {exc!r}") from exc
+        state.commands_executed += 1
+        self._dispatch(state, command)
+
+    def _dispatch(self, state: _RankState, command: Command) -> None:
+        if isinstance(command, Compute):
+            self._handle_compute(state, command)
+        elif isinstance(command, Isend):
+            self._handle_isend(state, command)
+        elif isinstance(command, Irecv):
+            self._handle_irecv(state, command)
+        elif isinstance(command, Wait):
+            self._start_wait(state, [command.request], command.category, single=True)
+        elif isinstance(command, Waitall):
+            self._start_wait(state, list(command.requests), command.category, single=False)
+        elif isinstance(command, Test):
+            self._handle_test(state, command)
+        elif isinstance(command, Probe):
+            self._handle_probe(state, command)
+        elif isinstance(command, Barrier):
+            self._handle_barrier(state, command)
+        else:
+            raise InvalidCommandError(
+                f"rank {state.rank} yielded {command!r}, which is not a simulator command"
+            )
+
+    # ------------------------------------------------------------- commands
+
+    def _handle_compute(self, state: _RankState, cmd: Compute) -> None:
+        state.clock += cmd.seconds
+        state.breakdown.add(cmd.category, cmd.seconds)
+        state.resume_value = None
+
+    def _new_request_id(self) -> int:
+        self._next_request_id += 1
+        return self._next_request_id
+
+    def _handle_isend(self, state: _RankState, cmd: Isend) -> None:
+        if not (0 <= cmd.dest < self.n_ranks):
+            raise InvalidCommandError(
+                f"rank {state.rank} sent to invalid destination {cmd.dest}"
+            )
+        nbytes = int(cmd.nbytes) if cmd.nbytes is not None else payload_nbytes(cmd.data)
+        req_id = self._new_request_id()
+        self._next_message_id += 1
+        transfer = TransferState(
+            nbytes=nbytes, network=self.network, eager=self.network.is_eager(nbytes)
+        )
+        message = _Message(
+            msg_id=self._next_message_id,
+            src=state.rank,
+            dst=cmd.dest,
+            tag=cmd.tag,
+            data=cmd.data,
+            nbytes=nbytes,
+            send_req_id=req_id,
+            send_post_time=state.clock,
+            transfer=transfer,
+        )
+        self._req_obj[req_id] = message
+        state.bytes_sent += nbytes
+        state.messages_sent += 1
+
+        key = (cmd.dest, state.rank, cmd.tag)
+        postings = self._unmatched_recvs.get(key)
+        if postings:
+            posting = postings.popleft()
+            self._establish_match(message, posting)
+        else:
+            self._unmatched_sends.setdefault(key, deque()).append(message)
+        state.resume_value = SendRequest(
+            request_id=req_id, rank=state.rank, dest=cmd.dest, tag=cmd.tag
+        )
+
+    def _handle_irecv(self, state: _RankState, cmd: Irecv) -> None:
+        if not (0 <= cmd.source < self.n_ranks):
+            raise InvalidCommandError(
+                f"rank {state.rank} posted a receive from invalid source {cmd.source}"
+            )
+        req_id = self._new_request_id()
+        posting = _RecvPosting(
+            req_id=req_id,
+            rank=state.rank,
+            source=cmd.source,
+            tag=cmd.tag,
+            post_time=state.clock,
+        )
+        self._req_obj[req_id] = posting
+        key = (state.rank, cmd.source, cmd.tag)
+        sends = self._unmatched_sends.get(key)
+        if sends:
+            message = sends.popleft()
+            self._establish_match(message, posting)
+        else:
+            self._unmatched_recvs.setdefault(key, deque()).append(posting)
+        state.resume_value = RecvRequest(
+            request_id=req_id, rank=state.rank, source=cmd.source, tag=cmd.tag
+        )
+
+    def _establish_match(self, message: _Message, posting: _RecvPosting) -> None:
+        """Bind a posted send to a posted receive and start the transfer clock."""
+        message.recv_req_id = posting.req_id
+        message.recv_post_time = posting.post_time
+        self._req_obj[posting.req_id] = message
+        match_time = max(message.send_post_time, posting.post_time)
+        message.transfer.set_eligible(match_time)
+        self._incoming[message.dst].append(message)
+        # If the receiver is already blocked waiting for exactly this request,
+        # it can now make progress.
+        receiver = self._states[message.dst]
+        if (
+            receiver.status == _BLOCKED
+            and receiver.block_kind == _BLOCK_RECV_MATCH
+            and receiver.block_req_id == posting.req_id
+        ):
+            self._continue_wait(receiver)
+
+    # --------------------------------------------------------------- waiting
+
+    def _start_wait(
+        self, state: _RankState, requests: List[Request], category: str, single: bool
+    ) -> None:
+        for req in requests:
+            if not isinstance(req, Request):
+                raise InvalidCommandError(
+                    f"rank {state.rank} waited on {req!r}, which is not a request handle"
+                )
+        state.wait_pending = list(requests)
+        state.wait_results = []
+        state.wait_category = category
+        state.wait_single = single
+        self._continue_wait(state)
+
+    def _continue_wait(self, state: _RankState) -> None:
+        """Advance the rank's pending wait list as far as currently possible."""
+        while state.wait_pending:
+            request = state.wait_pending[0]
+            if isinstance(request, RecvRequest):
+                done = self._complete_recv(state, request)
+            else:
+                done = self._complete_send(state, request)
+            if not done:
+                state.status = _BLOCKED
+                return
+            state.wait_pending.pop(0)
+        # every request completed
+        state.status = _READY
+        state.block_kind = None
+        state.block_req_id = None
+        if state.wait_single:
+            state.resume_value = state.wait_results[0] if state.wait_results else None
+        else:
+            state.resume_value = list(state.wait_results)
+        state.wait_results = []
+
+    def _complete_recv(self, state: _RankState, request: RecvRequest) -> bool:
+        obj = self._req_obj.get(request.request_id)
+        if obj is None:
+            raise InvalidCommandError(
+                f"rank {state.rank} waited on unknown request {request.request_id}"
+            )
+        if isinstance(obj, _RecvPosting):
+            # not matched yet: block until the sender posts
+            state.block_kind = _BLOCK_RECV_MATCH
+            state.block_req_id = request.request_id
+            return False
+        message: _Message = obj
+        now = state.clock
+        if message.transfer.completed:
+            completion = message.transfer.completion_time
+        else:
+            # entering the progress engine: everything inbound advances first
+            self._ack_incoming(state.rank, now, continuous=False)
+            completion = message.transfer.completion_from(now)
+            self._notify_send_completion(message)
+        effective = max(now, completion)
+        # other inbound transfers keep flowing while this rank sits in MPI_Wait
+        self._ack_incoming(state.rank, effective, continuous=True, skip=message)
+        state.breakdown.add(state.wait_category, effective - now)
+        state.clock = effective
+        if message in self._incoming[state.rank]:
+            self._incoming[state.rank].remove(message)
+        state.wait_results.append(message.data)
+        return True
+
+    def _complete_send(self, state: _RankState, request: SendRequest) -> bool:
+        obj = self._req_obj.get(request.request_id)
+        if obj is None or not isinstance(obj, _Message):
+            raise InvalidCommandError(
+                f"rank {state.rank} waited on unknown send request {request.request_id}"
+            )
+        message: _Message = obj
+        now = state.clock
+        if message.transfer.eager:
+            # buffered by the transport: the sender's wait returns immediately
+            state.wait_results.append(None)
+            return True
+        if message.transfer.completed:
+            effective = max(now, message.transfer.completion_time)
+            state.breakdown.add(state.wait_category, effective - now)
+            state.clock = effective
+            state.wait_results.append(None)
+            return True
+        # rendezvous send: completion is driven by the receiver
+        state.block_kind = _BLOCK_SEND_COMPLETION
+        state.block_req_id = request.request_id
+        return False
+
+    def _notify_send_completion(self, message: _Message) -> None:
+        """Wake the sender if it is blocked waiting for this send to finish."""
+        if not message.transfer.completed:
+            return
+        sender = self._states[message.src]
+        if (
+            sender.status == _BLOCKED
+            and sender.block_kind == _BLOCK_SEND_COMPLETION
+            and sender.block_req_id == message.send_req_id
+        ):
+            self._continue_wait(sender)
+
+    def _ack_incoming(
+        self,
+        rank: int,
+        now: float,
+        continuous: bool,
+        skip: Optional[_Message] = None,
+    ) -> None:
+        """Let every matched inbound transfer of ``rank`` progress up to ``now``."""
+        for message in self._incoming[rank]:
+            if message is skip or message.transfer.completed:
+                continue
+            if message.transfer.ack(now, continuous=continuous):
+                self._notify_send_completion(message)
+
+    # ---------------------------------------------------------------- polling
+
+    def _handle_test(self, state: _RankState, cmd: Test) -> None:
+        self._ack_incoming(state.rank, state.clock, continuous=False)
+        obj = self._req_obj.get(cmd.request.request_id)
+        complete = False
+        if isinstance(obj, _Message):
+            if isinstance(cmd.request, SendRequest):
+                complete = obj.transfer.eager or obj.transfer.completed
+            else:
+                complete = obj.transfer.completed
+        state.resume_value = complete
+
+    def _handle_probe(self, state: _RankState, cmd: Probe) -> None:
+        key = (state.rank, cmd.source, cmd.tag)
+        pending = self._unmatched_sends.get(key)
+        state.resume_value = bool(pending)
+
+    # ---------------------------------------------------------------- barrier
+
+    def _handle_barrier(self, state: _RankState, cmd: Barrier) -> None:
+        self._barrier_waiting.append((state.rank, state.clock))
+        state.block_kind = _BLOCK_BARRIER
+        state.barrier_category = cmd.category
+        state.status = _BLOCKED
+        if len(self._barrier_waiting) == self.n_ranks:
+            release = max(t for _, t in self._barrier_waiting)
+            for rank, arrival in self._barrier_waiting:
+                blocked = self._states[rank]
+                blocked.breakdown.add(blocked.barrier_category, release - arrival)
+                blocked.clock = release
+                blocked.status = _READY
+                blocked.block_kind = None
+                blocked.resume_value = None
+            self._barrier_waiting.clear()
+
+    # ------------------------------------------------------------ diagnostics
+
+    def _describe_deadlock(self) -> str:
+        lines = ["simulation deadlocked; blocked ranks:"]
+        for s in self._states:
+            if s.status != _BLOCKED:
+                continue
+            if s.block_kind == _BLOCK_BARRIER:
+                lines.append(f"  rank {s.rank}: waiting in Barrier at t={s.clock:.6f}")
+            elif s.block_kind == _BLOCK_RECV_MATCH:
+                obj = self._req_obj.get(s.block_req_id)
+                src = getattr(obj, "source", "?")
+                tag = getattr(obj, "tag", "?")
+                lines.append(
+                    f"  rank {s.rank}: Wait on receive from rank {src} (tag {tag}) "
+                    f"that was never sent"
+                )
+            elif s.block_kind == _BLOCK_SEND_COMPLETION:
+                obj = self._req_obj.get(s.block_req_id)
+                dst = getattr(obj, "dst", "?")
+                lines.append(
+                    f"  rank {s.rank}: Wait on send to rank {dst} that the receiver "
+                    f"never completed"
+                )
+            else:  # pragma: no cover - defensive
+                lines.append(f"  rank {s.rank}: blocked ({s.block_kind})")
+        done = [s.rank for s in self._states if s.status == _DONE]
+        if done:
+            lines.append(f"  finished ranks: {done}")
+        return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Request handles returned by non-blocking operations of the simulator.
+
+These mirror ``MPI_Request``: a rank program posts an ``Isend``/``Irecv`` and
+receives a request handle back; it later completes the operation with ``Wait``
+/ ``Waitall`` or polls it with ``Test``.  The handles are plain identifiers —
+all state lives in the engine so that request objects can be freely stored and
+passed around by rank programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Request", "SendRequest", "RecvRequest"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """Base request handle (identified by a unique id within one simulation)."""
+
+    request_id: int
+    rank: int
+
+    @property
+    def kind(self) -> str:
+        return "request"
+
+
+@dataclass(frozen=True)
+class SendRequest(Request):
+    """Handle for a posted non-blocking send."""
+
+    dest: int = -1
+    tag: int = 0
+
+    @property
+    def kind(self) -> str:
+        return "send"
+
+
+@dataclass(frozen=True)
+class RecvRequest(Request):
+    """Handle for a posted non-blocking receive."""
+
+    source: int = -1
+    tag: int = 0
+
+    @property
+    def kind(self) -> str:
+        return "recv"

@@ -1,0 +1,37 @@
+"""Calibrated performance model: cost model, network presets, breakdown labels."""
+
+from repro.mpisim.timeline import (
+    CAT_ALLGATHER,
+    CAT_COMDECOM,
+    CAT_MEMCPY,
+    CAT_OTHERS,
+    CAT_REDUCTION,
+    CAT_WAIT,
+    STANDARD_CATEGORIES,
+    TimeBreakdown,
+)
+from repro.perfmodel.costmodel import DEFAULT_CODEC_SPEEDS, CodecSpeed, CostModel
+from repro.perfmodel.presets import (
+    async_progress_network,
+    default_cost_model,
+    default_network,
+    line_rate_network,
+)
+
+__all__ = [
+    "CostModel",
+    "CodecSpeed",
+    "DEFAULT_CODEC_SPEEDS",
+    "default_network",
+    "default_cost_model",
+    "async_progress_network",
+    "line_rate_network",
+    "TimeBreakdown",
+    "STANDARD_CATEGORIES",
+    "CAT_COMDECOM",
+    "CAT_ALLGATHER",
+    "CAT_MEMCPY",
+    "CAT_WAIT",
+    "CAT_REDUCTION",
+    "CAT_OTHERS",
+]

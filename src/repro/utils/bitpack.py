@@ -1,0 +1,69 @@
+"""Bit-level packing helpers used by the compressors.
+
+The SZx-style codec stores, for each non-constant block, the residuals of the
+block values around the block mean truncated to the number of bits actually
+required.  These helpers pack/unpack arrays of small unsigned integers into a
+dense bitstream (most-significant bit first within each value), fully
+vectorised with numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["required_bits_unsigned", "pack_uint_bits", "unpack_uint_bits"]
+
+
+def required_bits_unsigned(max_value: int) -> int:
+    """Number of bits needed to represent unsigned integers up to ``max_value``.
+
+    ``max_value == 0`` requires 0 bits (all values are zero and nothing needs to
+    be stored).
+    """
+    if max_value < 0:
+        raise ValueError(f"max_value must be >= 0, got {max_value}")
+    return int(max_value).bit_length()
+
+
+def pack_uint_bits(values: np.ndarray, nbits: int) -> bytes:
+    """Pack an array of unsigned integers using ``nbits`` bits per value.
+
+    Values must fit in ``nbits`` bits.  Returns a byte string whose length is
+    ``ceil(len(values) * nbits / 8)``.  ``nbits == 0`` returns ``b""``.
+    """
+    if nbits < 0 or nbits > 64:
+        raise ValueError(f"nbits must be in [0, 64], got {nbits}")
+    values = np.asarray(values, dtype=np.uint64)
+    if nbits == 0 or values.size == 0:
+        return b""
+    limit = np.uint64(1) << np.uint64(nbits) if nbits < 64 else np.uint64(0)
+    if nbits < 64 and values.size and values.max() >= limit:
+        raise ValueError(f"values do not fit in {nbits} bits (max={int(values.max())})")
+    # Expand each value into its bits, MSB first, then pack the flat bit array.
+    shifts = np.arange(nbits - 1, -1, -1, dtype=np.uint64)
+    bits = (values[:, None] >> shifts[None, :]) & np.uint64(1)
+    flat = bits.reshape(-1).astype(np.uint8)
+    return np.packbits(flat).tobytes()
+
+
+def unpack_uint_bits(buffer: bytes, count: int, nbits: int) -> np.ndarray:
+    """Inverse of :func:`pack_uint_bits`.
+
+    Returns a ``uint64`` array with ``count`` entries decoded from ``buffer``.
+    """
+    if nbits < 0 or nbits > 64:
+        raise ValueError(f"nbits must be in [0, 64], got {nbits}")
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if nbits == 0 or count == 0:
+        return np.zeros(count, dtype=np.uint64)
+    needed_bits = count * nbits
+    raw = np.frombuffer(buffer, dtype=np.uint8)
+    bits = np.unpackbits(raw)
+    if bits.size < needed_bits:
+        raise ValueError(
+            f"buffer too small: need {needed_bits} bits, got {bits.size}"
+        )
+    bits = bits[:needed_bits].reshape(count, nbits).astype(np.uint64)
+    shifts = np.arange(nbits - 1, -1, -1, dtype=np.uint64)
+    return (bits << shifts[None, :]).sum(axis=1, dtype=np.uint64)

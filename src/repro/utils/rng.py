@@ -1,0 +1,28 @@
+"""Random number generator plumbing.
+
+All stochastic pieces of the library (synthetic datasets, Monte-Carlo error
+propagation) accept either ``None``, an integer seed, or a ``numpy`` Generator.
+``resolve_rng`` normalises those three forms so results are reproducible when a
+seed is given.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["resolve_rng"]
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def resolve_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` from ``None``, a seed, or a Generator."""
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"rng must be None, an int seed, or a numpy Generator, got {type(rng)!r}")

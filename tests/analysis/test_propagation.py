@@ -1,0 +1,131 @@
+"""Tests for the error-propagation theorems and their Monte-Carlo validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    average_error_std,
+    corollary1_interval,
+    cpr_p2p_movement_bound,
+    maxmin_error_variance,
+    measured_sum_coverage,
+    movement_framework_bound,
+    probability_within,
+    sigma_from_error_bound,
+    simulate_average_error_std,
+    simulate_maxmin_variance,
+    simulate_sum_coverage,
+    sum_error_interval,
+    sum_error_std,
+)
+from repro.compression import SZxCompressor
+from repro.datasets import load_field
+
+
+class TestAnalyticalFormulas:
+    def test_sigma_from_bound(self):
+        assert sigma_from_error_bound(3e-3) == pytest.approx(1e-3)
+
+    def test_sum_error_std_scales_with_sqrt_n(self):
+        assert sum_error_std(100, 0.5) == pytest.approx(5.0)
+
+    def test_theorem1_interval_is_two_sigma_sqrt_n(self):
+        bound = sum_error_interval(100, 1.0, confidence=0.9544)
+        assert bound.half_width == pytest.approx(2.0 * 10.0, rel=1e-3)
+        assert bound.contains(15.0)
+        assert not bound.contains(25.0)
+
+    def test_corollary1_matches_paper_example(self):
+        """100 nodes: the aggregated error is within +-(20/3) be with 95.44%."""
+        be = 1e-3
+        bound = corollary1_interval(100, be, confidence=0.9544)
+        assert bound.half_width == pytest.approx((20.0 / 3.0) * be, rel=1e-3)
+
+    def test_corollary2_average_shrinks_error(self):
+        assert average_error_std(100, 1.0) == pytest.approx(0.1)
+
+    def test_theorem2_maxmin_variance(self):
+        sigma = 2.0
+        n = 5
+        expected = (2 - (n + 2) / 2**n) * sigma**2
+        assert maxmin_error_variance(n, sigma) == pytest.approx(expected)
+        # the variance factor approaches 2 for large n and stays below it
+        assert maxmin_error_variance(50, 1.0) < 2.0
+        assert maxmin_error_variance(50, 1.0) > maxmin_error_variance(2, 1.0)
+
+    def test_probability_within_two_sigma(self):
+        assert probability_within(16, 1.0, 2.0 * math.sqrt(16)) == pytest.approx(0.9545, abs=1e-3)
+
+    def test_framework_bounds(self):
+        assert movement_framework_bound(1e-3) == 1e-3
+        assert cpr_p2p_movement_bound(1e-3, 7) == pytest.approx(7e-3)
+        with pytest.raises(ValueError):
+            cpr_p2p_movement_bound(1e-3, 0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            sum_error_std(0, 1.0)
+        with pytest.raises(ValueError):
+            sum_error_interval(4, 1.0, confidence=1.5)
+        with pytest.raises(ValueError):
+            average_error_std(0, 1.0)
+
+
+class TestMonteCarlo:
+    def test_sum_coverage_matches_confidence(self):
+        result = simulate_sum_coverage(n_nodes=64, sigma=1e-3, trials=40_000, rng=1)
+        assert result.coverage == pytest.approx(0.9544, abs=0.01)
+        assert result.satisfied
+
+    def test_sum_coverage_scales_with_n(self):
+        small = simulate_sum_coverage(n_nodes=4, sigma=1e-3, trials=20_000, rng=1)
+        large = simulate_sum_coverage(n_nodes=128, sigma=1e-3, trials=20_000, rng=1)
+        # the *absolute* interval grows with sqrt(n) but the coverage stays put
+        assert large.half_width > small.half_width * 4
+        assert abs(large.coverage - small.coverage) < 0.02
+
+    def test_average_error_std(self):
+        estimate = simulate_average_error_std(n_nodes=25, sigma=1.0, trials=40_000, rng=2)
+        assert estimate == pytest.approx(average_error_std(25, 1.0), rel=0.05)
+
+    def test_maxmin_variance_close_to_theorem(self):
+        result = simulate_maxmin_variance(n_nodes=6, sigma=1.0, trials=60_000, rng=3)
+        assert result["empirical_variance"] == pytest.approx(
+            result["theoretical_variance"], rel=0.08
+        )
+
+    def test_measured_codec_coverage_theorem1(self):
+        """Theorem 1 (with the measured per-node sigma) holds for *measured* SZx
+        errors aggregated over nodes."""
+        eb = 1e-3
+        base = load_field("cesm", "CLOUD", seed=5).flatten()[:60_000]
+        rng = np.random.default_rng(0)
+        per_node = [base + rng.normal(0, 5e-3, base.size).astype(np.float32) for _ in range(8)]
+        result = measured_sum_coverage(
+            SZxCompressor(error_bound=eb),
+            per_node,
+            error_bound=eb,
+            use_measured_sigma=True,
+            rng=0,
+        )
+        assert result.coverage >= 0.93
+
+    def test_measured_codec_coverage_corollary1(self):
+        """Corollary 1 additionally assumes be ~= 3 sigma; with SZx's
+        quantisation errors (closer to uniform, sigma ~= be/sqrt(3)) the
+        interval still captures the bulk of the aggregated error."""
+        eb = 1e-3
+        base = load_field("cesm", "CLOUD", seed=5).flatten()[:60_000]
+        rng = np.random.default_rng(0)
+        per_node = [base + rng.normal(0, 5e-3, base.size).astype(np.float32) for _ in range(8)]
+        result = measured_sum_coverage(
+            SZxCompressor(error_bound=eb), per_node, error_bound=eb, rng=0
+        )
+        assert result.half_width == pytest.approx(corollary1_interval(8, eb).half_width)
+        assert result.coverage >= 0.60
+
+    def test_measured_coverage_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            measured_sum_coverage(SZxCompressor(error_bound=1e-3), [np.zeros(10)], 1e-3)

@@ -1,0 +1,31 @@
+"""Shared helpers for the compression test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def assert_error_bounded():
+    """Assert that ``recon`` is within ``eb`` of ``data`` up to output rounding.
+
+    The codecs guarantee the bound in double precision; when the caller's data
+    is float32 the final cast of the reconstructed values can add at most one
+    float32 rounding step (exactly as in the reference SZx/ZFP C codecs), so
+    the tolerance includes one epsilon of the output dtype scaled by the data
+    magnitude.
+    """
+
+    def _assert(data, recon, eb):
+        data = np.asarray(data)
+        recon = np.asarray(recon)
+        err = np.max(np.abs(data.astype(np.float64) - recon.astype(np.float64))) if data.size else 0.0
+        rounding = 0.0
+        if data.size:
+            rounding = float(np.finfo(recon.dtype).eps) * float(np.max(np.abs(data)))
+        assert err <= eb * (1 + 1e-9) + rounding, (
+            f"max error {err:.6e} exceeds bound {eb:.6e} (+rounding {rounding:.2e})"
+        )
+
+    return _assert

@@ -1,0 +1,112 @@
+"""Tests for PIPE-SZx (the pipelined, chunked SZx used by the computation framework)."""
+
+import numpy as np
+import pytest
+
+from repro.compression import DecompressionError, PipelinedSZx, SZxCompressor
+
+
+def max_err(a, b):
+    return float(np.max(np.abs(np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64))))
+
+
+class TestOneShotApi:
+    def test_round_trip_bound(self, smooth_signal, assert_error_bounded):
+        codec = PipelinedSZx(error_bound=1e-3)
+        recon = codec.roundtrip(smooth_signal)
+        assert_error_bounded(smooth_signal, recon, 1e-3)
+
+    def test_same_bound_behaviour_as_plain_szx(self, smooth_signal, assert_error_bounded):
+        pipe = PipelinedSZx(error_bound=1e-3).roundtrip(smooth_signal)
+        plain = SZxCompressor(error_bound=1e-3).roundtrip(smooth_signal)
+        # chunking must not change the reconstruction beyond block-boundary effects
+        assert_error_bounded(smooth_signal, pipe, 1e-3)
+        assert_error_bounded(smooth_signal, plain, 1e-3)
+
+    def test_ratio_close_to_plain_szx(self, smooth_signal):
+        pipe_ratio = PipelinedSZx(error_bound=1e-3).compress(smooth_signal).ratio
+        plain_ratio = SZxCompressor(error_bound=1e-3).compress(smooth_signal).ratio
+        assert pipe_ratio > 0.7 * plain_ratio
+
+    def test_empty_round_trip(self):
+        codec = PipelinedSZx(error_bound=1e-3)
+        assert codec.roundtrip(np.zeros(0, dtype=np.float32)).size == 0
+
+    def test_dtype_preserved(self, smooth_signal):
+        codec = PipelinedSZx(error_bound=1e-3)
+        assert codec.roundtrip(smooth_signal).dtype == np.float32
+
+
+class TestChunking:
+    def test_chunk_count(self):
+        codec = PipelinedSZx(error_bound=1e-3, chunk_elems=5120)
+        assert codec.chunk_count(0) == 0
+        assert codec.chunk_count(5120) == 1
+        assert codec.chunk_count(5121) == 2
+        assert codec.chunk_count(51200) == 10
+
+    def test_default_chunk_is_paper_value(self):
+        assert PipelinedSZx(error_bound=1e-3).chunk_elems == 5120
+
+    def test_iter_compress_yields_expected_chunks(self, smooth_signal):
+        codec = PipelinedSZx(error_bound=1e-3, chunk_elems=4096)
+        chunks = list(codec.iter_compress(smooth_signal))
+        assert len(chunks) == codec.chunk_count(smooth_signal.size)
+        assert [c.index for c in chunks] == list(range(len(chunks)))
+        assert chunks[-1].stop == smooth_signal.size
+        assert all(c.nbytes > 0 for c in chunks)
+
+    def test_iter_decompress_matches_chunks(self, smooth_signal, assert_error_bounded):
+        codec = PipelinedSZx(error_bound=1e-3, chunk_elems=4096)
+        payload = codec.compress(smooth_signal).payload
+        parts = list(codec.iter_decompress(payload))
+        recon = np.concatenate(parts)
+        assert recon.size == smooth_signal.size
+        assert_error_bounded(smooth_signal, recon, 1e-3)
+
+    def test_progress_callbacks_fire_per_chunk(self, smooth_signal):
+        codec = PipelinedSZx(error_bound=1e-3, chunk_elems=4096)
+        calls = []
+        payload = codec.compress_with_progress(smooth_signal, lambda done, total: calls.append((done, total)))
+        expected = codec.chunk_count(smooth_signal.size)
+        assert len(calls) == expected
+        assert calls[-1] == (expected, expected)
+
+        calls.clear()
+        codec.decompress_with_progress(payload, lambda done, total: calls.append((done, total)))
+        assert len(calls) == expected
+
+    def test_assemble_validates_chunk_count(self, smooth_signal):
+        codec = PipelinedSZx(error_bound=1e-3, chunk_elems=4096)
+        chunks = list(codec.iter_compress(smooth_signal))
+        with pytest.raises(ValueError, match="chunks"):
+            codec.assemble(chunks[:-1], smooth_signal.size, smooth_signal.dtype)
+
+    def test_assemble_reorders_chunks(self, smooth_signal, assert_error_bounded):
+        codec = PipelinedSZx(error_bound=1e-3, chunk_elems=4096)
+        chunks = list(codec.iter_compress(smooth_signal))
+        payload = codec.assemble(list(reversed(chunks)), smooth_signal.size, smooth_signal.dtype)
+        recon = codec.decompress(payload)
+        assert_error_bounded(smooth_signal, recon, 1e-3)
+
+
+class TestValidation:
+    def test_invalid_chunk_elems(self):
+        with pytest.raises(ValueError):
+            PipelinedSZx(error_bound=1e-3, chunk_elems=0)
+
+    def test_truncated_payload_rejected(self, smooth_signal):
+        codec = PipelinedSZx(error_bound=1e-3)
+        payload = codec.compress(smooth_signal).payload
+        with pytest.raises(DecompressionError):
+            codec.decompress(payload[:-20])
+
+    def test_wrong_magic_rejected(self, smooth_signal):
+        plain = SZxCompressor(error_bound=1e-3).compress(smooth_signal).payload
+        with pytest.raises(DecompressionError, match="magic"):
+            PipelinedSZx(error_bound=1e-3).decompress(plain)
+
+    def test_describe(self):
+        info = PipelinedSZx(error_bound=1e-4, chunk_elems=2048).describe()
+        assert info["chunk_elems"] == 2048
+        assert info["error_bound"] == 1e-4

@@ -1,0 +1,35 @@
+"""Shared pytest fixtures for the C-Coll reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def smooth_signal(rng) -> np.ndarray:
+    """A smooth 1-D float32 signal (compresses well)."""
+    x = np.linspace(0, 6 * np.pi, 20_000)
+    return (np.sin(x) * np.exp(-x / 20) + 0.05 * np.cos(5 * x)).astype(np.float32)
+
+
+@pytest.fixture
+def rough_signal(rng) -> np.ndarray:
+    """A rough 1-D float64 signal (compresses poorly)."""
+    return rng.standard_normal(10_000)
+
+
+@pytest.fixture
+def sparse_signal(rng) -> np.ndarray:
+    """A mostly-zero signal with a few localized bumps."""
+    data = np.zeros(30_000, dtype=np.float32)
+    for center in (5_000, 12_000, 22_000):
+        idx = np.arange(center - 200, center + 200)
+        data[idx] = np.exp(-((idx - center) / 60.0) ** 2)
+    return data

@@ -1,0 +1,58 @@
+"""Tests for repro.metrics.ratios."""
+
+import pytest
+
+from repro.metrics import CompressionStats, aggregate_ratio_stats, compression_ratio
+
+
+class TestCompressionRatio:
+    def test_basic(self):
+        assert compression_ratio(1000, 100) == pytest.approx(10.0)
+
+    def test_empty_data(self):
+        assert compression_ratio(0, 0) == 1.0
+
+    def test_zero_compressed_nonempty_rejected(self):
+        with pytest.raises(ValueError):
+            compression_ratio(10, 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            compression_ratio(-1, 10)
+
+
+class TestCompressionStats:
+    def test_record_and_summary(self):
+        stats = CompressionStats()
+        stats.record(1000, 100)
+        stats.record(1000, 500)
+        summary = stats.summary()
+        assert summary["min"] == pytest.approx(2.0)
+        assert summary["max"] == pytest.approx(10.0)
+        assert summary["avg"] == pytest.approx(6.0)
+        assert summary["overall"] == pytest.approx(2000 / 600)
+        assert stats.count == 2
+
+    def test_merge(self):
+        a = CompressionStats()
+        a.record(100, 10)
+        b = CompressionStats()
+        b.record(100, 50)
+        a.merge(b)
+        assert a.count == 2
+        assert a.original_bytes == 200
+        assert a.compressed_bytes == 60
+
+    def test_empty_summary_rejected(self):
+        with pytest.raises(ValueError, match="no ratios"):
+            CompressionStats().summary()
+
+
+class TestAggregate:
+    def test_aggregate(self):
+        out = aggregate_ratio_stats([1.0, 2.0, 3.0])
+        assert out == {"min": 1.0, "avg": 2.0, "max": 3.0}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_ratio_stats([])

@@ -1,0 +1,362 @@
+"""Tests for the discrete-event engine: matching, timing, blocking, breakdowns."""
+
+import numpy as np
+import pytest
+
+from repro.mpisim import (
+    Barrier,
+    Compute,
+    DeadlockError,
+    InvalidCommandError,
+    Irecv,
+    Isend,
+    NetworkModel,
+    Probe,
+    RankProgramError,
+    Wait,
+    Waitall,
+    payload_nbytes,
+    run_simulation,
+)
+from repro.mpisim import Test as Poll  # alias: pytest must not collect the command class
+
+NET = NetworkModel(
+    latency=0.0, bandwidth=1e6, eager_threshold=100, inflight_window=500, progress="on-poll"
+)
+
+
+class TestPayloadNbytes:
+    def test_numpy(self):
+        assert payload_nbytes(np.zeros(10, dtype=np.float64)) == 80
+
+    def test_bytes(self):
+        assert payload_nbytes(b"12345") == 5
+
+    def test_none(self):
+        assert payload_nbytes(None) == 0
+
+    def test_python_object_uses_pickle_size(self):
+        assert payload_nbytes([1, 2, 3]) > 0
+
+
+class TestComputeOnly:
+    def test_single_rank_compute(self):
+        def program(rank, size):
+            yield Compute(1.5, category="Reduction")
+            yield Compute(0.5, category="Others")
+            return "done"
+
+        result = run_simulation(1, program, network=NET)
+        assert result.total_time == pytest.approx(2.0)
+        assert result.rank_values == ["done"]
+        assert result.breakdown(0).get("Reduction") == pytest.approx(1.5)
+        assert result.breakdown(0).get("Others") == pytest.approx(0.5)
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError):
+            Compute(-1.0)
+
+
+class TestPointToPoint:
+    def test_simple_send_recv_delivers_data(self):
+        payload = np.arange(50, dtype=np.float64)  # 400 bytes -> rendezvous
+
+        def program(rank, size):
+            if rank == 0:
+                req = yield Isend(dest=1, data=payload)
+                yield Wait(req)
+                return None
+            req = yield Irecv(source=0)
+            data = yield Wait(req)
+            return data
+
+        result = run_simulation(2, program, network=NET)
+        np.testing.assert_array_equal(result.rank_values[1], payload)
+
+    def test_transfer_time_matches_alpha_beta(self):
+        nbytes = 200_000
+
+        def program(rank, size):
+            if rank == 0:
+                req = yield Isend(dest=1, data=None, nbytes=nbytes)
+                yield Wait(req)
+            else:
+                req = yield Irecv(source=0)
+                yield Wait(req, category="Wait")
+
+        result = run_simulation(2, program, network=NET)
+        expected = nbytes / NET.bandwidth
+        assert result.total_time == pytest.approx(expected, rel=1e-6)
+        assert result.breakdown(1).get("Wait") == pytest.approx(expected, rel=1e-6)
+
+    def test_eager_send_completes_immediately_for_sender(self):
+        def program(rank, size):
+            if rank == 0:
+                req = yield Isend(dest=1, data=b"x" * 50)  # below eager threshold
+                yield Wait(req)
+                yield Compute(1.0)
+            else:
+                yield Compute(5.0)
+                req = yield Irecv(source=0)
+                yield Wait(req)
+
+        result = run_simulation(2, program, network=NET)
+        # sender is not dragged to the receiver's late recv
+        assert result.rank_times[0] == pytest.approx(1.0)
+
+    def test_rendezvous_sender_waits_for_receiver(self):
+        nbytes = 300_000
+
+        def program(rank, size):
+            if rank == 0:
+                req = yield Isend(dest=1, data=None, nbytes=nbytes)
+                yield Wait(req, category="SendWait")
+            else:
+                yield Compute(2.0)
+                req = yield Irecv(source=0)
+                yield Wait(req)
+
+        result = run_simulation(2, program, network=NET)
+        expected = 2.0 + nbytes / NET.bandwidth
+        assert result.rank_times[0] == pytest.approx(expected, rel=1e-6)
+        assert result.breakdown(0).get("SendWait") == pytest.approx(expected, rel=1e-6)
+
+    def test_receiver_blocked_until_late_sender_posts(self):
+        nbytes = 100_000
+
+        def program(rank, size):
+            if rank == 0:
+                yield Compute(3.0)
+                req = yield Isend(dest=1, data=None, nbytes=nbytes)
+                yield Wait(req)
+            else:
+                req = yield Irecv(source=0)
+                yield Wait(req, category="Wait")
+
+        result = run_simulation(2, program, network=NET)
+        expected = 3.0 + nbytes / NET.bandwidth
+        assert result.rank_times[1] == pytest.approx(expected, rel=1e-6)
+
+    def test_compute_without_polling_does_not_overlap(self):
+        """With rendezvous progress-on-poll semantics, compute placed between
+        posting and waiting hides at most the in-flight window."""
+        nbytes = 1_000_000
+        compute = 0.4
+
+        def program(rank, size):
+            if rank == 0:
+                req = yield Isend(dest=1, data=None, nbytes=nbytes)
+                yield Wait(req)
+            else:
+                req = yield Irecv(source=0)
+                yield Compute(compute, category="ComDecom")
+                yield Wait(req, category="Wait")
+
+        result = run_simulation(2, program, network=NET)
+        wait = result.breakdown(1).get("Wait")
+        # only the in-flight window (500 bytes) was hidden
+        assert wait == pytest.approx((nbytes - NET.inflight_window) / NET.bandwidth, rel=1e-3)
+
+    def test_compute_with_polling_overlaps_transfer(self):
+        """Polling between compute chunks (the PIPE-SZx pattern) lets the
+        transfer stream during compression, collapsing the final wait."""
+        # in-flight window larger than what arrives between two polls, as on
+        # the real interconnect with 5120-element PIPE-SZx chunks
+        net = NetworkModel(
+            latency=0.0,
+            bandwidth=1e6,
+            eager_threshold=100,
+            inflight_window=50_000,
+            progress="on-poll",
+        )
+        nbytes = 400_000
+        chunks = 100
+        chunk_time = (nbytes / net.bandwidth) / chunks  # total compute == transfer time
+
+        def program(rank, size):
+            if rank == 0:
+                req = yield Isend(dest=1, data=None, nbytes=nbytes)
+                yield Wait(req)
+            else:
+                req = yield Irecv(source=0)
+                for _ in range(chunks):
+                    yield Compute(chunk_time, category="ComDecom")
+                    yield Poll(req)
+                yield Wait(req, category="Wait")
+
+        result = run_simulation(2, program, network=net)
+        wait = result.breakdown(1).get("Wait")
+        transfer = nbytes / net.bandwidth
+        assert wait < 0.15 * transfer
+
+    def test_async_progress_overlaps_without_polling(self):
+        async_net = NetworkModel(
+            latency=0.0, bandwidth=1e6, eager_threshold=100, inflight_window=500, progress="async"
+        )
+        nbytes = 1_000_000
+
+        def program(rank, size):
+            if rank == 0:
+                req = yield Isend(dest=1, data=None, nbytes=nbytes)
+                yield Wait(req)
+            else:
+                req = yield Irecv(source=0)
+                yield Compute(2.0, category="ComDecom")
+                yield Wait(req, category="Wait")
+
+        result = run_simulation(2, program, network=async_net)
+        assert result.breakdown(1).get("Wait") == pytest.approx(0.0, abs=1e-9)
+
+    def test_message_order_preserved_same_source_tag(self):
+        def program(rank, size):
+            if rank == 0:
+                r1 = yield Isend(dest=1, data=b"first" + b"0" * 200)
+                r2 = yield Isend(dest=1, data=b"second" + b"0" * 200)
+                yield Waitall([r1, r2])
+            else:
+                r1 = yield Irecv(source=0)
+                r2 = yield Irecv(source=0)
+                first = yield Wait(r1)
+                second = yield Wait(r2)
+                return (bytes(first[:5]), bytes(second[:6]))
+
+        result = run_simulation(2, program, network=NET)
+        assert result.rank_values[1] == (b"first", b"secon"[:5] + b"d")
+
+    def test_tags_disambiguate_messages(self):
+        def program(rank, size):
+            if rank == 0:
+                ra = yield Isend(dest=1, data=b"A" * 200, tag=7)
+                rb = yield Isend(dest=1, data=b"B" * 200, tag=9)
+                yield Waitall([ra, rb])
+            else:
+                rb = yield Irecv(source=0, tag=9)
+                ra = yield Irecv(source=0, tag=7)
+                b = yield Wait(rb)
+                a = yield Wait(ra)
+                return (bytes(a[:1]), bytes(b[:1]))
+
+        result = run_simulation(2, program, network=NET)
+        assert result.rank_values[1] == (b"A", b"B")
+
+    def test_waitall_returns_results_in_order(self):
+        def program(rank, size):
+            if rank == 0:
+                reqs = []
+                for dest in (1, 2):
+                    reqs.append((yield Isend(dest=dest, data=np.full(100, rank, dtype=np.float64))))
+                yield Waitall(reqs)
+            else:
+                req = yield Irecv(source=0)
+                data = yield Wait(req)
+                return float(data[0])
+
+        result = run_simulation(3, program, network=NET)
+        assert result.rank_values[1] == 0.0
+        assert result.rank_values[2] == 0.0
+
+
+class TestCollectiveBuildingBlocks:
+    def test_barrier_synchronises_clocks(self):
+        def program(rank, size):
+            yield Compute(float(rank))
+            yield Barrier(category="Others")
+            return None
+
+        result = run_simulation(4, program, network=NET)
+        assert result.rank_times == pytest.approx([3.0, 3.0, 3.0, 3.0])
+
+    def test_probe_sees_posted_send(self):
+        def program(rank, size):
+            if rank == 0:
+                req = yield Isend(dest=1, data=b"z" * 200)
+                yield Wait(req)
+            else:
+                yield Compute(1.0)
+                seen = yield Probe(source=0)
+                req = yield Irecv(source=0)
+                yield Wait(req)
+                return seen
+
+        result = run_simulation(2, program, network=NET)
+        assert result.rank_values[1] is True
+
+    def test_ring_neighbour_exchange(self):
+        """Each rank sends its id to the right neighbour; everyone must end up
+        with the left neighbour's id — a miniature of the ring collectives."""
+        def program(rank, size):
+            left = (rank - 1) % size
+            right = (rank + 1) % size
+            recv_req = yield Irecv(source=left)
+            send_req = yield Isend(dest=right, data=np.array([float(rank)] * 64))
+            results = yield Waitall([recv_req, send_req])
+            return float(results[0][0])
+
+        result = run_simulation(5, program, network=NET)
+        assert result.rank_values == [4.0, 0.0, 1.0, 2.0, 3.0]
+
+
+class TestErrors:
+    def test_deadlock_detected(self):
+        def program(rank, size):
+            req = yield Irecv(source=(rank + 1) % size)
+            yield Wait(req)
+
+        with pytest.raises(DeadlockError, match="never sent"):
+            run_simulation(2, program, network=NET)
+
+    def test_rank_exception_wrapped(self):
+        def program(rank, size):
+            yield Compute(1.0)
+            raise ValueError("boom")
+
+        with pytest.raises(RankProgramError, match="boom"):
+            run_simulation(1, program, network=NET)
+
+    def test_invalid_command_rejected(self):
+        def program(rank, size):
+            yield "not a command"
+
+        with pytest.raises(InvalidCommandError):
+            run_simulation(1, program, network=NET)
+
+    def test_invalid_destination_rejected(self):
+        def program(rank, size):
+            yield Isend(dest=99, data=b"x")
+
+        with pytest.raises(InvalidCommandError):
+            run_simulation(2, program, network=NET)
+
+    def test_wait_on_garbage_rejected(self):
+        def program(rank, size):
+            yield Wait("nope")
+
+        with pytest.raises(InvalidCommandError):
+            run_simulation(1, program, network=NET)
+
+    def test_command_budget_enforced(self):
+        def program(rank, size):
+            while True:
+                yield Compute(0.0)
+
+        with pytest.raises(RuntimeError, match="max_commands"):
+            run_simulation(1, program, network=NET, max_commands=100)
+
+
+class TestSimulationResult:
+    def test_statistics(self):
+        def program(rank, size):
+            if rank == 0:
+                req = yield Isend(dest=1, data=b"q" * 1000)
+                yield Wait(req)
+            else:
+                req = yield Irecv(source=0)
+                yield Wait(req)
+
+        result = run_simulation(2, program, network=NET)
+        assert result.total_bytes_sent == 1000
+        assert result.total_messages == 1
+        assert result.n_ranks == 2
+        mean = result.breakdown_mean()
+        assert mean.total >= 0.0
+        assert result.category_seconds("Wait") >= 0.0

@@ -1,0 +1,117 @@
+"""Property-based tests (hypothesis) for the core data-structure invariants.
+
+These cover the properties the rest of the system leans on:
+
+* every error-bounded codec respects its bound and preserves length/dtype for
+  arbitrary finite float data;
+* the bit-packing round-trips arbitrary unsigned integers;
+* chunk partitioning covers the index space exactly once;
+* the simulated ring allreduce equals the numpy sum for arbitrary inputs.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.collectives import CollectiveContext, run_ring_allreduce
+from repro.compression import PipelinedSZx, SZxCompressor, ZFPCompressor
+from repro.mpisim import NetworkModel
+from repro.utils.bitpack import pack_uint_bits, unpack_uint_bits
+from repro.utils.chunking import chunk_bounds, split_counts
+
+NET = NetworkModel(latency=1e-6, bandwidth=1e9, eager_threshold=512, inflight_window=1 << 20)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=32
+)
+float_arrays = hnp.arrays(
+    dtype=np.float32, shape=st.integers(min_value=1, max_value=700), elements=finite_floats
+)
+
+
+class TestCodecProperties:
+    @given(data=float_arrays, eb_exp=st.integers(min_value=-4, max_value=-1))
+    @settings(max_examples=40, deadline=None)
+    def test_szx_error_bound_and_shape(self, data, eb_exp):
+        eb = 10.0**eb_exp
+        codec = SZxCompressor(error_bound=eb)
+        recon = codec.roundtrip(data)
+        assert recon.shape == data.shape
+        assert recon.dtype == data.dtype
+        rounding = np.finfo(np.float32).eps * float(np.max(np.abs(data)) if data.size else 0.0)
+        assert np.max(np.abs(recon.astype(np.float64) - data.astype(np.float64))) <= eb + rounding
+
+    @given(data=float_arrays)
+    @settings(max_examples=25, deadline=None)
+    def test_pipelined_matches_bound(self, data):
+        codec = PipelinedSZx(error_bound=1e-2, chunk_elems=64)
+        recon = codec.roundtrip(data)
+        rounding = np.finfo(np.float32).eps * float(np.max(np.abs(data)) if data.size else 0.0)
+        assert np.max(np.abs(recon.astype(np.float64) - data.astype(np.float64))) <= 1e-2 + rounding
+
+    @given(data=float_arrays)
+    @settings(max_examples=25, deadline=None)
+    def test_zfp_abs_error_bound(self, data):
+        codec = ZFPCompressor(mode="abs", error_bound=1e-2)
+        recon = codec.roundtrip(data)
+        rounding = np.finfo(np.float32).eps * float(np.max(np.abs(data)) if data.size else 0.0)
+        assert np.max(np.abs(recon.astype(np.float64) - data.astype(np.float64))) <= 1e-2 + rounding
+
+    @given(data=float_arrays, rate=st.sampled_from([4, 8, 16]))
+    @settings(max_examples=25, deadline=None)
+    def test_zfp_fxr_size_is_data_independent(self, data, rate):
+        codec = ZFPCompressor(mode="fxr", rate=rate)
+        buf = codec.compress(data)
+        blocks = -(-data.size // codec.block_size)
+        expected = blocks * (rate * codec.block_size // 8)
+        # header + per-block budget, data independent
+        assert abs(buf.nbytes - expected) < 64
+        assert codec.decompress(buf).size == data.size
+
+
+class TestBitPackProperties:
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=2**20 - 1), min_size=0, max_size=300),
+        extra_bits=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pack_unpack_roundtrip(self, values, extra_bits):
+        arr = np.asarray(values, dtype=np.uint64)
+        nbits = int(arr.max()).bit_length() + extra_bits if arr.size else extra_bits
+        packed = pack_uint_bits(arr, nbits)
+        out = unpack_uint_bits(packed, arr.size, nbits)
+        np.testing.assert_array_equal(out, arr)
+
+
+class TestChunkingProperties:
+    @given(total=st.integers(min_value=0, max_value=5000), chunk=st.integers(min_value=1, max_value=600))
+    @settings(max_examples=80, deadline=None)
+    def test_chunk_bounds_partition(self, total, chunk):
+        bounds = chunk_bounds(total, chunk)
+        assert sum(stop - start for start, stop in bounds) == total
+        for (a_start, a_stop), (b_start, _) in zip(bounds, bounds[1:]):
+            assert a_stop == b_start
+        assert all(stop - start <= chunk for start, stop in bounds)
+
+    @given(total=st.integers(min_value=0, max_value=5000), parts=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=80, deadline=None)
+    def test_split_counts_partition(self, total, parts):
+        counts = split_counts(total, parts)
+        assert sum(counts) == total
+        assert max(counts) - min(counts) <= 1
+
+
+class TestCollectiveProperties:
+    @given(
+        n_ranks=st.integers(min_value=1, max_value=6),
+        n_elements=st.integers(min_value=1, max_value=300),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_ring_allreduce_equals_numpy_sum(self, n_ranks, n_elements, seed):
+        rng = np.random.default_rng(seed)
+        inputs = [rng.standard_normal(n_elements) for _ in range(n_ranks)]
+        outcome = run_ring_allreduce(inputs, n_ranks, ctx=CollectiveContext(), network=NET)
+        expected = np.sum(inputs, axis=0)
+        for rank in range(n_ranks):
+            np.testing.assert_allclose(outcome.value(rank), expected, rtol=1e-10, atol=1e-12)

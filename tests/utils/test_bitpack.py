@@ -1,0 +1,65 @@
+"""Tests for repro.utils.bitpack."""
+
+import numpy as np
+import pytest
+
+from repro.utils.bitpack import pack_uint_bits, required_bits_unsigned, unpack_uint_bits
+
+
+class TestRequiredBits:
+    @pytest.mark.parametrize(
+        "value,expected", [(0, 0), (1, 1), (2, 2), (3, 2), (4, 3), (255, 8), (256, 9)]
+    )
+    def test_known_values(self, value, expected):
+        assert required_bits_unsigned(value) == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            required_bits_unsigned(-1)
+
+
+class TestPackUnpack:
+    def test_round_trip_small(self):
+        values = np.array([0, 1, 2, 3, 7, 5], dtype=np.uint64)
+        packed = pack_uint_bits(values, 3)
+        out = unpack_uint_bits(packed, len(values), 3)
+        np.testing.assert_array_equal(out, values)
+
+    def test_round_trip_various_widths(self):
+        rng = np.random.default_rng(0)
+        for nbits in (1, 2, 5, 8, 13, 17, 31, 40):
+            values = rng.integers(0, 2**nbits, size=257, dtype=np.uint64)
+            packed = pack_uint_bits(values, nbits)
+            out = unpack_uint_bits(packed, len(values), nbits)
+            np.testing.assert_array_equal(out, values)
+
+    def test_packed_length(self):
+        values = np.arange(10, dtype=np.uint64)
+        packed = pack_uint_bits(values, 4)
+        assert len(packed) == (10 * 4 + 7) // 8
+
+    def test_zero_bits_is_empty(self):
+        assert pack_uint_bits(np.array([0, 0], dtype=np.uint64), 0) == b""
+        np.testing.assert_array_equal(
+            unpack_uint_bits(b"", 5, 0), np.zeros(5, dtype=np.uint64)
+        )
+
+    def test_empty_values(self):
+        assert pack_uint_bits(np.array([], dtype=np.uint64), 7) == b""
+        assert unpack_uint_bits(b"", 0, 7).size == 0
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError, match="do not fit"):
+            pack_uint_bits(np.array([8], dtype=np.uint64), 3)
+
+    def test_truncated_buffer_rejected(self):
+        values = np.arange(100, dtype=np.uint64)
+        packed = pack_uint_bits(values, 7)
+        with pytest.raises(ValueError, match="too small"):
+            unpack_uint_bits(packed[:-5], 100, 7)
+
+    def test_invalid_nbits_rejected(self):
+        with pytest.raises(ValueError):
+            pack_uint_bits(np.array([1], dtype=np.uint64), 65)
+        with pytest.raises(ValueError):
+            unpack_uint_bits(b"\x00", 1, -1)
