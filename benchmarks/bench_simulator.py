@@ -38,6 +38,17 @@ class TestEngineThroughput:
         result = benchmark(run_simulation, 64, ring_exchange_program(16), NET)
         assert result.total_time > 0
 
+    def test_ring_exchange_128_ranks(self, benchmark):
+        # exercises the scheduler hot path: the seed's O(n_ranks) linear scan
+        # per command ran this case ~4x slower (and 256 ranks ~8x slower)
+        # than the ready heap
+        result = benchmark(run_simulation, 128, ring_exchange_program(16), NET)
+        assert result.total_time > 0
+
+    def test_ring_exchange_256_ranks(self, benchmark):
+        result = benchmark(run_simulation, 256, ring_exchange_program(8), NET)
+        assert result.total_time > 0
+
 
 class TestCollectiveThroughput:
     def test_baseline_allreduce_32_ranks(self, benchmark):

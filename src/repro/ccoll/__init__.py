@@ -41,6 +41,10 @@ from repro.ccoll.movement import (
     run_c_bcast,
     run_c_scatter,
 )
+from repro.ccoll.topology_aware import (
+    run_topology_aware_c_allreduce,
+    topology_aware_c_allreduce_program,
+)
 from repro.ccoll.variants import ALLREDUCE_VARIANTS, run_allreduce_variant
 
 __all__ = [
@@ -70,6 +74,8 @@ __all__ = [
     "run_cpr_bcast",
     "cpr_scatter_program",
     "run_cpr_scatter",
+    "topology_aware_c_allreduce_program",
+    "run_topology_aware_c_allreduce",
     "ALLREDUCE_VARIANTS",
     "run_allreduce_variant",
 ]

@@ -31,6 +31,7 @@ from repro.ccoll.movement import CCollOutcome, _finish, c_allgather_program
 from repro.collectives.context import CollectiveContext, as_rank_arrays
 from repro.mpisim.launcher import run_simulation
 from repro.mpisim.network import NetworkModel
+from repro.mpisim.topology import Topology
 
 __all__ = ["c_allreduce_program", "run_c_allreduce"]
 
@@ -78,8 +79,14 @@ def run_c_allreduce(
     config: Optional[CCollConfig] = None,
     network: Optional[NetworkModel] = None,
     overlap: Optional[bool] = None,
+    topology: Optional[Topology] = None,
 ) -> CCollOutcome:
-    """Run C-Allreduce (or its non-overlapped ND variant with ``overlap=False``)."""
+    """Run C-Allreduce (or its non-overlapped ND variant with ``overlap=False``).
+
+    ``topology`` only affects link timing here (the flat ring schedule is kept);
+    use :func:`repro.ccoll.topology_aware.run_topology_aware_c_allreduce` for
+    the placement-aware schedule that compresses inter-node hops only.
+    """
     config = config or CCollConfig()
     ctx = config.context()
     vectors = as_rank_arrays(inputs, n_ranks)
@@ -101,5 +108,5 @@ def run_c_allreduce(
             overlap=use_overlap,
         )
 
-    sim = run_simulation(n_ranks, factory, network=network)
+    sim = run_simulation(n_ranks, factory, network=network, topology=topology)
     return _finish(sim.rank_values, sim, rs_adapters + ag_adapters)

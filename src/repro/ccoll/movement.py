@@ -64,20 +64,32 @@ def _finish(values, sim, adapters) -> CCollOutcome:
 
 
 def exchange_sizes_program(
-    rank: int, size: int, my_size: int, category: str = CAT_OTHERS, tag_offset: int = 0
+    rank: int,
+    size: int,
+    my_size: int,
+    category: str = CAT_OTHERS,
+    tag_offset: int = 0,
+    ring: Optional[List[int]] = None,
 ):
     """Ring exchange of the per-rank compressed sizes (cheap eager messages).
 
     This is the synchronisation step of the data-movement framework: every
     rank learns every other rank's compressed size so the payload pipeline is
     balanced.  Returns the list of sizes indexed by rank.
+
+    When ``ring`` is given it maps ring positions to global ranks (``rank`` is
+    then this rank's *position*), which lets subgroup collectives — e.g. the
+    inter-node leader stage of the topology-aware C-Allreduce — reuse the
+    exchange unchanged.  The returned list is then indexed by ring *position*,
+    not by global rank.
     """
     sizes = [None] * size
     sizes[rank] = int(my_size)
     if size == 1:
         return sizes
-    left = (rank - 1) % size
-    right = (rank + 1) % size
+    ring = range(size) if ring is None else ring
+    left = ring[(rank - 1) % size]
+    right = ring[(rank + 1) % size]
     carried = (rank, int(my_size))
     for step in range(size - 1):
         tag = _SIZE_TAG + tag_offset + step
@@ -101,8 +113,14 @@ def c_allgather_program(
     ctx: CollectiveContext,
     wait_category: str = CAT_ALLGATHER,
     tag_offset: int = 0,
+    ring: Optional[List[int]] = None,
 ):
-    """C-Allgather: ring allgather of compressed blocks, decompressed at the end."""
+    """C-Allgather: ring allgather of compressed blocks, decompressed at the end.
+
+    With ``ring`` given (ring position -> global rank; ``rank`` is then this
+    rank's position), the same compress-once pipeline runs over a subgroup —
+    e.g. the inter-node leader stage of the topology-aware C-Allreduce.
+    """
     if size == 1:
         return [my_block]
 
@@ -111,13 +129,16 @@ def c_allgather_program(
     yield Compute(adapter.compress_seconds(message), category=CAT_COMDECOM)
 
     # 2. exchange compressed sizes (fixed, balanced pipeline from here on)
-    yield from exchange_sizes_program(rank, size, message.real_nbytes, tag_offset=tag_offset)
+    yield from exchange_sizes_program(
+        rank, size, message.real_nbytes, tag_offset=tag_offset, ring=ring
+    )
 
     # 3. circulate the compressed blocks around the ring
     messages: List[Optional[CompressedMessage]] = [None] * size
     messages[rank] = message
-    left = (rank - 1) % size
-    right = (rank + 1) % size
+    ring = range(size) if ring is None else ring
+    left = ring[(rank - 1) % size]
+    right = ring[(rank + 1) % size]
     send_index = rank
     for step in range(size - 1):
         recv_index = (rank - step - 1) % size

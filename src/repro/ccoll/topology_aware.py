@@ -1,0 +1,170 @@
+"""Topology-aware C-Allreduce: compress only the inter-node hops.
+
+The paper's central trade — CPU lossy compression versus wire time — is only
+worth taking on links slower than the compressor.  On a two-level topology the
+intra-node links (shared-memory class, ~12 GB/s) are *faster* than SZx, so
+compressing there would cost time and accuracy for nothing.  This variant
+therefore runs the hierarchical schedule of
+:mod:`repro.collectives.hierarchical` with compression applied exclusively to
+the stage that crosses the inter-node fabric:
+
+1. **intra-node reduce** — binomial tree to the node leader, uncompressed;
+2. **inter-node allreduce among leaders** — a compressed ring: the
+   reduce-scatter stage compresses each outgoing chunk per hop (decompress,
+   reduce on arrival), and the allgather stage uses the paper's data-movement
+   framework (compress the reduced chunk once, forward compressed bytes,
+   decompress only at the end);
+3. **intra-node bcast** — binomial tree from the leader, uncompressed.
+
+Because only ``log-free`` inter-node hops see lossy compression, the error a
+value accumulates is bounded by the reduce-scatter hop count among *nodes*
+(``L - 1``) plus one allgather decompression, independent of how many ranks
+share each node.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ccoll.adapter import CompressionAdapter
+from repro.ccoll.config import CCollConfig
+from repro.ccoll.movement import CCollOutcome, _finish, c_allgather_program
+from repro.collectives.context import CollectiveContext, as_rank_arrays
+from repro.collectives.hierarchical import (
+    _group_binomial_bcast,
+    _group_binomial_reduce,
+    node_groups,
+)
+from repro.collectives.reduce_scatter import partition_chunks
+from repro.mpisim.commands import Compute, Irecv, Isend, Waitall
+from repro.mpisim.launcher import run_simulation
+from repro.mpisim.network import NetworkModel
+from repro.mpisim.topology import FlatTopology, Topology
+from repro.mpisim.timeline import CAT_COMDECOM, CAT_OTHERS, CAT_REDUCTION, CAT_WAIT
+
+__all__ = ["topology_aware_c_allreduce_program", "run_topology_aware_c_allreduce"]
+
+_TAG_REDUCE = 0
+_TAG_INTER_RS = 10_000
+_TAG_INTER_AG = 30_000
+_TAG_BCAST = 50_000
+
+
+def _group_compressed_ring_allreduce(
+    my_idx: int,
+    group: List[int],
+    vec: np.ndarray,
+    adapter: CompressionAdapter,
+    ctx: CollectiveContext,
+):
+    """Compressed ring allreduce over ``group`` (the inter-node leader stage).
+
+    Reduce-scatter compresses each hop's chunk (fresh partial sums must be
+    re-encoded every round); the allgather reuses the data-movement framework
+    (:func:`repro.ccoll.movement.c_allgather_program` over the leader ring):
+    one compression of the reduced chunk, compressed forwarding, decompression
+    of every remote chunk at the end.
+    """
+    size = len(group)
+    chunks = partition_chunks(vec, size)
+    if size == 1:
+        return np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+    left = group[(my_idx - 1) % size]
+    right = group[(my_idx + 1) % size]
+
+    # ------------------------------------------- compressed reduce-scatter
+    for step in range(size - 1):
+        send_index = (my_idx - step - 1) % size
+        recv_index = (my_idx - step - 2) % size
+        outgoing = adapter.compress(chunks[send_index])
+        yield Compute(adapter.compress_seconds(outgoing), category=CAT_COMDECOM)
+        tag = _TAG_INTER_RS + step
+        recv_req = yield Irecv(source=left, tag=tag)
+        send_req = yield Isend(dest=right, data=outgoing, nbytes=outgoing.nbytes, tag=tag)
+        received, _ = yield Waitall([recv_req, send_req], category=CAT_WAIT)
+        incoming = adapter.decompress(received)
+        yield Compute(adapter.decompress_seconds(received), category=CAT_COMDECOM)
+        chunks[recv_index] = chunks[recv_index] + incoming
+        yield Compute(ctx.reduce_seconds(incoming), category=CAT_REDUCTION)
+
+    # -------------------------------------- compress-once allgather stage
+    blocks = yield from c_allgather_program(
+        my_idx,
+        size,
+        chunks[my_idx],
+        adapter,
+        ctx,
+        tag_offset=_TAG_INTER_AG,
+        ring=group,
+    )
+    return np.concatenate(blocks)
+
+
+def topology_aware_c_allreduce_program(
+    rank: int,
+    size: int,
+    my_vector: np.ndarray,
+    adapter: CompressionAdapter,
+    ctx: CollectiveContext,
+    topology: Topology,
+    peers: Optional[List[int]] = None,
+    leaders: Optional[List[int]] = None,
+):
+    """Rank program for the topology-aware C-Allreduce; returns the reduced vector.
+
+    ``peers``/``leaders`` may be precomputed via
+    :func:`repro.collectives.hierarchical.node_groups`; when omitted they are
+    derived from ``topology``.
+    """
+    vec = np.ascontiguousarray(my_vector).reshape(-1).copy()
+    if size == 1:
+        return vec
+
+    yield Compute(ctx.alloc_seconds(vec), category=CAT_OTHERS)
+
+    peers = peers if peers is not None else topology.node_ranks(rank, size)
+    leaders = leaders if leaders is not None else topology.node_leaders(size)
+    my_idx = peers.index(rank)
+    is_leader = rank == peers[0]
+
+    # stage 1: uncompressed intra-node reduce (links outrun the compressor)
+    vec = yield from _group_binomial_reduce(my_idx, peers, vec, ctx, tag=_TAG_REDUCE)
+
+    # stage 2: compressed allreduce across the inter-node fabric
+    if is_leader and len(leaders) > 1:
+        vec = yield from _group_compressed_ring_allreduce(
+            leaders.index(rank), leaders, vec, adapter, ctx
+        )
+
+    # stage 3: uncompressed intra-node bcast of the reconstructed result
+    vec = yield from _group_binomial_bcast(
+        my_idx, peers, vec if is_leader else None, ctx, tag=_TAG_BCAST
+    )
+    return vec
+
+
+def run_topology_aware_c_allreduce(
+    inputs,
+    n_ranks: int,
+    topology: Optional[Topology] = None,
+    config: Optional[CCollConfig] = None,
+    network: Optional[NetworkModel] = None,
+) -> CCollOutcome:
+    """Run the topology-aware C-Allreduce (compression on inter-node hops only)."""
+    topology = topology if topology is not None else FlatTopology()
+    config = config or CCollConfig()
+    ctx = config.context()
+    vectors = as_rank_arrays(inputs, n_ranks)
+    adapters = [CompressionAdapter(config.make_codec(), ctx) for _ in range(n_ranks)]
+    peers_by_rank, leaders = node_groups(topology, n_ranks)
+
+    def factory(rank: int, size: int):
+        return topology_aware_c_allreduce_program(
+            rank, size, vectors[rank], adapters[rank], ctx, topology,
+            peers=peers_by_rank[rank], leaders=leaders,
+        )
+
+    sim = run_simulation(n_ranks, factory, network=network, topology=topology)
+    return _finish(sim.rank_values, sim, adapters)

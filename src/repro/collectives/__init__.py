@@ -2,9 +2,11 @@
 
 These are the algorithms the paper's evaluation compares against (its "AD" /
 "Baseline" bars): ring allgather, ring reduce-scatter, ring allreduce,
-binomial-tree broadcast / scatter / gather / reduce, and pairwise all-to-all.
-The C-Coll variants in :mod:`repro.ccoll` reuse the same communication
-structures with compression integrated.
+binomial-tree broadcast / scatter / gather / reduce, and pairwise all-to-all —
+plus the MPICH-style allreduce alternatives (recursive doubling, Rabenseifner,
+hierarchical) and the tuning-table selector that picks between them by message
+size, rank count and topology.  The C-Coll variants in :mod:`repro.ccoll`
+reuse the same communication structures with compression integrated.
 """
 
 from repro.collectives.allgather import ring_allgather_program, run_ring_allgather
@@ -13,6 +15,18 @@ from repro.collectives.alltoall import pairwise_alltoall_program, run_pairwise_a
 from repro.collectives.bcast import binomial_bcast_program, run_binomial_bcast
 from repro.collectives.context import CollectiveContext, CollectiveOutcome, as_rank_arrays
 from repro.collectives.gather import binomial_gather_program, run_binomial_gather
+from repro.collectives.hierarchical import (
+    hierarchical_allreduce_program,
+    run_hierarchical_allreduce,
+)
+from repro.collectives.rabenseifner import (
+    rabenseifner_allreduce_program,
+    run_rabenseifner_allreduce,
+)
+from repro.collectives.recursive_doubling import (
+    recursive_doubling_allreduce_program,
+    run_recursive_doubling_allreduce,
+)
 from repro.collectives.reduce import binomial_reduce_program, run_binomial_reduce
 from repro.collectives.reduce_scatter import (
     partition_chunks,
@@ -20,6 +34,11 @@ from repro.collectives.reduce_scatter import (
     run_ring_reduce_scatter,
 )
 from repro.collectives.scatter import binomial_scatter_program, run_binomial_scatter
+from repro.collectives.selection import (
+    ALGORITHM_RUNNERS,
+    run_allreduce,
+    select_algorithm,
+)
 
 __all__ = [
     "CollectiveContext",
@@ -32,6 +51,15 @@ __all__ = [
     "run_ring_reduce_scatter",
     "ring_allreduce_program",
     "run_ring_allreduce",
+    "recursive_doubling_allreduce_program",
+    "run_recursive_doubling_allreduce",
+    "rabenseifner_allreduce_program",
+    "run_rabenseifner_allreduce",
+    "hierarchical_allreduce_program",
+    "run_hierarchical_allreduce",
+    "ALGORITHM_RUNNERS",
+    "select_algorithm",
+    "run_allreduce",
     "binomial_bcast_program",
     "run_binomial_bcast",
     "binomial_scatter_program",

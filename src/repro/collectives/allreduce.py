@@ -20,35 +20,42 @@ from repro.mpisim.commands import Compute, Irecv, Isend, Waitall
 from repro.mpisim.launcher import run_simulation
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.timeline import CAT_ALLGATHER, CAT_MEMCPY, CAT_OTHERS, CAT_REDUCTION, CAT_WAIT
+from repro.mpisim.topology import Topology
 
-__all__ = ["ring_allreduce_program", "run_ring_allreduce"]
+__all__ = ["ring_allreduce_over_group", "ring_allreduce_program", "run_ring_allreduce"]
 
 
-def ring_allreduce_program(
-    rank: int,
-    size: int,
+def ring_allreduce_over_group(
+    my_idx: int,
+    group: List[int],
     my_vector: np.ndarray,
     ctx: CollectiveContext,
+    tag_base: int = 0,
 ):
-    """Rank program for the uncompressed ring allreduce; returns the reduced vector."""
+    """Ring allreduce (reduce-scatter + allgather) over an explicit rank group.
+
+    ``group`` lists the participating global ranks in ring order and
+    ``my_idx`` is this rank's position in it.  This is the single ring
+    implementation: the flat baseline runs it over ``range(size)`` and the
+    hierarchical allreduce over the node leaders.
+    """
+    size = len(group)
     chunks = partition_chunks(my_vector, size)
     if size == 1:
         return np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
 
-    left = (rank - 1) % size
-    right = (rank + 1) % size
-
-    # working buffers for the whole collective ("Others" in Figure 7)
-    yield Compute(ctx.alloc_seconds(my_vector), category=CAT_OTHERS)
+    left = group[(my_idx - 1) % size]
+    right = group[(my_idx + 1) % size]
 
     # ---------------------------------------------------------- reduce-scatter
     for step in range(size - 1):
-        send_index = (rank - step - 1) % size
-        recv_index = (rank - step - 2) % size
+        send_index = (my_idx - step - 1) % size
+        recv_index = (my_idx - step - 2) % size
         outgoing = chunks[send_index]
-        recv_req = yield Irecv(source=left, tag=step)
+        tag = tag_base + step
+        recv_req = yield Irecv(source=left, tag=tag)
         send_req = yield Isend(
-            dest=right, data=outgoing, nbytes=ctx.vbytes(outgoing), tag=step
+            dest=right, data=outgoing, nbytes=ctx.vbytes(outgoing), tag=tag
         )
         received, _ = yield Waitall([recv_req, send_req], category=CAT_WAIT)
         yield Compute(ctx.memcpy_seconds(received), category=CAT_MEMCPY)
@@ -56,13 +63,14 @@ def ring_allreduce_program(
         yield Compute(ctx.reduce_seconds(received), category=CAT_REDUCTION)
 
     # ------------------------------------------------------------- allgather
-    send_index = rank
+    send_index = my_idx
     for step in range(size - 1):
-        recv_index = (rank - step - 1) % size
+        recv_index = (my_idx - step - 1) % size
         outgoing = chunks[send_index]
-        recv_req = yield Irecv(source=left, tag=size + step)
+        tag = tag_base + size + step
+        recv_req = yield Irecv(source=left, tag=tag)
         send_req = yield Isend(
-            dest=right, data=outgoing, nbytes=ctx.vbytes(outgoing), tag=size + step
+            dest=right, data=outgoing, nbytes=ctx.vbytes(outgoing), tag=tag
         )
         received, _ = yield Waitall([recv_req, send_req], category=CAT_ALLGATHER)
         chunks[recv_index] = received
@@ -72,11 +80,29 @@ def ring_allreduce_program(
     return np.concatenate(chunks)
 
 
+def ring_allreduce_program(
+    rank: int,
+    size: int,
+    my_vector: np.ndarray,
+    ctx: CollectiveContext,
+):
+    """Rank program for the uncompressed ring allreduce; returns the reduced vector."""
+    if size == 1:
+        chunks = partition_chunks(my_vector, size)
+        return np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+
+    # working buffers for the whole collective ("Others" in Figure 7)
+    yield Compute(ctx.alloc_seconds(my_vector), category=CAT_OTHERS)
+    result = yield from ring_allreduce_over_group(rank, list(range(size)), my_vector, ctx)
+    return result
+
+
 def run_ring_allreduce(
     inputs,
     n_ranks: int,
     ctx: Optional[CollectiveContext] = None,
     network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
 ) -> CollectiveOutcome:
     """Run the uncompressed ring allreduce (the paper's AD baseline)."""
     ctx = ctx or CollectiveContext()
@@ -85,5 +111,5 @@ def run_ring_allreduce(
     def factory(rank: int, size: int):
         return ring_allreduce_program(rank, size, vectors[rank], ctx)
 
-    sim = run_simulation(n_ranks, factory, network=network)
+    sim = run_simulation(n_ranks, factory, network=network, topology=topology)
     return CollectiveOutcome(values=sim.rank_values, sim=sim)

@@ -1,0 +1,181 @@
+"""Hierarchical (topology-aware) allreduce: reduce -> allreduce -> bcast.
+
+On a two-level topology (see :mod:`repro.mpisim.topology`) the flat ring sends
+the same number of bytes over fast intra-node links and the slow inter-node
+fabric.  The hierarchical algorithm instead (1) binomial-reduces each node's
+vectors to a per-node leader over the intra-node links, (2) runs a ring
+allreduce among the leaders only — the sole stage crossing the inter-node
+fabric — and (3) binomial-broadcasts the result back inside each node.
+
+Per rank the ring moves ``2 (p-1)/p * D`` bytes (bandwidth-optimal), while the
+leader here moves ``O(D log r)`` intra-node plus ``2 (L-1)/L * D`` inter-node
+for ``r`` ranks/node and ``L`` nodes.  So on *dedicated* per-pair links the
+flat ring still wins at large messages; the hierarchical variant pays off when
+inter-node bandwidth is contended (:class:`SharedUplinkTopology`, where the
+ring's ``r`` concurrent per-node egress flows split one uplink) or when
+latency dominates.  ``bench_topology_scaling.py`` demonstrates both regimes.
+
+The building blocks (`_group_binomial_reduce`, `_group_binomial_bcast`, and
+:func:`repro.collectives.allreduce.ring_allreduce_over_group`) operate over an
+explicit list of global ranks, so they compose for any placement the topology
+describes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.collectives.allreduce import ring_allreduce_over_group
+from repro.collectives.context import CollectiveContext, CollectiveOutcome, as_rank_arrays
+from repro.mpisim.commands import Compute, Irecv, Isend, Wait
+from repro.mpisim.launcher import run_simulation
+from repro.mpisim.network import NetworkModel
+from repro.mpisim.topology import FlatTopology, Topology
+from repro.mpisim.timeline import CAT_MEMCPY, CAT_OTHERS, CAT_REDUCTION, CAT_WAIT
+
+__all__ = ["hierarchical_allreduce_program", "run_hierarchical_allreduce", "node_groups"]
+
+#: tag blocks separating the three stages
+_TAG_REDUCE = 0
+_TAG_INTER = 10_000
+_TAG_BCAST = 20_000
+
+
+def _group_binomial_reduce(
+    my_idx: int,
+    group: List[int],
+    vec: np.ndarray,
+    ctx: CollectiveContext,
+    tag: int,
+):
+    """Binomial-tree sum reduction of ``vec`` to ``group[0]``; returns the
+    partial sum held by this rank (the full sum on the group root)."""
+    mask = 1
+    while mask < len(group):
+        if my_idx & mask:
+            dst = group[my_idx - mask]
+            req = yield Isend(dest=dst, data=vec, nbytes=ctx.vbytes(vec), tag=tag)
+            yield Wait(req, category=CAT_WAIT)
+            break
+        src_idx = my_idx + mask
+        if src_idx < len(group):
+            req = yield Irecv(source=group[src_idx], tag=tag)
+            received = yield Wait(req, category=CAT_WAIT)
+            vec = vec + received
+            yield Compute(ctx.reduce_seconds(received), category=CAT_REDUCTION)
+        mask <<= 1
+    return vec
+
+
+def _group_binomial_bcast(
+    my_idx: int,
+    group: List[int],
+    vec: Optional[np.ndarray],
+    ctx: CollectiveContext,
+    tag: int,
+):
+    """Binomial-tree broadcast of ``vec`` from ``group[0]``; returns the buffer."""
+    mask = 1
+    while mask < len(group):
+        if my_idx & mask:
+            src = group[my_idx - mask]
+            req = yield Irecv(source=src, tag=tag)
+            vec = yield Wait(req, category=CAT_WAIT)
+            yield Compute(ctx.memcpy_seconds(vec), category=CAT_MEMCPY)
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if my_idx + mask < len(group):
+            dst = group[my_idx + mask]
+            req = yield Isend(dest=dst, data=vec, nbytes=ctx.vbytes(vec), tag=tag)
+            yield Wait(req, category=CAT_WAIT)
+        mask >>= 1
+    return vec
+
+
+def node_groups(topology: Topology, n_ranks: int):
+    """Precompute ``(peers_by_rank, leaders)`` for one communicator.
+
+    ``peers_by_rank[r]`` lists the ranks co-located with ``r`` (rank order)
+    and ``leaders`` the lowest rank of each node.  Runners call this once and
+    hand the lists to every rank program, avoiding ``n_ranks`` redundant
+    O(n_ranks) placement scans.
+    """
+    by_node: dict = {}
+    for r in range(n_ranks):
+        by_node.setdefault(topology.node_of(r), []).append(r)
+    peers_by_rank = {r: by_node[topology.node_of(r)] for r in range(n_ranks)}
+    leaders = [ranks[0] for ranks in by_node.values()]
+    return peers_by_rank, leaders
+
+
+def hierarchical_allreduce_program(
+    rank: int,
+    size: int,
+    my_vector: np.ndarray,
+    ctx: CollectiveContext,
+    topology: Topology,
+    peers: Optional[List[int]] = None,
+    leaders: Optional[List[int]] = None,
+):
+    """Rank program for the hierarchical allreduce; returns the global sum.
+
+    ``peers``/``leaders`` may be precomputed via :func:`node_groups`; when
+    omitted they are derived from ``topology``.
+    """
+    vec = np.ascontiguousarray(my_vector).reshape(-1).copy()
+    if size == 1:
+        return vec
+
+    yield Compute(ctx.alloc_seconds(vec), category=CAT_OTHERS)
+
+    peers = peers if peers is not None else topology.node_ranks(rank, size)
+    leaders = leaders if leaders is not None else topology.node_leaders(size)
+    my_idx = peers.index(rank)
+    is_leader = rank == peers[0]
+
+    # stage 1: intra-node binomial reduce to the node leader
+    vec = yield from _group_binomial_reduce(my_idx, peers, vec, ctx, tag=_TAG_REDUCE)
+
+    # stage 2: inter-node ring allreduce among the node leaders
+    if is_leader and len(leaders) > 1:
+        vec = yield from ring_allreduce_over_group(
+            leaders.index(rank), leaders, vec, ctx, tag_base=_TAG_INTER
+        )
+
+    # stage 3: intra-node binomial broadcast of the reduced vector
+    vec = yield from _group_binomial_bcast(
+        my_idx, peers, vec if is_leader else None, ctx, tag=_TAG_BCAST
+    )
+    return vec
+
+
+def run_hierarchical_allreduce(
+    inputs,
+    n_ranks: int,
+    topology: Optional[Topology] = None,
+    ctx: Optional[CollectiveContext] = None,
+    network: Optional[NetworkModel] = None,
+) -> CollectiveOutcome:
+    """Run the hierarchical allreduce.
+
+    ``topology`` drives both the rank grouping and the link timing; with the
+    default flat topology every rank is its own node, so the algorithm
+    degenerates to the plain ring allreduce among all ranks.
+    """
+    topology = topology if topology is not None else FlatTopology()
+    ctx = ctx or CollectiveContext()
+    vectors = as_rank_arrays(inputs, n_ranks)
+    peers_by_rank, leaders = node_groups(topology, n_ranks)
+
+    def factory(rank: int, size: int):
+        return hierarchical_allreduce_program(
+            rank, size, vectors[rank], ctx, topology,
+            peers=peers_by_rank[rank], leaders=leaders,
+        )
+
+    sim = run_simulation(n_ranks, factory, network=network, topology=topology)
+    return CollectiveOutcome(values=sim.rank_values, sim=sim)

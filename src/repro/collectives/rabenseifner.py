@@ -1,0 +1,171 @@
+"""Rabenseifner allreduce: recursive-halving reduce-scatter + recursive-doubling
+allgather (MPICH's long-message algorithm).
+
+The vector is block-partitioned into ``pof2`` segments.  The reduce-scatter
+phase halves the working segment every round — partners exchange the half the
+other will own and reduce the half they keep — so each round moves half the
+data of the previous one (``~D`` bytes total versus the doubling exchange's
+``D log2(p)``).  The allgather phase retraces the same pairs in reverse,
+recomposing the full vector.  Both phases follow MPICH's index bookkeeping
+(``send_idx`` / ``recv_idx`` / ``last_idx``) so the communication pattern is
+the real one, and the fold/unfold trick handles non-power-of-two sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.collectives.context import CollectiveContext, CollectiveOutcome, as_rank_arrays
+from repro.collectives.recursive_doubling import largest_power_of_two_below
+from repro.mpisim.commands import Compute, Irecv, Isend, Wait, Waitall
+from repro.mpisim.launcher import run_simulation
+from repro.mpisim.network import NetworkModel
+from repro.mpisim.topology import Topology
+from repro.mpisim.timeline import (
+    CAT_ALLGATHER,
+    CAT_MEMCPY,
+    CAT_OTHERS,
+    CAT_REDUCTION,
+    CAT_WAIT,
+)
+from repro.utils.chunking import split_counts, split_displacements
+
+__all__ = ["rabenseifner_allreduce_program", "run_rabenseifner_allreduce"]
+
+
+def rabenseifner_allreduce_program(
+    rank: int,
+    size: int,
+    my_vector: np.ndarray,
+    ctx: CollectiveContext,
+    tag_base: int = 0,
+):
+    """Rank program for the Rabenseifner allreduce; returns the global sum."""
+    buf = np.ascontiguousarray(my_vector).reshape(-1)
+    if size == 1:
+        return buf.copy()
+
+    yield Compute(ctx.alloc_seconds(buf), category=CAT_OTHERS)
+    buf = buf.copy()
+
+    pof2 = largest_power_of_two_below(size)
+    rem = size - pof2
+
+    # fold: first 2*rem ranks pair up so pof2 ranks carry the scatter phases
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            req = yield Isend(dest=rank + 1, data=buf, nbytes=ctx.vbytes(buf), tag=tag_base)
+            yield Wait(req, category=CAT_WAIT)
+            newrank = -1
+        else:
+            req = yield Irecv(source=rank - 1, tag=tag_base)
+            received = yield Wait(req, category=CAT_WAIT)
+            buf = buf + received
+            yield Compute(ctx.reduce_seconds(received), category=CAT_REDUCTION)
+            newrank = rank // 2
+    else:
+        newrank = rank - rem
+
+    if newrank != -1 and pof2 > 1:
+        cnts = split_counts(buf.size, pof2)
+        disps = split_displacements(cnts)
+
+        def real_rank(newdst: int) -> int:
+            return newdst * 2 + 1 if newdst < rem else newdst + rem
+
+        # ------------------------------ reduce-scatter by recursive halving
+        send_idx = recv_idx = 0
+        last_idx = pof2
+        mask = 1
+        step = 0
+        while mask < pof2:
+            newdst = newrank ^ mask
+            dst = real_rank(newdst)
+            half = pof2 // (mask * 2)
+            if newrank < newdst:
+                send_idx = recv_idx + half
+                send_cnt = sum(cnts[send_idx:last_idx])
+                recv_cnt = sum(cnts[recv_idx:send_idx])
+            else:
+                recv_idx = send_idx + half
+                send_cnt = sum(cnts[send_idx:recv_idx])
+                recv_cnt = sum(cnts[recv_idx:last_idx])
+            s0 = disps[send_idx]
+            r0 = disps[recv_idx]
+            # copy the outgoing half so later local updates cannot race the
+            # (by-reference) in-flight payload
+            outgoing = buf[s0 : s0 + send_cnt].copy()
+            tag = tag_base + 1 + step
+            recv_req = yield Irecv(source=dst, tag=tag)
+            send_req = yield Isend(dest=dst, data=outgoing, nbytes=ctx.vbytes(outgoing), tag=tag)
+            received, _ = yield Waitall([recv_req, send_req], category=CAT_WAIT)
+            yield Compute(ctx.memcpy_seconds(received), category=CAT_MEMCPY)
+            buf[r0 : r0 + recv_cnt] = buf[r0 : r0 + recv_cnt] + received
+            yield Compute(ctx.reduce_seconds(received), category=CAT_REDUCTION)
+            send_idx = recv_idx
+            mask <<= 1
+            step += 1
+            if mask < pof2:
+                last_idx = recv_idx + pof2 // mask
+
+        # ------------------------------------ allgather by recursive doubling
+        mask >>= 1
+        while mask > 0:
+            newdst = newrank ^ mask
+            dst = real_rank(newdst)
+            half = pof2 // (mask * 2)
+            if newrank < newdst:
+                if mask != pof2 // 2:
+                    last_idx = last_idx + half
+                recv_idx = send_idx + half
+                send_cnt = sum(cnts[send_idx:recv_idx])
+                recv_cnt = sum(cnts[recv_idx:last_idx])
+            else:
+                recv_idx = send_idx - half
+                send_cnt = sum(cnts[send_idx:last_idx])
+                recv_cnt = sum(cnts[recv_idx:send_idx])
+            s0 = disps[send_idx]
+            r0 = disps[recv_idx]
+            outgoing = buf[s0 : s0 + send_cnt].copy()
+            tag = tag_base + 1 + step
+            recv_req = yield Irecv(source=dst, tag=tag)
+            send_req = yield Isend(dest=dst, data=outgoing, nbytes=ctx.vbytes(outgoing), tag=tag)
+            received, _ = yield Waitall([recv_req, send_req], category=CAT_ALLGATHER)
+            buf[r0 : r0 + recv_cnt] = received
+            yield Compute(ctx.memcpy_seconds(received), category=CAT_ALLGATHER)
+            if newrank > newdst:
+                send_idx = recv_idx
+            mask >>= 1
+            step += 1
+
+    # unfold: hand the full result back to the folded-away even ranks
+    if rank < 2 * rem:
+        unfold_tag = tag_base + 1 + 2 * pof2
+        if rank % 2 == 1:
+            req = yield Isend(dest=rank - 1, data=buf, nbytes=ctx.vbytes(buf), tag=unfold_tag)
+            yield Wait(req, category=CAT_WAIT)
+        else:
+            req = yield Irecv(source=rank + 1, tag=unfold_tag)
+            buf = yield Wait(req, category=CAT_WAIT)
+            yield Compute(ctx.memcpy_seconds(buf), category=CAT_MEMCPY)
+    return buf
+
+
+def run_rabenseifner_allreduce(
+    inputs,
+    n_ranks: int,
+    ctx: Optional[CollectiveContext] = None,
+    network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+) -> CollectiveOutcome:
+    """Run the Rabenseifner (reduce-scatter + allgather) allreduce."""
+    ctx = ctx or CollectiveContext()
+    vectors = as_rank_arrays(inputs, n_ranks)
+
+    def factory(rank: int, size: int):
+        return rabenseifner_allreduce_program(rank, size, vectors[rank], ctx)
+
+    sim = run_simulation(n_ranks, factory, network=network, topology=topology)
+    return CollectiveOutcome(values=sim.rank_values, sim=sim)

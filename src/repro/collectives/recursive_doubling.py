@@ -1,0 +1,114 @@
+"""Recursive-doubling allreduce (MPICH's short-message algorithm).
+
+Every rank exchanges its full running sum with a partner at distance ``1, 2,
+4, ...``; after ``log2(p)`` rounds all ranks hold the global sum.  The
+algorithm is latency-optimal (``log2(p)`` rounds versus the ring's ``2(p-1)``)
+but moves the full vector every round, so MPICH selects it only for short
+messages — the regime :func:`repro.collectives.selection.select_algorithm`
+reproduces.
+
+Non-power-of-two communicators use the standard fold/unfold: the first
+``2 * (p - pof2)`` ranks pair up, the even partner folds its vector into the
+odd one and idles, the surviving ``pof2`` ranks run the doubling exchange, and
+the result is copied back to the idle partners at the end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.collectives.context import CollectiveContext, CollectiveOutcome, as_rank_arrays
+from repro.mpisim.commands import Compute, Irecv, Isend, Wait, Waitall
+from repro.mpisim.launcher import run_simulation
+from repro.mpisim.network import NetworkModel
+from repro.mpisim.topology import Topology
+from repro.mpisim.timeline import CAT_MEMCPY, CAT_OTHERS, CAT_REDUCTION, CAT_WAIT
+
+__all__ = ["recursive_doubling_allreduce_program", "run_recursive_doubling_allreduce"]
+
+
+def largest_power_of_two_below(n: int) -> int:
+    """Largest power of two that is <= ``n``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return 1 << (n.bit_length() - 1)
+
+
+def recursive_doubling_allreduce_program(
+    rank: int,
+    size: int,
+    my_vector: np.ndarray,
+    ctx: CollectiveContext,
+    tag_base: int = 0,
+):
+    """Rank program for the recursive-doubling allreduce; returns the global sum."""
+    vec = np.ascontiguousarray(my_vector).reshape(-1)
+    if size == 1:
+        return vec.copy()
+
+    yield Compute(ctx.alloc_seconds(vec), category=CAT_OTHERS)
+    vec = vec.copy()
+
+    pof2 = largest_power_of_two_below(size)
+    rem = size - pof2
+
+    # fold: the first 2*rem ranks pair up so pof2 ranks survive
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            req = yield Isend(dest=rank + 1, data=vec, nbytes=ctx.vbytes(vec), tag=tag_base)
+            yield Wait(req, category=CAT_WAIT)
+            newrank = -1
+        else:
+            req = yield Irecv(source=rank - 1, tag=tag_base)
+            received = yield Wait(req, category=CAT_WAIT)
+            vec = vec + received
+            yield Compute(ctx.reduce_seconds(received), category=CAT_REDUCTION)
+            newrank = rank // 2
+    else:
+        newrank = rank - rem
+
+    # doubling exchange among the pof2 survivors
+    if newrank != -1:
+        mask = 1
+        while mask < pof2:
+            newdst = newrank ^ mask
+            dst = newdst * 2 + 1 if newdst < rem else newdst + rem
+            tag = tag_base + 1 + mask
+            recv_req = yield Irecv(source=dst, tag=tag)
+            send_req = yield Isend(dest=dst, data=vec, nbytes=ctx.vbytes(vec), tag=tag)
+            received, _ = yield Waitall([recv_req, send_req], category=CAT_WAIT)
+            vec = vec + received
+            yield Compute(ctx.reduce_seconds(received), category=CAT_REDUCTION)
+            mask <<= 1
+
+    # unfold: hand the result back to the folded-away even ranks
+    if rank < 2 * rem:
+        unfold_tag = tag_base + 1 + pof2
+        if rank % 2 == 1:
+            req = yield Isend(dest=rank - 1, data=vec, nbytes=ctx.vbytes(vec), tag=unfold_tag)
+            yield Wait(req, category=CAT_WAIT)
+        else:
+            req = yield Irecv(source=rank + 1, tag=unfold_tag)
+            vec = yield Wait(req, category=CAT_WAIT)
+            yield Compute(ctx.memcpy_seconds(vec), category=CAT_MEMCPY)
+    return vec
+
+
+def run_recursive_doubling_allreduce(
+    inputs,
+    n_ranks: int,
+    ctx: Optional[CollectiveContext] = None,
+    network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+) -> CollectiveOutcome:
+    """Run the recursive-doubling allreduce on the simulated fabric."""
+    ctx = ctx or CollectiveContext()
+    vectors = as_rank_arrays(inputs, n_ranks)
+
+    def factory(rank: int, size: int):
+        return recursive_doubling_allreduce_program(rank, size, vectors[rank], ctx)
+
+    sim = run_simulation(n_ranks, factory, network=network, topology=topology)
+    return CollectiveOutcome(values=sim.rank_values, sim=sim)

@@ -1,0 +1,109 @@
+"""Collective algorithm selection (MPICH-style tuning table, topology-aware).
+
+MPICH picks its allreduce algorithm from a tuning table keyed on message size
+and communicator size: recursive doubling for short messages (latency-bound,
+``log2(p)`` rounds), Rabenseifner's reduce-scatter + allgather for long ones,
+and a ring for the very largest buffers.  :func:`select_algorithm` reproduces
+that table and extends it with one topology-aware rule: when ranks are
+co-located on nodes whose uplinks are *shared* (oversubscribed egress), the
+flat algorithms' concurrent per-node flows split the uplink, so the
+hierarchical algorithm — which sends each node's data over the fabric exactly
+once per ring step — is selected for rendezvous-size messages.
+
+The thresholds are expressed in *virtual* bytes (the size the network model
+sees), matching how the harness scales messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.collectives.allreduce import run_ring_allreduce
+from repro.collectives.context import CollectiveContext, CollectiveOutcome, as_rank_arrays
+from repro.collectives.hierarchical import run_hierarchical_allreduce
+from repro.collectives.rabenseifner import run_rabenseifner_allreduce
+from repro.collectives.recursive_doubling import run_recursive_doubling_allreduce
+from repro.mpisim.network import NetworkModel
+from repro.mpisim.topology import Topology
+
+__all__ = [
+    "ALGORITHM_RUNNERS",
+    "SHORT_MESSAGE_BYTES",
+    "RING_MIN_BYTES",
+    "select_algorithm",
+    "run_allreduce",
+]
+
+#: below this size the exchange is latency-bound: recursive doubling
+SHORT_MESSAGE_BYTES = 32 * 1024
+#: at and above this size the bandwidth-optimal ring wins over Rabenseifner's
+#: log-round schedule (fewer, larger transfers amortize the per-round latency)
+RING_MIN_BYTES = 4 * 1024 * 1024
+
+#: algorithm name -> runner with the uniform (inputs, n_ranks, ...) signature
+ALGORITHM_RUNNERS: Dict[str, Callable[..., CollectiveOutcome]] = {
+    "ring": run_ring_allreduce,
+    "recursive_doubling": run_recursive_doubling_allreduce,
+    "rabenseifner": run_rabenseifner_allreduce,
+    "hierarchical": run_hierarchical_allreduce,
+}
+
+
+def select_algorithm(
+    nbytes: int,
+    n_ranks: int,
+    topology: Optional[Topology] = None,
+) -> str:
+    """Pick an allreduce algorithm for a ``nbytes`` message on ``n_ranks`` ranks.
+
+    Returns one of ``"recursive_doubling"``, ``"rabenseifner"``, ``"ring"`` or
+    ``"hierarchical"`` (keys of :data:`ALGORITHM_RUNNERS`).
+    """
+    if n_ranks <= 2:
+        # one exchange either way; the doubling schedule is the simplest
+        return "recursive_doubling"
+    if nbytes < SHORT_MESSAGE_BYTES:
+        return "recursive_doubling"
+    if (
+        topology is not None
+        and topology.shares_uplinks
+        and topology.max_ranks_per_node(n_ranks) > 1
+        and topology.n_nodes(n_ranks) > 1
+    ):
+        # Co-located ranks contending for one uplink: pick the schedule with
+        # one inter-node flow per node.  With *block* placement Rabenseifner
+        # can beat it (its largest halving steps stay intra-node), but that
+        # advantage inverts under cyclic placement; hierarchical is the
+        # placement-robust choice, which is what a static table must make.
+        return "hierarchical"
+    if nbytes >= RING_MIN_BYTES:
+        return "ring"
+    return "rabenseifner"
+
+
+def run_allreduce(
+    inputs,
+    n_ranks: int,
+    algorithm: str = "auto",
+    ctx: Optional[CollectiveContext] = None,
+    network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+) -> Tuple[CollectiveOutcome, str]:
+    """Run an allreduce, selecting the algorithm from the tuning table.
+
+    ``algorithm`` may name any entry of :data:`ALGORITHM_RUNNERS` or be
+    ``"auto"`` to consult :func:`select_algorithm` with the per-rank virtual
+    message size.  Returns ``(outcome, algorithm_used)``.
+    """
+    ctx = ctx or CollectiveContext()
+    if algorithm == "auto":
+        vectors = as_rank_arrays(inputs, n_ranks)
+        algorithm = select_algorithm(ctx.vbytes(vectors[0]), n_ranks, topology)
+    runner = ALGORITHM_RUNNERS.get(algorithm)
+    if runner is None:
+        raise ValueError(
+            f"unknown allreduce algorithm {algorithm!r}; "
+            f"available: {', '.join(ALGORITHM_RUNNERS)} or 'auto'"
+        )
+    kwargs: Dict[str, Any] = {"ctx": ctx, "network": network, "topology": topology}
+    return runner(inputs, n_ranks, **kwargs), algorithm

@@ -37,6 +37,7 @@ from repro.harness.experiments.stepwise_breakdown import (
     run_fig10_stepwise,
 )
 from repro.harness.experiments.theory_bounds import run_theory_bounds
+from repro.harness.experiments.topology_scaling import run_topology_scaling
 from repro.harness.reporting import ExperimentResult
 
 __all__ = ["EXPERIMENTS", "list_experiments", "run_experiment", "run_all", "main"]
@@ -60,6 +61,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fig17": (run_fig17_stacking_perf, "Image-stacking performance (Figure 17)"),
     "fig18": (run_fig18_stacking_quality, "Image-stacking quality (Figure 18)"),
     "theory": (run_theory_bounds, "Error-propagation theorem validation (Section III-B)"),
+    "topo": (run_topology_scaling, "Allreduce algorithms across topologies (beyond the paper)"),
 }
 
 

@@ -28,6 +28,14 @@ from repro.mpisim.errors import (
 from repro.mpisim.launcher import SimulationResult, run_simulation
 from repro.mpisim.network import PROGRESS_ASYNC, PROGRESS_ON_POLL, NetworkModel, TransferState
 from repro.mpisim.requests import RecvRequest, Request, SendRequest
+from repro.mpisim.topology import (
+    FlatTopology,
+    HierarchicalTopology,
+    LinkModel,
+    SharedLink,
+    SharedUplinkTopology,
+    Topology,
+)
 from repro.mpisim.timeline import (
     CAT_ALLGATHER,
     CAT_COMDECOM,
@@ -58,6 +66,12 @@ __all__ = [
     "TransferState",
     "PROGRESS_ON_POLL",
     "PROGRESS_ASYNC",
+    "Topology",
+    "FlatTopology",
+    "HierarchicalTopology",
+    "SharedUplinkTopology",
+    "LinkModel",
+    "SharedLink",
     "Request",
     "SendRequest",
     "RecvRequest",

@@ -27,10 +27,11 @@ which the effect is bounded by a single polling interval.
 
 from __future__ import annotations
 
+import heapq
 import pickle
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
 
 from repro.mpisim.commands import (
     Barrier,
@@ -46,6 +47,7 @@ from repro.mpisim.commands import (
 from repro.mpisim.errors import DeadlockError, InvalidCommandError, RankProgramError
 from repro.mpisim.network import NetworkModel, TransferState
 from repro.mpisim.requests import RecvRequest, Request, SendRequest
+from repro.mpisim.topology import Topology
 from repro.mpisim.timeline import TimeBreakdown
 
 __all__ = ["Engine", "RankResult", "payload_nbytes"]
@@ -121,13 +123,16 @@ class _RankState:
     messages_sent: int = 0
     commands_executed: int = 0
     # wait continuation (shared by Wait and Waitall)
-    wait_pending: List[Request] = field(default_factory=list)
+    wait_pending: Deque[Request] = field(default_factory=deque)
     wait_results: List[Any] = field(default_factory=list)
     wait_category: str = "Wait"
     wait_single: bool = True
     block_kind: Optional[str] = None
     block_req_id: Optional[int] = None
     barrier_category: str = "Others"
+    # token of this rank's latest entry in the engine's ready heap; older
+    # heap entries with a stale token are skipped during lazy pop
+    ready_token: int = 0
 
 
 @dataclass
@@ -151,11 +156,15 @@ class Engine:
         program_factory: ProgramFactory,
         network: Optional[NetworkModel] = None,
         max_commands: int = 50_000_000,
+        topology: Optional[Topology] = None,
     ) -> None:
         if n_ranks < 1:
             raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
         self.n_ranks = int(n_ranks)
         self.network = network if network is not None else NetworkModel()
+        self.topology = topology
+        if topology is not None:
+            topology.reset()
         self.max_commands = int(max_commands)
         self._states = [
             _RankState(rank=r, gen=program_factory(r, self.n_ranks)) for r in range(self.n_ranks)
@@ -167,23 +176,53 @@ class Engine:
         # (dst, src, tag) -> FIFO of unmatched sends / receives
         self._unmatched_sends: Dict[Tuple[int, int, int], deque] = {}
         self._unmatched_recvs: Dict[Tuple[int, int, int], deque] = {}
-        # receiver rank -> matched, not-yet-consumed incoming messages
-        self._incoming: Dict[int, List[_Message]] = {r: [] for r in range(self.n_ranks)}
+        # receiver rank -> msg_id -> matched, not-yet-consumed incoming message
+        # (insertion-ordered, so progress order matches the seed's append order)
+        self._incoming: Dict[int, Dict[int, _Message]] = {r: {} for r in range(self.n_ranks)}
         self._barrier_waiting: List[Tuple[int, float]] = []
         self._commands_total = 0
+        # min-heap of (clock, rank, token) over ready ranks; stale entries are
+        # skipped lazily by comparing the token against _RankState.ready_token
+        self._ready_heap: List[Tuple[float, int, int]] = []
+        self._ready_tokens = 0
+        for state in self._states:
+            self._push_ready(state)
 
     # ------------------------------------------------------------------ run
+
+    def _push_ready(self, state: _RankState) -> None:
+        """(Re)insert a ready rank into the scheduling heap at its current clock."""
+        self._ready_tokens += 1
+        state.ready_token = self._ready_tokens
+        heapq.heappush(self._ready_heap, (state.clock, state.rank, state.ready_token))
+
+    def _pop_ready(self) -> Optional[_RankState]:
+        """Pop the ready rank with the smallest (clock, rank), or None if none."""
+        heap = self._ready_heap
+        while heap:
+            _, rank, token = heap[0]
+            state = self._states[rank]
+            if state.status != _READY or token != state.ready_token:
+                heapq.heappop(heap)  # stale entry from a superseded push
+                continue
+            heapq.heappop(heap)
+            return state
+        return None
 
     def run(self) -> List[RankResult]:
         """Execute every rank program to completion and return per-rank results."""
         while True:
-            ready = [s for s in self._states if s.status == _READY]
-            if not ready:
+            state = self._pop_ready()
+            if state is None:
                 if all(s.status == _DONE for s in self._states):
                     break
                 raise DeadlockError(self._describe_deadlock())
-            state = min(ready, key=lambda s: (s.clock, s.rank))
+            token = state.ready_token
             self._step(state)
+            # re-insert unless something during the step (an immediately
+            # satisfied wait, a barrier release) already pushed a fresh entry
+            if state.status == _READY and state.ready_token == token:
+                self._push_ready(state)
             self._commands_total += 1
             if self._commands_total > self.max_commands:
                 raise RuntimeError(
@@ -259,8 +298,12 @@ class Engine:
         nbytes = int(cmd.nbytes) if cmd.nbytes is not None else payload_nbytes(cmd.data)
         req_id = self._new_request_id()
         self._next_message_id += 1
+        link = self.topology.link(state.rank, cmd.dest) if self.topology is not None else None
         transfer = TransferState(
-            nbytes=nbytes, network=self.network, eager=self.network.is_eager(nbytes)
+            nbytes=nbytes,
+            network=self.network,
+            eager=self.network.is_eager(nbytes),
+            link=link,
         )
         message = _Message(
             msg_id=self._next_message_id,
@@ -320,7 +363,7 @@ class Engine:
         self._req_obj[posting.req_id] = message
         match_time = max(message.send_post_time, posting.post_time)
         message.transfer.set_eligible(match_time)
-        self._incoming[message.dst].append(message)
+        self._incoming[message.dst][message.msg_id] = message
         # If the receiver is already blocked waiting for exactly this request,
         # it can now make progress.
         receiver = self._states[message.dst]
@@ -341,7 +384,7 @@ class Engine:
                 raise InvalidCommandError(
                     f"rank {state.rank} waited on {req!r}, which is not a request handle"
                 )
-        state.wait_pending = list(requests)
+        state.wait_pending = deque(requests)
         state.wait_results = []
         state.wait_category = category
         state.wait_single = single
@@ -358,11 +401,12 @@ class Engine:
             if not done:
                 state.status = _BLOCKED
                 return
-            state.wait_pending.pop(0)
+            state.wait_pending.popleft()
         # every request completed
         state.status = _READY
         state.block_kind = None
         state.block_req_id = None
+        self._push_ready(state)
         if state.wait_single:
             state.resume_value = state.wait_results[0] if state.wait_results else None
         else:
@@ -394,8 +438,7 @@ class Engine:
         self._ack_incoming(state.rank, effective, continuous=True, skip=message)
         state.breakdown.add(state.wait_category, effective - now)
         state.clock = effective
-        if message in self._incoming[state.rank]:
-            self._incoming[state.rank].remove(message)
+        self._incoming[state.rank].pop(message.msg_id, None)
         state.wait_results.append(message.data)
         return True
 
@@ -442,7 +485,7 @@ class Engine:
         skip: Optional[_Message] = None,
     ) -> None:
         """Let every matched inbound transfer of ``rank`` progress up to ``now``."""
-        for message in self._incoming[rank]:
+        for message in list(self._incoming[rank].values()):
             if message is skip or message.transfer.completed:
                 continue
             if message.transfer.ack(now, continuous=continuous):
@@ -482,6 +525,7 @@ class Engine:
                 blocked.status = _READY
                 blocked.block_kind = None
                 blocked.resume_value = None
+                self._push_ready(blocked)
             self._barrier_waiting.clear()
 
     # ------------------------------------------------------------ diagnostics

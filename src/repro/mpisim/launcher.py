@@ -13,6 +13,7 @@ from typing import Any, Callable, Generator, List, Optional
 from repro.mpisim.engine import Engine, RankResult
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.timeline import TimeBreakdown
+from repro.mpisim.topology import Topology
 
 __all__ = ["SimulationResult", "run_simulation"]
 
@@ -75,6 +76,7 @@ def run_simulation(
     program_factory: Callable[[int, int], Generator],
     network: Optional[NetworkModel] = None,
     max_commands: int = 50_000_000,
+    topology: Optional[Topology] = None,
 ) -> SimulationResult:
     """Run ``program_factory(rank, size)`` on ``n_ranks`` simulated ranks.
 
@@ -89,11 +91,16 @@ def run_simulation(
         Interconnect model; defaults to the calibrated Omni-Path-like model.
     max_commands:
         Safety limit on the total number of commands executed.
+    topology:
+        Optional :class:`~repro.mpisim.topology.Topology` resolving per-pair
+        links; ``None`` (or a flat topology) reproduces the seed's uniform
+        fabric exactly.
     """
     engine = Engine(
         n_ranks=n_ranks,
         program_factory=program_factory,
         network=network,
         max_commands=max_commands,
+        topology=topology,
     )
     return SimulationResult(n_ranks=n_ranks, ranks=engine.run())

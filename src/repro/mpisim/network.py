@@ -33,8 +33,10 @@ paper's own relative results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Optional
 
+from repro.mpisim.topology import LinkModel
 from repro.utils.validation import ensure_in, ensure_non_negative, ensure_positive
 
 __all__ = ["NetworkModel", "TransferState", "PROGRESS_ON_POLL", "PROGRESS_ASYNC"]
@@ -92,23 +94,46 @@ class TransferState:
     sides have posted, :meth:`ack` whenever the receiving rank enters the
     progress engine (``Test`` or the entry of a ``Wait``), and
     :meth:`completion_from` when the receiver blocks until completion.
+
+    When ``link`` is set (the engine resolved a per-pair link through a
+    :class:`~repro.mpisim.topology.Topology`), latency and bandwidth come from
+    the link — with contended uplinks queueing through the link's reservation
+    clock — while protocol semantics (eager threshold, in-flight window,
+    progress mode) stay with the global :class:`NetworkModel`.  With
+    ``link=None`` the arithmetic is exactly the seed's.
     """
 
     nbytes: int
     network: NetworkModel
     eager: bool = False
-    eligible_time: float = field(default=None)  # type: ignore[assignment]
+    link: Optional[LinkModel] = None
+    eligible_time: Optional[float] = None
     delivered_bytes: float = 0.0
-    last_ack_time: float = field(default=None)  # type: ignore[assignment]
+    last_ack_time: Optional[float] = None
     completed: bool = False
-    completion_time: float = field(default=None)  # type: ignore[assignment]
+    completion_time: Optional[float] = None
+
+    @property
+    def latency(self) -> float:
+        """Per-message latency of the resolved link (global model if unset)."""
+        return self.link.latency if self.link is not None else self.network.latency
+
+    def bandwidth(self) -> float:
+        """Full capacity of the resolved link (global model if unset).
+
+        Contention on shared links is applied through the reservation queue
+        (see :meth:`ack` and :meth:`completion_from`), not by scaling the rate.
+        """
+        return self.link.bandwidth if self.link is not None else self.network.bandwidth
 
     def set_eligible(self, match_time: float) -> None:
         """Record that both sides have posted; data starts flowing after the latency."""
         if self.eligible_time is not None:
             return
-        self.eligible_time = match_time + self.network.latency
+        self.eligible_time = match_time + self.latency
         self.last_ack_time = self.eligible_time
+        if self.link is not None:
+            self.link.acquire()
 
     @property
     def is_eligible(self) -> bool:
@@ -122,6 +147,8 @@ class TransferState:
         self.completed = True
         self.delivered_bytes = float(self.nbytes)
         self.completion_time = time
+        if self.link is not None:
+            self.link.release()
 
     def ack(self, now: float, continuous: bool = False) -> bool:
         """Grant transfer progress for the interval since the last progress entry.
@@ -136,10 +163,22 @@ class TransferState:
         if not self.is_eligible or now <= self.eligible_time:
             return False
         window_start = max(self.last_ack_time, self.eligible_time)
-        credit_bytes = max(0.0, (now - window_start)) * self.network.bandwidth
+        shared = self.link.shared if self.link is not None else None
+        if shared is not None:
+            # a contended uplink earns credit only once earlier reservations
+            # have drained (aggregate stays within capacity)
+            window_start = max(window_start, shared.busy_until)
+        credit_bytes = max(0.0, (now - window_start)) * self.bandwidth()
         if self.network.progress == PROGRESS_ON_POLL and not continuous and not self.eager:
             credit_bytes = min(credit_bytes, float(self.network.inflight_window))
+        before = self.delivered_bytes
         self.delivered_bytes = min(float(self.nbytes), self.delivered_bytes + credit_bytes)
+        if shared is not None:
+            # consume the wire time the delivered bytes occupied, so N polled
+            # flows cannot each draw full bandwidth over the same interval
+            used_bytes = self.delivered_bytes - before
+            if used_bytes > 0.0:
+                shared.reserve(window_start, used_bytes)
         self.last_ack_time = now
         if self.delivered_bytes >= self.nbytes:
             self._mark_complete(now)
@@ -158,7 +197,12 @@ class TransferState:
         self.ack(now, continuous=False)
         if self.completed:
             return max(start, self.completion_time)
-        finish = start + self.remaining_bytes / self.network.bandwidth
+        if self.link is not None and self.link.shared is not None:
+            # bulk stream over a contended link: queue behind earlier egress
+            # reservations (aggregate-equivalent to fair bandwidth splitting)
+            finish = self.link.shared.reserve(start, self.remaining_bytes)
+        else:
+            finish = start + self.remaining_bytes / self.bandwidth()
         self._mark_complete(finish)
         self.last_ack_time = finish
         return finish

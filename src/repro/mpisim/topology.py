@@ -1,0 +1,325 @@
+"""Topology layer: per-(src, dst) link resolution for the simulated fabric.
+
+The seed simulator modelled the interconnect as one global
+:class:`~repro.mpisim.network.NetworkModel` — every rank pair saw the same
+latency and bandwidth, which matches the paper's one-rank-per-node Omni-Path
+runs but cannot express the placements real clusters use.  This module makes
+the interconnect pluggable: a :class:`Topology` maps every (src, dst) rank
+pair to a :class:`LinkModel`, and the engine charges each transfer against its
+link instead of the global model.
+
+Three topologies are provided:
+
+* :class:`FlatTopology` — every pair uses the global network model, exactly as
+  the seed did.  ``link()`` returns ``None`` so the engine takes the original
+  code path and all calibrated figures reproduce bit-for-bit.
+* :class:`HierarchicalTopology` — two-level fabric: ranks co-located on a node
+  talk over a fast intra-node link (shared-memory / UPI class), ranks on
+  different nodes over the slower inter-node fabric.  Each pair gets a
+  dedicated link (no contention), which isolates the placement effect.
+* :class:`SharedUplinkTopology` — hierarchical placement plus contention: all
+  concurrent inter-node transfers leaving one node split that node's single
+  uplink evenly.  This is the regime where hierarchical collectives (and the
+  topology-aware C-Allreduce in :mod:`repro.ccoll.topology_aware`) pay off.
+
+Contention is modelled with a reservation queue: a :class:`SharedLink`
+serialises bulk streams at full capacity (aggregate-equivalent to fair
+bandwidth splitting for symmetric flows) and gates windowed poll credits
+behind earlier reservations, so aggregate egress never exceeds the uplink
+capacity.  That is the natural fidelity level for a discrete-event model that
+meters progress at MPI-call granularity.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.utils.validation import ensure_non_negative, ensure_positive
+
+__all__ = [
+    "SharedLink",
+    "LinkModel",
+    "Topology",
+    "FlatTopology",
+    "HierarchicalTopology",
+    "SharedUplinkTopology",
+]
+
+#: calibrated defaults for a two-level cluster: intra-node links are
+#: shared-memory class (fast, sub-microsecond), inter-node links are the
+#: calibrated effective Omni-Path fabric of :class:`NetworkModel`.
+DEFAULT_INTRA_LATENCY = 0.5e-6
+DEFAULT_INTRA_BANDWIDTH = 12.0e9
+DEFAULT_INTER_LATENCY = 20e-6
+DEFAULT_INTER_BANDWIDTH = 0.55e9
+
+
+@dataclass
+class SharedLink:
+    """Contention meter for one shared physical link (e.g. a node uplink).
+
+    The link is modelled as a serial resource with a reservation queue:
+    ``busy_until`` marks the time through which earlier bulk streams have
+    reserved the wire.  A transfer that streams to completion reserves the
+    link from ``max(start, busy_until)`` at full capacity and pushes
+    ``busy_until`` to its finish time; windowed poll credits (capped at the
+    transport's in-flight window) likewise earn bytes only after
+    ``busy_until``.  Serialising overlapping streams this way yields the same
+    aggregate finish times as fair bandwidth splitting for symmetric flows,
+    keeps aggregate throughput bounded by ``capacity``, and — unlike an
+    instantaneous share — is robust to the engine resolving completions
+    eagerly, before sibling transfers have matched.
+
+    ``active`` counts matched, uncompleted transfers charged to the link;
+    it is load telemetry (see ``SharedUplinkTopology.uplink_load``), not a
+    rate input.
+    """
+
+    capacity: float
+    active: int = 0
+    busy_until: float = float("-inf")
+
+    def acquire(self) -> None:
+        self.active += 1
+
+    def release(self) -> None:
+        self.active = max(0, self.active - 1)
+
+    def reserve(self, start: float, nbytes: float) -> float:
+        """Reserve the link for a bulk stream of ``nbytes`` from ``start``.
+
+        Returns the finish time; the stream queues behind earlier reservations.
+        """
+        begin = max(start, self.busy_until)
+        finish = begin + max(0.0, nbytes) / self.capacity
+        self.busy_until = finish
+        return finish
+
+
+@dataclass
+class LinkModel:
+    """The (latency, bandwidth) a specific rank pair sees, plus optional sharing.
+
+    When ``shared`` is set, ``bandwidth`` is the link's full capacity and
+    concurrent transfers contend through the :class:`SharedLink` reservation
+    queue.
+    """
+
+    latency: float
+    bandwidth: float
+    shared: Optional[SharedLink] = None
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.latency, "latency")
+        ensure_positive(self.bandwidth, "bandwidth")
+
+    def acquire(self) -> None:
+        """Register an in-flight transfer (no-op on dedicated links)."""
+        if self.shared is not None:
+            self.shared.acquire()
+
+    def release(self) -> None:
+        """Deregister a completed transfer (no-op on dedicated links)."""
+        if self.shared is not None:
+            self.shared.release()
+
+
+class Topology(ABC):
+    """Maps ranks to nodes and rank pairs to links.
+
+    The engine calls :meth:`link` once per posted send; returning ``None``
+    means "use the global :class:`NetworkModel` unchanged", which is how the
+    flat topology stays bit-for-bit identical to the seed simulator.
+    """
+
+    @abstractmethod
+    def node_of(self, rank: int) -> int:
+        """Node id hosting ``rank``."""
+
+    @abstractmethod
+    def link(self, src: int, dst: int) -> Optional[LinkModel]:
+        """Link used by a ``src -> dst`` transfer (``None`` = global model)."""
+
+    def same_node(self, src: int, dst: int) -> bool:
+        """Whether two ranks are co-located."""
+        return self.node_of(src) == self.node_of(dst)
+
+    def node_ranks(self, rank: int, n_ranks: int) -> List[int]:
+        """All ranks sharing ``rank``'s node, in rank order."""
+        node = self.node_of(rank)
+        return [r for r in range(n_ranks) if self.node_of(r) == node]
+
+    def node_leaders(self, n_ranks: int) -> List[int]:
+        """Lowest rank of each node, ordered by first appearance."""
+        leaders: Dict[int, int] = {}
+        for r in range(n_ranks):
+            leaders.setdefault(self.node_of(r), r)
+        return list(leaders.values())
+
+    def n_nodes(self, n_ranks: int) -> int:
+        """Number of distinct nodes hosting the first ``n_ranks`` ranks."""
+        return len({self.node_of(r) for r in range(n_ranks)})
+
+    def max_ranks_per_node(self, n_ranks: int) -> int:
+        """Largest co-located rank group size."""
+        counts: Dict[int, int] = {}
+        for r in range(n_ranks):
+            node = self.node_of(r)
+            counts[node] = counts.get(node, 0) + 1
+        return max(counts.values()) if counts else 1
+
+    @property
+    def shares_uplinks(self) -> bool:
+        """Whether concurrent inter-node transfers contend for bandwidth."""
+        return False
+
+    def reset(self) -> None:
+        """Clear any per-simulation contention state (called by the engine)."""
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return type(self).__name__
+
+
+class FlatTopology(Topology):
+    """One rank per node, uniform links — the seed's (and the paper's) fabric.
+
+    ``link()`` returns ``None`` for every pair, so the engine uses the global
+    :class:`NetworkModel` through the exact code path the seed used.
+    """
+
+    def node_of(self, rank: int) -> int:
+        return rank
+
+    def link(self, src: int, dst: int) -> Optional[LinkModel]:
+        return None
+
+    def describe(self) -> str:
+        return "flat (uniform links, one rank per node)"
+
+
+class _PlacedTopology(Topology):
+    """Shared placement logic for the two-level topologies."""
+
+    def __init__(
+        self,
+        ranks_per_node: int = 1,
+        placement: Optional[Sequence[int]] = None,
+    ) -> None:
+        if placement is None and ranks_per_node < 1:
+            raise ValueError(f"ranks_per_node must be >= 1, got {ranks_per_node}")
+        self.ranks_per_node = int(ranks_per_node)
+        self.placement = list(placement) if placement is not None else None
+        if self.placement is not None and any(n < 0 for n in self.placement):
+            raise ValueError("placement node ids must be non-negative")
+
+    def node_of(self, rank: int) -> int:
+        if self.placement is not None:
+            if not (0 <= rank < len(self.placement)):
+                raise IndexError(
+                    f"rank {rank} outside explicit placement of {len(self.placement)} ranks"
+                )
+            return self.placement[rank]
+        return rank // self.ranks_per_node
+
+
+class HierarchicalTopology(_PlacedTopology):
+    """Two-level fabric with dedicated per-pair links.
+
+    Parameters
+    ----------
+    ranks_per_node:
+        Block placement: rank ``r`` lives on node ``r // ranks_per_node``
+        (ignored when ``placement`` is given).
+    placement:
+        Explicit rank -> node id mapping (overrides ``ranks_per_node``).
+    intra_latency / intra_bandwidth:
+        The shared-memory-class intra-node link.
+    inter_latency / inter_bandwidth:
+        The inter-node fabric link (defaults match the calibrated
+        :class:`~repro.mpisim.network.NetworkModel`).
+    """
+
+    def __init__(
+        self,
+        ranks_per_node: int = 1,
+        placement: Optional[Sequence[int]] = None,
+        intra_latency: float = DEFAULT_INTRA_LATENCY,
+        intra_bandwidth: float = DEFAULT_INTRA_BANDWIDTH,
+        inter_latency: float = DEFAULT_INTER_LATENCY,
+        inter_bandwidth: float = DEFAULT_INTER_BANDWIDTH,
+    ) -> None:
+        super().__init__(ranks_per_node=ranks_per_node, placement=placement)
+        self._intra = LinkModel(latency=intra_latency, bandwidth=intra_bandwidth)
+        self._inter = LinkModel(latency=inter_latency, bandwidth=inter_bandwidth)
+
+    @property
+    def intra(self) -> LinkModel:
+        return self._intra
+
+    @property
+    def inter(self) -> LinkModel:
+        return self._inter
+
+    def link(self, src: int, dst: int) -> Optional[LinkModel]:
+        return self._intra if self.same_node(src, dst) else self._inter
+
+    def describe(self) -> str:
+        return (
+            f"hierarchical ({self.ranks_per_node} ranks/node, "
+            f"intra {self._intra.bandwidth / 1e9:.1f} GB/s, "
+            f"inter {self._inter.bandwidth / 1e9:.2f} GB/s)"
+        )
+
+
+class SharedUplinkTopology(HierarchicalTopology):
+    """Two-level fabric where each node has one uplink shared by its egress.
+
+    Every inter-node transfer is charged against the *source* node's uplink
+    :class:`SharedLink`; concurrent transfers leaving the same node split the
+    uplink capacity evenly.  Intra-node links stay dedicated.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._uplinks: Dict[int, SharedLink] = {}
+        self._uplink_links: Dict[int, LinkModel] = {}
+
+    @property
+    def shares_uplinks(self) -> bool:
+        return True
+
+    def _uplink(self, node: int) -> LinkModel:
+        cached = self._uplink_links.get(node)
+        if cached is None:
+            shared = SharedLink(capacity=self._inter.bandwidth)
+            self._uplinks[node] = shared
+            cached = LinkModel(
+                latency=self._inter.latency,
+                bandwidth=self._inter.bandwidth,
+                shared=shared,
+            )
+            self._uplink_links[node] = cached
+        return cached
+
+    def uplink_load(self, node: int) -> int:
+        """In-flight inter-node transfers currently leaving ``node``."""
+        shared = self._uplinks.get(node)
+        return shared.active if shared is not None else 0
+
+    def link(self, src: int, dst: int) -> Optional[LinkModel]:
+        if self.same_node(src, dst):
+            return self._intra
+        return self._uplink(self.node_of(src))
+
+    def reset(self) -> None:
+        self._uplinks.clear()
+        self._uplink_links.clear()
+
+    def describe(self) -> str:
+        return (
+            f"shared-uplink ({self.ranks_per_node} ranks/node, "
+            f"uplink {self._inter.bandwidth / 1e9:.2f} GB/s split across egress)"
+        )

@@ -12,10 +12,15 @@ from repro.mpisim.timeline import (
 )
 from repro.perfmodel.costmodel import DEFAULT_CODEC_SPEEDS, CodecSpeed, CostModel
 from repro.perfmodel.presets import (
+    TOPOLOGY_PRESETS,
     async_progress_network,
     default_cost_model,
     default_network,
+    flat_topology,
     line_rate_network,
+    make_topology,
+    shared_uplink_topology,
+    two_level_topology,
 )
 
 __all__ = [
@@ -26,6 +31,11 @@ __all__ = [
     "default_cost_model",
     "async_progress_network",
     "line_rate_network",
+    "TOPOLOGY_PRESETS",
+    "flat_topology",
+    "two_level_topology",
+    "shared_uplink_topology",
+    "make_topology",
     "TimeBreakdown",
     "STANDARD_CATEGORIES",
     "CAT_COMDECOM",

@@ -7,7 +7,15 @@ calibration (and so that ablations can swap a single piece).
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 from repro.mpisim.network import PROGRESS_ASYNC, NetworkModel
+from repro.mpisim.topology import (
+    FlatTopology,
+    HierarchicalTopology,
+    SharedUplinkTopology,
+    Topology,
+)
 from repro.perfmodel.costmodel import CostModel
 
 __all__ = [
@@ -15,6 +23,11 @@ __all__ = [
     "default_cost_model",
     "async_progress_network",
     "line_rate_network",
+    "TOPOLOGY_PRESETS",
+    "flat_topology",
+    "two_level_topology",
+    "shared_uplink_topology",
+    "make_topology",
 ]
 
 
@@ -60,3 +73,78 @@ def line_rate_network() -> NetworkModel:
         inflight_window=base.inflight_window,
         progress=base.progress,
     )
+
+
+# ------------------------------------------------------------------ topologies
+
+
+def flat_topology() -> FlatTopology:
+    """The paper's placement: one rank per node, uniform calibrated links.
+
+    This is the default everywhere; the engine treats it identically to "no
+    topology", so every calibrated figure reproduces bit-for-bit.
+    """
+    return FlatTopology()
+
+
+def two_level_topology(
+    ranks_per_node: int = 4,
+    placement: Optional[Sequence[int]] = None,
+) -> HierarchicalTopology:
+    """Two-level cluster: fast intra-node links, dedicated inter-node links.
+
+    Intra-node pairs see a shared-memory-class link (12 GB/s, 0.5 us); pairs
+    on different nodes see the calibrated Omni-Path fabric (0.55 GB/s, 20 us)
+    with no contention between concurrent transfers.  Isolates the placement
+    effect from the contention effect.
+    """
+    net = default_network()
+    return HierarchicalTopology(
+        ranks_per_node=ranks_per_node,
+        placement=placement,
+        inter_latency=net.latency,
+        inter_bandwidth=net.bandwidth,
+    )
+
+
+def shared_uplink_topology(
+    ranks_per_node: int = 4,
+    placement: Optional[Sequence[int]] = None,
+) -> SharedUplinkTopology:
+    """Two-level cluster whose per-node uplink is split by concurrent egress.
+
+    Same link parameters as :func:`two_level_topology`, but all inter-node
+    transfers leaving one node share that node's single uplink evenly.  This
+    is the oversubscribed regime where hierarchical / topology-aware
+    collectives beat the flat ring.
+    """
+    net = default_network()
+    return SharedUplinkTopology(
+        ranks_per_node=ranks_per_node,
+        placement=placement,
+        inter_latency=net.latency,
+        inter_bandwidth=net.bandwidth,
+    )
+
+
+#: preset name -> factory accepting (ranks_per_node=...) where applicable
+TOPOLOGY_PRESETS = {
+    "flat": flat_topology,
+    "two_level": two_level_topology,
+    "shared_uplink": shared_uplink_topology,
+}
+
+
+def make_topology(name: str, **kwargs) -> Topology:
+    """Instantiate a named topology preset (see :data:`TOPOLOGY_PRESETS`)."""
+    key = name.lower()
+    if key not in TOPOLOGY_PRESETS:
+        raise ValueError(
+            f"unknown topology preset {name!r}; available: {', '.join(TOPOLOGY_PRESETS)}"
+        )
+    if key == "flat" and kwargs:
+        raise ValueError(
+            "the flat preset pins one rank per node and takes no parameters; "
+            f"got {sorted(kwargs)}"
+        )
+    return TOPOLOGY_PRESETS[key](**kwargs)

@@ -24,6 +24,7 @@ from repro.harness.experiments.stepwise_breakdown import (
     run_fig10_stepwise,
     stepwise_sweep,
 )
+from repro.harness.experiments.topology_scaling import run_topology_scaling
 from repro.harness.runner import main
 
 #: a miniature scale so harness tests stay fast
@@ -59,6 +60,7 @@ class TestRegistry:
             "fig17",
             "fig18",
             "theory",
+            "topo",
         ):
             assert expected in names
 
@@ -236,6 +238,29 @@ class TestStackingFigures:
         # the rate-4 fixed-rate baseline is far worse than C-Allreduce at 1e-3
         fxr4 = by_setting[("cpr-zfp-fxr", "FXR 4")]["psnr_db"]
         assert by_setting[("c-allreduce", "ABS 1e-03")]["psnr_db"] > fxr4 + 10
+
+
+class TestTopologyScaling:
+    def test_topo_structure_and_selection(self):
+        result = run_topology_scaling(scale=TINY, sizes_mb=[0.03, 28], ranks_per_node=3)
+        topologies = {row["topology"] for row in result.rows}
+        assert topologies == {"flat", "two_level", "shared_uplink"}
+        # exactly one algorithm is marked selected per (topology, size) cell
+        for topo in topologies:
+            for size in (0.03, 28):
+                selected = [
+                    r["algorithm"]
+                    for r in result.rows
+                    if r["topology"] == topo and r["size_mb"] == size and r["selected"]
+                ]
+                assert len(selected) == 1
+        # the small message is latency-bound everywhere
+        small_selected = {
+            r["algorithm"] for r in result.rows if r["size_mb"] == 0.03 and r["selected"]
+        }
+        assert small_selected == {"recursive_doubling"}
+        # the compressed topology-aware variant rides along on both two-level rows
+        assert any(r["algorithm"] == "c_allreduce_topo" for r in result.rows)
 
 
 class TestTheoryAndDistribution:
