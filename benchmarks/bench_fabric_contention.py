@@ -1,0 +1,113 @@
+"""Switch-level fabric contention and the decisions it flips.
+
+Regenerates the ``fabric`` experiment and pins the behaviours the path/stage
+contention model exists to express:
+
+* a non-blocking fat tree times single-flow collectives like the shared-uplink
+  model (the fabric layer adds structure, not spurious slowdown);
+* tapering the switch stages 2:1 slows overlapping paths between *different*
+  node pairs — contention the per-node-egress model cannot see;
+* at equal per-node NIC bandwidth the 2:1 taper flips both stack decisions:
+  ``select_algorithm``'s bandwidth-scaled thresholds and the topology-aware
+  C-Allreduce's auto compression gate — and the flipped choice actually wins;
+* striping over two NIC rails with adaptive routing claws back the bandwidth
+  the taper removed;
+* every reservation placed on any :class:`SharedLink` stage during the sweep
+  respects capacity conservation (no overlap, duration == bytes/capacity).
+"""
+
+import pytest
+
+from repro.collectives.selection import select_algorithm
+from repro.harness.experiments.fabric_contention import run_fabric_contention
+from repro.mpisim import capacity_conservation_violations, trace_reservations
+from repro.perfmodel.presets import fat_tree_topology, shared_uplink_topology
+
+
+def _rows(result, **match):
+    return [
+        row
+        for row in result.rows
+        if all(row.get(key) == value for key, value in match.items())
+    ]
+
+
+def _one(result, **match):
+    rows = _rows(result, **match)
+    assert len(rows) == 1, f"expected one row for {match}, got {len(rows)}"
+    return rows[0]
+
+
+class TestFabricContention:
+    def test_fabric_contention(self, run_experiment_once):
+        with trace_reservations() as events:
+            result = run_experiment_once(run_fabric_contention, scale="small")
+        large = max(row["size_mb"] for row in result.rows)
+
+        # --- the fabric layer is honest: a 1:1 tree matches the uplink model
+        ring_uplink = _one(result, fabric="shared_uplink", size_mb=large, algorithm="ring")
+        ring_tree = _one(result, fabric="fat_tree", size_mb=large, algorithm="ring")
+        assert ring_tree["total_time_s"] == pytest.approx(
+            ring_uplink["total_time_s"], rel=5e-3
+        )
+
+        # --- 2:1 taper: different node pairs now contend on switch stages
+        ring_tapered = _one(result, fabric="fat_tree_2to1", size_mb=large, algorithm="ring")
+        assert ring_tapered["total_time_s"] > 1.5 * ring_tree["total_time_s"]
+
+        # --- the C-Allreduce gate flips at equal per-node NIC bandwidth...
+        for fabric, expect in [
+            ("shared_uplink", False),
+            ("fat_tree", False),
+            ("fat_tree_2to1", True),
+            ("dragonfly_2to1", True),
+        ]:
+            row = _one(result, fabric=fabric, size_mb=large, algorithm="c_allreduce_topo")
+            assert row["inter_compressed"] is expect, (
+                f"{fabric}: expected inter_compressed={expect}, got {row}"
+            )
+
+        # --- ...and compressing wins exactly where the gate engages
+        c_tapered = _one(
+            result, fabric="fat_tree_2to1", size_mb=large, algorithm="c_allreduce_topo"
+        )
+        for algo in ("ring", "rabenseifner", "hierarchical"):
+            flat = _one(result, fabric="fat_tree_2to1", size_mb=large, algorithm=algo)
+            assert c_tapered["total_time_s"] < flat["total_time_s"]
+        c_untapered = _one(
+            result, fabric="fat_tree", size_mb=large, algorithm="c_allreduce_topo"
+        )
+        hier_untapered = _one(
+            result, fabric="fat_tree", size_mb=large, algorithm="hierarchical"
+        )
+        assert c_untapered["total_time_s"] == pytest.approx(
+            hier_untapered["total_time_s"], rel=1e-9
+        )
+
+        # --- two stripe rails + adaptive routing recover tapered bandwidth
+        rab_rail = _one(result, fabric="rail_fat_tree", size_mb=large, algorithm="rabenseifner")
+        rab_tapered = _one(
+            result, fabric="fat_tree_2to1", size_mb=large, algorithm="rabenseifner"
+        )
+        assert rab_rail["total_time_s"] < 0.75 * rab_tapered["total_time_s"]
+
+        # --- capacity conservation on every stage touched by the whole sweep
+        assert any(kind == "reserve" for kind, *_ in events), (
+            "the sweep must exercise shared stages"
+        )
+        assert capacity_conservation_violations(events) == []
+
+
+class TestSelectorFlip:
+    def test_oversubscription_flips_tuning_thresholds(self):
+        """Equal 0.55 GB/s NICs, one rank per node, 3 MB message: the 2:1
+        taper halves the effective bandwidth, so the table goes bandwidth-bound
+        (ring) where the uplink model stays in Rabenseifner territory."""
+        nbytes = 3 * 1024 * 1024
+        uplink = shared_uplink_topology(ranks_per_node=1)
+        tapered = fat_tree_topology(k=4, ranks_per_node=1, oversubscription=2.0)
+        assert select_algorithm(nbytes, 16, uplink) == "rabenseifner"
+        assert select_algorithm(nbytes, 16, tapered) == "ring"
+        # the same fabric untapered agrees with the uplink model
+        untapered = fat_tree_topology(k=4, ranks_per_node=1)
+        assert select_algorithm(nbytes, 16, untapered) == "rabenseifner"

@@ -52,9 +52,15 @@ _SIZE_TAG = 10_000
 
 @dataclass
 class CCollOutcome(CollectiveOutcome):
-    """Collective outcome extended with the observed compression ratio."""
+    """Collective outcome extended with the observed compression ratio.
+
+    ``inter_compressed`` records whether the topology-aware C-Allreduce
+    decided to compress its inter-node hops on this fabric (``None`` for
+    collectives that have no such decision to make).
+    """
 
     compression_ratio: Optional[float] = None
+    inter_compressed: Optional[bool] = None
 
 
 def _finish(values, sim, adapters) -> CCollOutcome:

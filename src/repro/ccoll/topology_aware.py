@@ -20,11 +20,23 @@ Because only ``log-free`` inter-node hops see lossy compression, the error a
 value accumulates is bounded by the reduce-scatter hop count among *nodes*
 (``L - 1``) plus one allgather decompression, independent of how many ranks
 share each node.
+
+Compressing the inter-node hops is itself a bet against the wire: on the
+calibrated 0.55 GB/s fabric it pays handsomely, but a rail-optimised or
+non-oversubscribed next-generation fabric can outrun the compressor, in which
+case the same hierarchical schedule should run uncompressed.  The runner's
+default ``compress_inter="auto"`` consults the topology's effective inter-node
+bandwidth (NIC rate tapered by the fabric's oversubscription ratio — see
+:meth:`repro.mpisim.topology.Topology.effective_inter_bandwidth`) against the
+codec's break-even bandwidth
+(:meth:`repro.perfmodel.costmodel.CostModel.codec_break_even_bandwidth`), so a
+2:1-oversubscribed fat tree and a shared-uplink cluster at equal per-node NIC
+rate can legitimately make *opposite* calls.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -35,6 +47,7 @@ from repro.collectives.context import CollectiveContext, as_rank_arrays
 from repro.collectives.hierarchical import (
     _group_binomial_bcast,
     _group_binomial_reduce,
+    hierarchical_allreduce_program,
     node_groups,
 )
 from repro.collectives.reduce_scatter import partition_chunks
@@ -44,7 +57,11 @@ from repro.mpisim.network import NetworkModel
 from repro.mpisim.topology import FlatTopology, Topology
 from repro.mpisim.timeline import CAT_COMDECOM, CAT_OTHERS, CAT_REDUCTION, CAT_WAIT
 
-__all__ = ["topology_aware_c_allreduce_program", "run_topology_aware_c_allreduce"]
+__all__ = [
+    "topology_aware_c_allreduce_program",
+    "run_topology_aware_c_allreduce",
+    "select_inter_compression",
+]
 
 _TAG_REDUCE = 0
 _TAG_INTER_RS = 10_000
@@ -145,20 +162,70 @@ def topology_aware_c_allreduce_program(
     return vec
 
 
+def select_inter_compression(
+    topology: Topology,
+    config: CCollConfig,
+    network: Optional[NetworkModel] = None,
+) -> bool:
+    """Decide whether compressing the inter-node hops pays on this fabric.
+
+    Compares the bandwidth one leader-stage flow actually sees — the
+    topology's effective inter-node bandwidth, i.e. the NIC rate tapered by
+    the fabric's oversubscription — against the codec's break-even bandwidth
+    under the calibrated cost model.  Topologies that do not report an
+    effective bandwidth (flat fabrics) are judged by the global network
+    model's rate.
+    """
+    effective = topology.effective_inter_bandwidth()
+    if effective is None:
+        effective = (network if network is not None else NetworkModel()).bandwidth
+    return effective < config.cost.codec_break_even_bandwidth(config.codec)
+
+
 def run_topology_aware_c_allreduce(
     inputs,
     n_ranks: int,
     topology: Optional[Topology] = None,
     config: Optional[CCollConfig] = None,
     network: Optional[NetworkModel] = None,
+    compress_inter: Union[str, bool] = "auto",
 ) -> CCollOutcome:
-    """Run the topology-aware C-Allreduce (compression on inter-node hops only)."""
+    """Run the topology-aware C-Allreduce (compression on inter-node hops only).
+
+    ``compress_inter`` is ``"auto"`` (consult :func:`select_inter_compression`
+    — compress only on fabrics slower than the codec's break-even bandwidth),
+    ``True`` (always compress, the pre-fabric behaviour) or ``False`` (run
+    the hierarchical schedule uncompressed).  The decision taken is recorded
+    on the outcome as ``inter_compressed``.
+    """
     topology = topology if topology is not None else FlatTopology()
     config = config or CCollConfig()
+    if compress_inter == "auto":
+        compress = select_inter_compression(topology, config, network)
+    elif isinstance(compress_inter, bool):
+        compress = compress_inter
+    else:
+        raise ValueError(
+            f"compress_inter must be 'auto', True or False, got {compress_inter!r}"
+        )
     ctx = config.context()
     vectors = as_rank_arrays(inputs, n_ranks)
-    adapters = [CompressionAdapter(config.make_codec(), ctx) for _ in range(n_ranks)]
     peers_by_rank, leaders = node_groups(topology, n_ranks)
+
+    if not compress:
+        # the wire outruns the codec: same schedule, no codec on any hop
+        def plain_factory(rank: int, size: int):
+            return hierarchical_allreduce_program(
+                rank, size, vectors[rank], ctx, topology,
+                peers=peers_by_rank[rank], leaders=leaders,
+            )
+
+        sim = run_simulation(n_ranks, plain_factory, network=network, topology=topology)
+        return CCollOutcome(
+            values=sim.rank_values, sim=sim, compression_ratio=None, inter_compressed=False
+        )
+
+    adapters = [CompressionAdapter(config.make_codec(), ctx) for _ in range(n_ranks)]
 
     def factory(rank: int, size: int):
         return topology_aware_c_allreduce_program(
@@ -167,4 +234,6 @@ def run_topology_aware_c_allreduce(
         )
 
     sim = run_simulation(n_ranks, factory, network=network, topology=topology)
-    return _finish(sim.rank_values, sim, adapters)
+    outcome = _finish(sim.rank_values, sim, adapters)
+    outcome.inter_compressed = True
+    return outcome

@@ -11,7 +11,12 @@ hierarchical algorithm — which sends each node's data over the fabric exactly
 once per ring step — is selected for rendezvous-size messages.
 
 The thresholds are expressed in *virtual* bytes (the size the network model
-sees), matching how the harness scales messages.
+sees), matching how the harness scales messages.  They were tuned for the
+calibrated fabric; on fabrics whose effective inter-node bandwidth differs —
+an oversubscribed fat tree, a rail-optimised multi-NIC host — the table
+rescales them by ``effective_bandwidth / calibrated_bandwidth``, so the
+latency/bandwidth crossover points land where they belong (a 2:1-tapered tree
+becomes bandwidth-bound at half the message size).
 """
 
 from __future__ import annotations
@@ -24,12 +29,13 @@ from repro.collectives.hierarchical import run_hierarchical_allreduce
 from repro.collectives.rabenseifner import run_rabenseifner_allreduce
 from repro.collectives.recursive_doubling import run_recursive_doubling_allreduce
 from repro.mpisim.network import NetworkModel
-from repro.mpisim.topology import Topology
+from repro.mpisim.topology import DEFAULT_INTER_BANDWIDTH, Topology
 
 __all__ = [
     "ALGORITHM_RUNNERS",
     "SHORT_MESSAGE_BYTES",
     "RING_MIN_BYTES",
+    "bandwidth_scale",
     "select_algorithm",
     "run_allreduce",
 ]
@@ -39,6 +45,23 @@ SHORT_MESSAGE_BYTES = 32 * 1024
 #: at and above this size the bandwidth-optimal ring wins over Rabenseifner's
 #: log-round schedule (fewer, larger transfers amortize the per-round latency)
 RING_MIN_BYTES = 4 * 1024 * 1024
+
+
+def bandwidth_scale(topology: Optional[Topology]) -> float:
+    """Ratio of the topology's effective inter-node bandwidth to the calibration.
+
+    The size thresholds of the tuning table are proportional to the wire
+    bandwidth (they mark latency/bandwidth crossovers), so a fabric delivering
+    half the calibrated bandwidth — e.g. a 2:1-oversubscribed fat tree at
+    equal per-node NIC rate — halves them.  Returns 1.0 when the topology
+    does not report an effective bandwidth (flat / global-model fabrics).
+    """
+    if topology is None:
+        return 1.0
+    effective = topology.effective_inter_bandwidth()
+    if effective is None or effective <= 0:
+        return 1.0
+    return effective / DEFAULT_INTER_BANDWIDTH
 
 #: algorithm name -> runner with the uniform (inputs, n_ranks, ...) signature
 ALGORITHM_RUNNERS: Dict[str, Callable[..., CollectiveOutcome]] = {
@@ -62,7 +85,8 @@ def select_algorithm(
     if n_ranks <= 2:
         # one exchange either way; the doubling schedule is the simplest
         return "recursive_doubling"
-    if nbytes < SHORT_MESSAGE_BYTES:
+    scale = bandwidth_scale(topology)
+    if nbytes < SHORT_MESSAGE_BYTES * scale:
         return "recursive_doubling"
     if (
         topology is not None
@@ -76,7 +100,7 @@ def select_algorithm(
         # advantage inverts under cyclic placement; hierarchical is the
         # placement-robust choice, which is what a static table must make.
         return "hierarchical"
-    if nbytes >= RING_MIN_BYTES:
+    if nbytes >= RING_MIN_BYTES * scale:
         return "ring"
     return "rabenseifner"
 

@@ -27,6 +27,7 @@ from repro.harness.experiments.compressor_tables import (
     run_table3,
     run_table6,
 )
+from repro.harness.experiments.fabric_contention import run_fabric_contention
 from repro.harness.experiments.fig5_error_distribution import run_fig5_fig6
 from repro.harness.experiments.scatter_bcast import run_fig16_scatter_bcast
 from repro.harness.experiments.stacking import run_fig17_stacking_perf, run_fig18_stacking_quality
@@ -62,6 +63,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fig18": (run_fig18_stacking_quality, "Image-stacking quality (Figure 18)"),
     "theory": (run_theory_bounds, "Error-propagation theorem validation (Section III-B)"),
     "topo": (run_topology_scaling, "Allreduce algorithms across topologies (beyond the paper)"),
+    "fabric": (run_fabric_contention, "Switch-level fabric contention (beyond the paper)"),
 }
 
 

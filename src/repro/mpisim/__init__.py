@@ -29,12 +29,22 @@ from repro.mpisim.launcher import SimulationResult, run_simulation
 from repro.mpisim.network import PROGRESS_ASYNC, PROGRESS_ON_POLL, NetworkModel, TransferState
 from repro.mpisim.requests import RecvRequest, Request, SendRequest
 from repro.mpisim.topology import (
+    RAIL_HASH,
+    RAIL_STRIPE,
+    ROUTE_ADAPTIVE,
+    ROUTE_MINIMAL,
+    DragonflyTopology,
+    FatTreeTopology,
     FlatTopology,
     HierarchicalTopology,
     LinkModel,
     SharedLink,
     SharedUplinkTopology,
+    SwitchFabricTopology,
     Topology,
+    capacity_conservation_violations,
+    reserve_path,
+    trace_reservations,
 )
 from repro.mpisim.timeline import (
     CAT_ALLGATHER,
@@ -70,8 +80,18 @@ __all__ = [
     "FlatTopology",
     "HierarchicalTopology",
     "SharedUplinkTopology",
+    "SwitchFabricTopology",
+    "FatTreeTopology",
+    "DragonflyTopology",
     "LinkModel",
     "SharedLink",
+    "reserve_path",
+    "trace_reservations",
+    "capacity_conservation_violations",
+    "RAIL_HASH",
+    "RAIL_STRIPE",
+    "ROUTE_MINIMAL",
+    "ROUTE_ADAPTIVE",
     "Request",
     "SendRequest",
     "RecvRequest",

@@ -298,7 +298,13 @@ class Engine:
         nbytes = int(cmd.nbytes) if cmd.nbytes is not None else payload_nbytes(cmd.data)
         req_id = self._new_request_id()
         self._next_message_id += 1
-        link = self.topology.link(state.rank, cmd.dest) if self.topology is not None else None
+        # resolve_link (not link) so stateful fabrics can stripe rails and
+        # route adaptively per posted send
+        link = (
+            self.topology.resolve_link(state.rank, cmd.dest)
+            if self.topology is not None
+            else None
+        )
         transfer = TransferState(
             nbytes=nbytes,
             network=self.network,

@@ -36,7 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.mpisim.topology import LinkModel
+from repro.mpisim.topology import LinkModel, reserve_path
 from repro.utils.validation import ensure_in, ensure_non_negative, ensure_positive
 
 __all__ = ["NetworkModel", "TransferState", "PROGRESS_ON_POLL", "PROGRESS_ASYNC"]
@@ -163,22 +163,25 @@ class TransferState:
         if not self.is_eligible or now <= self.eligible_time:
             return False
         window_start = max(self.last_ack_time, self.eligible_time)
-        shared = self.link.shared if self.link is not None else None
-        if shared is not None:
-            # a contended uplink earns credit only once earlier reservations
-            # have drained (aggregate stays within capacity)
-            window_start = max(window_start, shared.busy_until)
+        stages = self.link.shared_stages if self.link is not None else ()
+        if stages:
+            # a contended path earns credit only once earlier reservations on
+            # every stage it crosses have drained (aggregate stays within
+            # each stage's capacity)
+            window_start = max(window_start, max(s.busy_until for s in stages))
         credit_bytes = max(0.0, (now - window_start)) * self.bandwidth()
         if self.network.progress == PROGRESS_ON_POLL and not continuous and not self.eager:
             credit_bytes = min(credit_bytes, float(self.network.inflight_window))
         before = self.delivered_bytes
         self.delivered_bytes = min(float(self.nbytes), self.delivered_bytes + credit_bytes)
-        if shared is not None:
-            # consume the wire time the delivered bytes occupied, so N polled
-            # flows cannot each draw full bandwidth over the same interval
+        if stages:
+            # consume the wire time the delivered bytes occupied on every
+            # stage, so N polled flows cannot each draw full bandwidth over
+            # the same interval anywhere along their paths
             used_bytes = self.delivered_bytes - before
             if used_bytes > 0.0:
-                shared.reserve(window_start, used_bytes)
+                for stage in stages:
+                    stage.reserve(window_start, used_bytes)
         self.last_ack_time = now
         if self.delivered_bytes >= self.nbytes:
             self._mark_complete(now)
@@ -197,10 +200,11 @@ class TransferState:
         self.ack(now, continuous=False)
         if self.completed:
             return max(start, self.completion_time)
-        if self.link is not None and self.link.shared is not None:
-            # bulk stream over a contended link: queue behind earlier egress
-            # reservations (aggregate-equivalent to fair bandwidth splitting)
-            finish = self.link.shared.reserve(start, self.remaining_bytes)
+        if self.link is not None and self.link.shared_stages:
+            # bulk stream over a contended path: queue behind earlier
+            # reservations on every stage crossed (aggregate-equivalent to
+            # fair bandwidth splitting; single-stage == SharedLink.reserve)
+            finish = reserve_path(self.link.shared_stages, start, self.remaining_bytes)
         else:
             finish = start + self.remaining_bytes / self.bandwidth()
         self._mark_complete(finish)

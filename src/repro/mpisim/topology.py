@@ -8,7 +8,7 @@ the interconnect pluggable: a :class:`Topology` maps every (src, dst) rank
 pair to a :class:`LinkModel`, and the engine charges each transfer against its
 link instead of the global model.
 
-Three topologies are provided:
+Five topologies are provided:
 
 * :class:`FlatTopology` — every pair uses the global network model, exactly as
   the seed did.  ``link()`` returns ``None`` so the engine takes the original
@@ -21,30 +21,78 @@ Three topologies are provided:
   concurrent inter-node transfers leaving one node split that node's single
   uplink evenly.  This is the regime where hierarchical collectives (and the
   topology-aware C-Allreduce in :mod:`repro.ccoll.topology_aware`) pay off.
+* :class:`FatTreeTopology` / :class:`DragonflyTopology` — switch-level
+  fabrics built on :class:`SwitchFabricTopology`.
+
+Path/stage contention model
+---------------------------
+
+The shared-uplink model meters per-node egress only: transfers between two
+*different* node pairs never contend.  Switch-level fabrics fix that by
+resolving every inter-node ``(src, dst)`` pair to a multi-hop *path* of
+:class:`SharedLink` stages — NIC egress, one link per inter-switch hop, NIC
+ingress — so any two transfers whose paths overlap on a stage queue against
+each other, wherever their endpoints live.  A three-level k-ary fat tree
+(``k = 4`` shown) wires the stages like this::
+
+            core0   core1   core2   core3          ("ft-agg-core" /
+              |  \\  /  |      |  \\  /  |            "ft-core-agg" stages)
+            +-------------+ +-------------+
+            | agg0   agg1 | | agg0   agg1 |  ...   (one box per pod,
+            |   |  X   |  | |   |  X   |  |         k/2 agg switches)
+            | edge0 edge1 | | edge0 edge1 |        ("ft-up"/"ft-down" stages)
+            +--/-\\---/-\\--+ +--/-\\---/-\\--+
+              h0 h1 h2 h3     h4 h5 h6 h7   ...    (k/2 hosts per edge,
+              |NIC rails 0..r per host|             "nic-up"/"nic-down")
+
+A transfer ``h0 -> h6`` climbs ``nic-up -> ft-up -> ft-agg-core`` and descends
+``ft-core-agg -> ft-down -> nic-down``; a concurrent ``h1 -> h7`` that hashes
+onto the same aggregation/core choice shares three of those stages and queues
+behind it, even though the two flows share neither endpoint.  Each stage is a
+:class:`SharedLink` with its own capacity (switch links are scaled by
+``1 / oversubscription``), multi-NIC hosts expose ``nics_per_node`` parallel
+rail stages selected per message (hash or stripe), and routing is either
+``minimal`` (deterministic ECMP hash over the candidate paths) or ``adaptive``
+(least-loaded candidate by reservation backlog).
 
 Contention is modelled with a reservation queue: a :class:`SharedLink`
 serialises bulk streams at full capacity (aggregate-equivalent to fair
 bandwidth splitting for symmetric flows) and gates windowed poll credits
-behind earlier reservations, so aggregate egress never exceeds the uplink
-capacity.  That is the natural fidelity level for a discrete-event model that
-meters progress at MPI-call granularity.
+behind earlier reservations, so aggregate traffic never exceeds the stage
+capacity.  A multi-stage path reserves every stage it crosses from a common
+start time (see :func:`reserve_path`); per stage the occupied wire time is
+``bytes / capacity``, which keeps per-stage capacity conservation exact — the
+property-based tests in ``tests/property`` pin this invariant.  That is the
+natural fidelity level for a discrete-event model that meters progress at
+MPI-call granularity.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.utils.validation import ensure_non_negative, ensure_positive
+from repro.utils.validation import ensure_in, ensure_non_negative, ensure_positive
 
 __all__ = [
     "SharedLink",
     "LinkModel",
+    "reserve_path",
+    "trace_reservations",
+    "capacity_conservation_violations",
     "Topology",
     "FlatTopology",
     "HierarchicalTopology",
     "SharedUplinkTopology",
+    "SwitchFabricTopology",
+    "FatTreeTopology",
+    "DragonflyTopology",
+    "RAIL_HASH",
+    "RAIL_STRIPE",
+    "ROUTE_MINIMAL",
+    "ROUTE_ADAPTIVE",
 ]
 
 #: calibrated defaults for a two-level cluster: intra-node links are
@@ -54,6 +102,33 @@ DEFAULT_INTRA_LATENCY = 0.5e-6
 DEFAULT_INTRA_BANDWIDTH = 12.0e9
 DEFAULT_INTER_LATENCY = 20e-6
 DEFAULT_INTER_BANDWIDTH = 0.55e9
+#: per-switch-hop traversal latency (cut-through switching class); the NIC
+#: latency (``DEFAULT_INTER_LATENCY``) dominates, matching the calibration
+DEFAULT_HOP_LATENCY = 200e-9
+
+#: multi-NIC rail-selection policies
+RAIL_HASH = "hash"
+RAIL_STRIPE = "stripe"
+#: routing policies over the candidate paths of a switch fabric
+ROUTE_MINIMAL = "minimal"
+ROUTE_ADAPTIVE = "adaptive"
+
+_GOLDEN_64 = 0x9E3779B97F4A7C15
+_MASK_64 = (1 << 64) - 1
+
+
+def _mix(*values: int) -> int:
+    """Deterministic integer hash over small non-negative ints.
+
+    Used for ECMP path and rail selection; unlike :func:`hash` it is stable
+    across processes and Python versions, so simulated routings are
+    reproducible everywhere.
+    """
+    h = _GOLDEN_64
+    for v in values:
+        h ^= (int(v) + _GOLDEN_64 + ((h << 6) & _MASK_64) + (h >> 2)) & _MASK_64
+        h = (h * 0x100000001B3) & _MASK_64
+    return h
 
 
 @dataclass
@@ -74,12 +149,16 @@ class SharedLink:
 
     ``active`` counts matched, uncompleted transfers charged to the link;
     it is load telemetry (see ``SharedUplinkTopology.uplink_load``), not a
-    rate input.
+    rate input.  ``assigned`` counts messages a fabric has *routed* over this
+    stage so far; adaptive routing balances on it because at post time a
+    freshly routed flow has not reserved any wire yet (its backlog is only
+    visible as placement history).
     """
 
     capacity: float
     active: int = 0
     busy_until: float = float("-inf")
+    assigned: int = 0
 
     def acquire(self) -> None:
         self.active += 1
@@ -97,6 +176,83 @@ class SharedLink:
         self.busy_until = finish
         return finish
 
+    def clear(self) -> None:
+        """Forget all reservations and in-flight accounting (simulation reset)."""
+        self.active = 0
+        self.busy_until = float("-inf")
+        self.assigned = 0
+
+
+@contextmanager
+def trace_reservations():
+    """Record every :class:`SharedLink` reservation made while the context is open.
+
+    Yields a list that fills with ``("reserve", stage, finish, nbytes)`` and
+    ``("clear", stage, None, None)`` events in call order (``clear`` marks a
+    simulation reset, which legitimately rewinds a reused stage).  Pair with
+    :func:`capacity_conservation_violations` to audit whole simulations; the
+    property suite and ``bench_fabric_contention.py`` pin the invariant with
+    it.
+    """
+    events: List[Tuple] = []
+    real_reserve, real_clear = SharedLink.reserve, SharedLink.clear
+
+    def reserve(self, start, nbytes):
+        finish = real_reserve(self, start, nbytes)
+        events.append(("reserve", self, finish, nbytes))
+        return finish
+
+    def clear(self):
+        real_clear(self)
+        events.append(("clear", self, None, None))
+
+    SharedLink.reserve, SharedLink.clear = reserve, clear  # type: ignore[method-assign]
+    try:
+        yield events
+    finally:
+        SharedLink.reserve, SharedLink.clear = real_reserve, real_clear  # type: ignore[method-assign]
+
+
+def capacity_conservation_violations(events, tolerance: float = 1e-12) -> List[Tuple]:
+    """Overlapping reservations in a :func:`trace_reservations` event list.
+
+    A stage conserves capacity exactly when its reservations are serial (each
+    occupies ``bytes / capacity`` of wire time and starts no earlier than the
+    previous one finished).  Returns ``(stage, begin, previous_finish)``
+    triples for every violation — empty means aggregate throughput never
+    exceeded any stage's capacity at any time.
+    """
+    violations: List[Tuple] = []
+    last_finish: Dict[int, float] = {}
+    for kind, stage, finish, nbytes in events:
+        if kind == "clear":
+            last_finish.pop(id(stage), None)
+            continue
+        begin = finish - max(0.0, nbytes) / stage.capacity
+        previous = last_finish.get(id(stage), float("-inf"))
+        if begin < previous - tolerance:
+            violations.append((stage, begin, previous))
+        last_finish[id(stage)] = finish
+    return violations
+
+
+def reserve_path(stages: Iterable[SharedLink], start: float, nbytes: float) -> float:
+    """Reserve a bulk stream of ``nbytes`` across every stage of a path.
+
+    The stream starts on all stages at a common begin time — it cannot enter
+    the path before the most-backlogged stage frees up — and occupies each
+    stage for ``nbytes / stage.capacity`` of wire time, so per-stage capacity
+    conservation holds exactly.  Returns the finish time at the bottleneck
+    stage.  For a single stage this is identical to
+    :meth:`SharedLink.reserve`.
+    """
+    stages = tuple(stages)
+    begin = max([start] + [s.busy_until for s in stages])
+    finish = begin
+    for stage in stages:
+        finish = max(finish, stage.reserve(begin, nbytes))
+    return finish
+
 
 @dataclass
 class LinkModel:
@@ -104,26 +260,43 @@ class LinkModel:
 
     When ``shared`` is set, ``bandwidth`` is the link's full capacity and
     concurrent transfers contend through the :class:`SharedLink` reservation
-    queue.
+    queue.  ``stages`` generalises this to a multi-hop fabric path: every
+    listed :class:`SharedLink` is a switch stage the transfer crosses, and
+    ``bandwidth`` must be the bottleneck (minimum) stage capacity.  At most
+    one of ``shared`` / ``stages`` should be set.
     """
 
     latency: float
     bandwidth: float
     shared: Optional[SharedLink] = None
+    stages: Tuple[SharedLink, ...] = ()
 
     def __post_init__(self) -> None:
         ensure_non_negative(self.latency, "latency")
         ensure_positive(self.bandwidth, "bandwidth")
+        if self.shared is not None and self.stages:
+            raise ValueError("set either shared (single uplink) or stages (path), not both")
+        # normalised once: the contended stages this link's transfers cross
+        self._shared_stages: Tuple[SharedLink, ...] = (
+            tuple(self.stages)
+            if self.stages
+            else ((self.shared,) if self.shared is not None else ())
+        )
+
+    @property
+    def shared_stages(self) -> Tuple[SharedLink, ...]:
+        """Contended stages along this link's path (empty for dedicated links)."""
+        return self._shared_stages
 
     def acquire(self) -> None:
         """Register an in-flight transfer (no-op on dedicated links)."""
-        if self.shared is not None:
-            self.shared.acquire()
+        for stage in self._shared_stages:
+            stage.acquire()
 
     def release(self) -> None:
         """Deregister a completed transfer (no-op on dedicated links)."""
-        if self.shared is not None:
-            self.shared.release()
+        for stage in self._shared_stages:
+            stage.release()
 
 
 class Topology(ABC):
@@ -141,6 +314,16 @@ class Topology(ABC):
     @abstractmethod
     def link(self, src: int, dst: int) -> Optional[LinkModel]:
         """Link used by a ``src -> dst`` transfer (``None`` = global model)."""
+
+    def resolve_link(self, src: int, dst: int) -> Optional[LinkModel]:
+        """Resolve the link for one *posted* send (called by the engine).
+
+        Unlike :meth:`link` — which must be a pure snapshot — this hook may be
+        stateful: switch fabrics use it to stripe messages across NIC rails
+        and to route adaptively around backlogged stages.  The default
+        delegates to :meth:`link`.
+        """
+        return self.link(src, dst)
 
     def same_node(self, src: int, dst: int) -> bool:
         """Whether two ranks are co-located."""
@@ -174,6 +357,26 @@ class Topology(ABC):
     def shares_uplinks(self) -> bool:
         """Whether concurrent inter-node transfers contend for bandwidth."""
         return False
+
+    @property
+    def oversubscription_ratio(self) -> float:
+        """Fabric oversubscription (host injection : switch capacity); 1.0 = non-blocking."""
+        return 1.0
+
+    @property
+    def nics_per_node(self) -> int:
+        """Parallel NIC rails per node (1 unless the fabric is rail-optimised)."""
+        return 1
+
+    def effective_inter_bandwidth(self) -> Optional[float]:
+        """Bandwidth one uncontended inter-node flow actually sees, or ``None``.
+
+        ``None`` means "the global network model's bandwidth" (flat fabrics).
+        The collective selector and the topology-aware C-Allreduce use this to
+        scale their tuning thresholds and to decide whether compressing the
+        inter-node hops pays on this fabric.
+        """
+        return None
 
     def reset(self) -> None:
         """Clear any per-simulation contention state (called by the engine)."""
@@ -263,6 +466,9 @@ class HierarchicalTopology(_PlacedTopology):
     def inter(self) -> LinkModel:
         return self._inter
 
+    def effective_inter_bandwidth(self) -> Optional[float]:
+        return self._inter.bandwidth
+
     def link(self, src: int, dst: int) -> Optional[LinkModel]:
         return self._intra if self.same_node(src, dst) else self._inter
 
@@ -315,11 +521,444 @@ class SharedUplinkTopology(HierarchicalTopology):
         return self._uplink(self.node_of(src))
 
     def reset(self) -> None:
-        self._uplinks.clear()
-        self._uplink_links.clear()
+        # Reset reservations in place rather than dropping the dicts: repeated
+        # launches on one topology object reuse the cached SharedLink /
+        # LinkModel instances instead of growing fresh ones each run.
+        for shared in self._uplinks.values():
+            shared.clear()
 
     def describe(self) -> str:
         return (
             f"shared-uplink ({self.ranks_per_node} ranks/node, "
             f"uplink {self._inter.bandwidth / 1e9:.2f} GB/s split across egress)"
+        )
+
+
+# ------------------------------------------------------------ switch fabrics
+
+#: a stage id is any hashable tuple naming one directed physical link, e.g.
+#: ``("ft-up", pod, edge, agg)``; a stage spec pairs it with its capacity
+StageKey = Tuple
+StageSpec = Tuple[StageKey, float]
+
+
+class SwitchFabricTopology(_PlacedTopology):
+    """Path-based fabric: every inter-node pair resolves to a chain of stages.
+
+    Concrete fabrics (:class:`FatTreeTopology`, :class:`DragonflyTopology`)
+    describe their wiring by returning *candidate routes* — sequences of
+    ``(stage id, capacity)`` pairs — between two nodes; this base class turns
+    the chosen route into a cached :class:`LinkModel` whose ``stages`` chain
+    the per-stage :class:`SharedLink` reservation queues, so transfers between
+    different node pairs contend wherever their paths overlap (see the module
+    docstring's fat-tree diagram).
+
+    Parameters
+    ----------
+    ranks_per_node / placement:
+        Rank placement, as for :class:`HierarchicalTopology`.
+    intra_latency / intra_bandwidth:
+        The dedicated shared-memory-class intra-node link.
+    nic_latency / nic_bandwidth:
+        Host injection: each NIC rail is a :class:`SharedLink` of this
+        capacity; ``nic_latency`` is charged once per message (it dominates
+        the per-hop switch latency, matching the calibration).
+    nics_per_node:
+        Parallel NIC rails per node (multi-NIC / rail-optimised hosts).
+    rail_policy:
+        ``"hash"`` — rail chosen by a deterministic hash of (src, dst) ranks;
+        ``"stripe"`` — successive messages leaving a node round-robin the rails.
+    routing:
+        ``"minimal"`` — deterministic ECMP hash over the candidate routes;
+        ``"adaptive"`` — candidate with the smallest reservation backlog.
+    oversubscription:
+        Host injection : switch capacity ratio; every inter-switch stage has
+        capacity ``nic_bandwidth / oversubscription``.
+    hop_latency:
+        Extra latency per switch-to-switch hop.
+    """
+
+    def __init__(
+        self,
+        ranks_per_node: int = 1,
+        placement: Optional[Sequence[int]] = None,
+        intra_latency: float = DEFAULT_INTRA_LATENCY,
+        intra_bandwidth: float = DEFAULT_INTRA_BANDWIDTH,
+        nic_latency: float = DEFAULT_INTER_LATENCY,
+        nic_bandwidth: float = DEFAULT_INTER_BANDWIDTH,
+        nics_per_node: int = 1,
+        rail_policy: str = RAIL_HASH,
+        routing: str = ROUTE_MINIMAL,
+        oversubscription: float = 1.0,
+        hop_latency: float = DEFAULT_HOP_LATENCY,
+    ) -> None:
+        super().__init__(ranks_per_node=ranks_per_node, placement=placement)
+        ensure_non_negative(nic_latency, "nic_latency")
+        ensure_positive(nic_bandwidth, "nic_bandwidth")
+        ensure_positive(oversubscription, "oversubscription")
+        ensure_non_negative(hop_latency, "hop_latency")
+        ensure_in(rail_policy, (RAIL_HASH, RAIL_STRIPE), "rail_policy")
+        ensure_in(routing, (ROUTE_MINIMAL, ROUTE_ADAPTIVE), "routing")
+        if nics_per_node < 1:
+            raise ValueError(f"nics_per_node must be >= 1, got {nics_per_node}")
+        self._intra = LinkModel(latency=intra_latency, bandwidth=intra_bandwidth)
+        self.nic_latency = float(nic_latency)
+        self.nic_bandwidth = float(nic_bandwidth)
+        self.rail_policy = rail_policy
+        self.routing = routing
+        self.hop_latency = float(hop_latency)
+        self._nics_per_node = int(nics_per_node)
+        self._oversubscription = float(oversubscription)
+        #: capacity of every ordinary inter-switch stage
+        self.switch_bandwidth = self.nic_bandwidth / self._oversubscription
+        # lazily built, reused across simulations (reset() clears state in place)
+        self._stages: Dict[StageKey, SharedLink] = {}
+        self._path_links: Dict[Tuple[StageKey, ...], LinkModel] = {}
+        self._route_cache: Dict[Tuple[int, int], Tuple[Tuple[StageSpec, ...], ...]] = {}
+        self._stripe_counters: Dict[int, int] = {}
+
+    # ------------------------------------------------- fabric structure hooks
+
+    @property
+    @abstractmethod
+    def n_fabric_nodes(self) -> int:
+        """Number of host slots the fabric wires up."""
+
+    @abstractmethod
+    def _switch_routes(
+        self, src_node: int, dst_node: int
+    ) -> Tuple[Tuple[StageSpec, ...], ...]:
+        """Candidate inter-switch stage chains between two distinct nodes.
+
+        Each candidate excludes the NIC stages (the base class adds them);
+        an empty chain means the nodes share a leaf switch and only the NICs
+        contend.  Must return at least one candidate.
+        """
+
+    # --------------------------------------------------------- introspection
+
+    @property
+    def shares_uplinks(self) -> bool:
+        return True
+
+    @property
+    def oversubscription_ratio(self) -> float:
+        return self._oversubscription
+
+    @property
+    def nics_per_node(self) -> int:
+        return self._nics_per_node
+
+    @property
+    def intra(self) -> LinkModel:
+        return self._intra
+
+    def effective_inter_bandwidth(self) -> Optional[float]:
+        return min(self.nic_bandwidth, self.switch_bandwidth)
+
+    def route_of(self, src: int, dst: int, rail: Optional[int] = None) -> Tuple[StageKey, ...]:
+        """Stage ids a ``src -> dst`` message crosses (pure snapshot).
+
+        With ``routing="adaptive"`` the answer reflects the current backlog;
+        on an idle fabric it is the deterministic first candidate.
+        """
+        if self.same_node(src, dst):
+            return ()
+        rail = self._hash_rail(src, dst) if rail is None else int(rail)
+        spec = self._path_spec(self.node_of(src), self.node_of(dst), rail)
+        return tuple(key for key, _ in spec)
+
+    def stage(self, key: StageKey) -> Optional[SharedLink]:
+        """The :class:`SharedLink` behind one stage id (``None`` if never used)."""
+        return self._stages.get(key)
+
+    def stage_loads(self) -> Dict[StageKey, int]:
+        """In-flight transfer count per instantiated stage (load telemetry)."""
+        return {key: stage.active for key, stage in self._stages.items()}
+
+    # ------------------------------------------------------------ resolution
+
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < self.n_fabric_nodes):
+            raise ValueError(
+                f"node {node} outside the fabric's {self.n_fabric_nodes} host slots "
+                f"({self.describe()}); grow the fabric or fix the placement"
+            )
+
+    def _stage_link(self, key: StageKey, capacity: float) -> SharedLink:
+        stage = self._stages.get(key)
+        if stage is None:
+            stage = SharedLink(capacity=capacity)
+            self._stages[key] = stage
+        return stage
+
+    def _routes(self, src_node: int, dst_node: int) -> Tuple[Tuple[StageSpec, ...], ...]:
+        cached = self._route_cache.get((src_node, dst_node))
+        if cached is None:
+            self._check_node(src_node)
+            self._check_node(dst_node)
+            cached = tuple(tuple(route) for route in self._switch_routes(src_node, dst_node))
+            if not cached:
+                raise RuntimeError(
+                    f"{type(self).__name__} returned no route {src_node} -> {dst_node}"
+                )
+            self._route_cache[(src_node, dst_node)] = cached
+        return cached
+
+    def _choose_route(self, src_node: int, dst_node: int, rail: int) -> Tuple[StageSpec, ...]:
+        routes = self._routes(src_node, dst_node)
+        if len(routes) == 1:
+            return routes[0]
+        if self.routing == ROUTE_ADAPTIVE:
+            # least-loaded candidate, judged by its hottest stage: reservation
+            # backlog first, then placement history (flows routed at post time
+            # have not reserved wire yet and are only visible as `assigned`);
+            # min() is stable, so ties pick the first (minimal) candidate.
+            # Probe without instantiating: a stage never routed over is idle,
+            # and creating it here would leave phantom entries in stage_loads()
+            def load(route: Tuple[StageSpec, ...]) -> Tuple[float, int]:
+                stages = [self._stages.get(key) for key, _ in route]
+                return (
+                    max((s.busy_until for s in stages if s is not None), default=float("-inf")),
+                    max((s.assigned for s in stages if s is not None), default=0),
+                )
+
+            return min(routes, key=load)
+        return routes[_mix(src_node, dst_node, rail) % len(routes)]
+
+    def _hash_rail(self, src: int, dst: int) -> int:
+        if self._nics_per_node == 1:
+            return 0
+        return _mix(src, dst) % self._nics_per_node
+
+    def _stripe_rail(self, src_node: int) -> int:
+        count = self._stripe_counters.get(src_node, 0)
+        self._stripe_counters[src_node] = count + 1
+        return count % self._nics_per_node
+
+    def _path_spec(self, src_node: int, dst_node: int, rail: int) -> Tuple[StageSpec, ...]:
+        """Full stage spec of the currently chosen path: NIC rails + switch route."""
+        route = self._choose_route(src_node, dst_node, rail)
+        return (
+            (("nic-up", src_node, rail), self.nic_bandwidth),
+            *route,
+            (("nic-down", dst_node, rail), self.nic_bandwidth),
+        )
+
+    def _fabric_link(
+        self, src_node: int, dst_node: int, rail: int, commit: bool = False
+    ) -> LinkModel:
+        spec = self._path_spec(src_node, dst_node, rail)
+        signature = tuple(key for key, _ in spec)
+        cached = self._path_links.get(signature)
+        if cached is None:
+            cached = LinkModel(
+                latency=self.nic_latency + self.hop_latency * (len(spec) - 2),
+                bandwidth=min(capacity for _, capacity in spec),
+                stages=tuple(self._stage_link(key, capacity) for key, capacity in spec),
+            )
+            self._path_links[signature] = cached
+        if commit:
+            # placement history feeds adaptive routing (see _choose_route)
+            for stage in cached.shared_stages:
+                stage.assigned += 1
+        return cached
+
+    def link(self, src: int, dst: int) -> Optional[LinkModel]:
+        if self.same_node(src, dst):
+            return self._intra
+        return self._fabric_link(self.node_of(src), self.node_of(dst), self._hash_rail(src, dst))
+
+    def resolve_link(self, src: int, dst: int) -> Optional[LinkModel]:
+        if self.same_node(src, dst):
+            return self._intra
+        src_node = self.node_of(src)
+        if self.rail_policy == RAIL_STRIPE and self._nics_per_node > 1:
+            rail = self._stripe_rail(src_node)
+        else:
+            rail = self._hash_rail(src, dst)
+        return self._fabric_link(src_node, self.node_of(dst), rail, commit=True)
+
+    def reset(self) -> None:
+        # in-place: cached stages / path links are reused across simulations
+        for stage in self._stages.values():
+            stage.clear()
+        self._stripe_counters.clear()
+
+
+class FatTreeTopology(SwitchFabricTopology):
+    """Three-level k-ary fat tree (``k`` pods of ``(k/2)^2`` hosts each).
+
+    Hosts are numbered pod-major: host ``h`` sits in pod ``h // (k/2)^2`` under
+    edge switch ``(h % (k/2)^2) // (k/2)``.  Between different edge switches
+    there are ``k/2`` equal-cost routes in-pod (one per aggregation switch)
+    and ``(k/2)^2`` across pods (aggregation x core); see the module
+    docstring's diagram.  All inter-switch stages have capacity
+    ``nic_bandwidth / oversubscription``, so ``oversubscription=2`` models the
+    classic 2:1-tapered tree.
+    """
+
+    def __init__(self, k: int = 4, **kwargs) -> None:
+        if k < 2 or k % 2:
+            raise ValueError(f"fat-tree arity k must be an even integer >= 2, got {k}")
+        self.k = int(k)
+        self._half = self.k // 2
+        self._hosts_per_pod = self._half * self._half
+        super().__init__(**kwargs)
+
+    @property
+    def n_fabric_nodes(self) -> int:
+        return self.k * self._hosts_per_pod
+
+    def _locate(self, node: int) -> Tuple[int, int]:
+        pod, rem = divmod(node, self._hosts_per_pod)
+        return pod, rem // self._half
+
+    def _switch_routes(
+        self, src_node: int, dst_node: int
+    ) -> Tuple[Tuple[StageSpec, ...], ...]:
+        spod, sedge = self._locate(src_node)
+        dpod, dedge = self._locate(dst_node)
+        sw = self.switch_bandwidth
+        if (spod, sedge) == (dpod, dedge):
+            return ((),)  # same edge switch: only the NIC stages contend
+        if spod == dpod:
+            return tuple(
+                (
+                    (("ft-up", spod, sedge, agg), sw),
+                    (("ft-down", dpod, agg, dedge), sw),
+                )
+                for agg in range(self._half)
+            )
+        routes = []
+        for agg in range(self._half):
+            for offset in range(self._half):
+                core = agg * self._half + offset
+                routes.append(
+                    (
+                        (("ft-up", spod, sedge, agg), sw),
+                        (("ft-agg-core", spod, agg, core), sw),
+                        (("ft-core-agg", core, dpod, agg), sw),
+                        (("ft-down", dpod, agg, dedge), sw),
+                    )
+                )
+        return tuple(routes)
+
+    def describe(self) -> str:
+        return (
+            f"fat-tree (k={self.k}, {self.n_fabric_nodes} hosts, "
+            f"{self.ranks_per_node} ranks/node, {self._nics_per_node} NIC rail(s), "
+            f"{self._oversubscription:g}:1 oversubscribed, {self.routing} routing)"
+        )
+
+
+class DragonflyTopology(SwitchFabricTopology):
+    """Dragonfly: all-to-all router groups joined by one global link per pair.
+
+    ``n_groups`` groups of ``routers_per_group`` routers host
+    ``nodes_per_router`` nodes each.  Routers within a group are fully
+    connected by local links; each ordered group pair shares one directed
+    global link, attached at gateway router ``dst_group % routers_per_group``
+    of the source group.  Minimal routes are local -> global -> local; with
+    ``routing="adaptive"``, Valiant detours via ``valiant_candidates``
+    intermediate groups are offered and the least-backlogged candidate wins —
+    the classic remedy when one global link saturates.
+
+    ``local_bandwidth`` defaults to the NIC rate and ``global_bandwidth`` to
+    ``nic_bandwidth / oversubscription`` (global links are the tapered tier).
+    """
+
+    def __init__(
+        self,
+        n_groups: int = 4,
+        routers_per_group: int = 4,
+        nodes_per_router: int = 1,
+        local_bandwidth: Optional[float] = None,
+        global_bandwidth: Optional[float] = None,
+        valiant_candidates: int = 2,
+        **kwargs,
+    ) -> None:
+        if n_groups < 1 or routers_per_group < 1 or nodes_per_router < 1:
+            raise ValueError(
+                "n_groups, routers_per_group and nodes_per_router must all be >= 1"
+            )
+        if valiant_candidates < 0:
+            raise ValueError(f"valiant_candidates must be >= 0, got {valiant_candidates}")
+        self.n_groups = int(n_groups)
+        self.routers_per_group = int(routers_per_group)
+        self.nodes_per_router = int(nodes_per_router)
+        self.valiant_candidates = int(valiant_candidates)
+        super().__init__(**kwargs)
+        self.local_bandwidth = (
+            float(local_bandwidth) if local_bandwidth is not None else self.nic_bandwidth
+        )
+        self.global_bandwidth = (
+            float(global_bandwidth) if global_bandwidth is not None else self.switch_bandwidth
+        )
+        ensure_positive(self.local_bandwidth, "local_bandwidth")
+        ensure_positive(self.global_bandwidth, "global_bandwidth")
+
+    @property
+    def n_fabric_nodes(self) -> int:
+        return self.n_groups * self.routers_per_group * self.nodes_per_router
+
+    def effective_inter_bandwidth(self) -> Optional[float]:
+        return min(self.nic_bandwidth, self.local_bandwidth, self.global_bandwidth)
+
+    def _locate(self, node: int) -> Tuple[int, int]:
+        router = node // self.nodes_per_router
+        group, local = divmod(router, self.routers_per_group)
+        return group, local
+
+    def _gateway(self, group: int, other_group: int) -> int:
+        return other_group % self.routers_per_group
+
+    def _hop_chain(
+        self, src_group: int, src_router: int, dst_group: int, dst_router: int
+    ) -> Tuple[StageSpec, ...]:
+        """Minimal router-level chain between two routers (may be empty)."""
+        if src_group == dst_group:
+            if src_router == dst_router:
+                return ()
+            return ((("df-local", src_group, src_router, dst_router), self.local_bandwidth),)
+        chain: List[StageSpec] = []
+        gw_out = self._gateway(src_group, dst_group)
+        gw_in = self._gateway(dst_group, src_group)
+        if src_router != gw_out:
+            chain.append((("df-local", src_group, src_router, gw_out), self.local_bandwidth))
+        chain.append((("df-global", src_group, dst_group), self.global_bandwidth))
+        if gw_in != dst_router:
+            chain.append((("df-local", dst_group, gw_in, dst_router), self.local_bandwidth))
+        return tuple(chain)
+
+    def _switch_routes(
+        self, src_node: int, dst_node: int
+    ) -> Tuple[Tuple[StageSpec, ...], ...]:
+        sgroup, srouter = self._locate(src_node)
+        dgroup, drouter = self._locate(dst_node)
+        minimal = self._hop_chain(sgroup, srouter, dgroup, drouter)
+        routes = [minimal]
+        if self.routing == ROUTE_ADAPTIVE and sgroup != dgroup:
+            # Valiant detours: bounce through an intermediate group's gateway
+            added = 0
+            for step in range(1, self.n_groups):
+                mid = (sgroup + dgroup + step) % self.n_groups
+                if mid in (sgroup, dgroup):
+                    continue
+                via = self._gateway(mid, sgroup)
+                routes.append(
+                    self._hop_chain(sgroup, srouter, mid, via)
+                    + self._hop_chain(mid, via, dgroup, drouter)
+                )
+                added += 1
+                if added >= self.valiant_candidates:
+                    break
+        return tuple(routes)
+
+    def describe(self) -> str:
+        return (
+            f"dragonfly ({self.n_groups} groups x {self.routers_per_group} routers x "
+            f"{self.nodes_per_router} nodes, {self.ranks_per_node} ranks/node, "
+            f"{self._nics_per_node} NIC rail(s), global "
+            f"{self.global_bandwidth / 1e9:.2f} GB/s, {self.routing} routing)"
         )

@@ -39,10 +39,15 @@ from typing import Dict, Optional, Tuple, Union
 
 from repro.utils.validation import ensure_positive
 
-__all__ = ["CostModel", "CodecSpeed", "DEFAULT_CODEC_SPEEDS"]
+__all__ = ["CostModel", "CodecSpeed", "DEFAULT_CODEC_SPEEDS", "DEFAULT_BREAK_EVEN_RATIO"]
 
 #: 1 MB/s in bytes/second
 _MB = 1e6
+
+#: compression ratio assumed by the break-even bandwidth estimate when the
+#: caller has not seen the data yet (RTM/CESM float fields at the paper's
+#: error bounds typically compress 15-30x)
+DEFAULT_BREAK_EVEN_RATIO = 16.0
 
 
 @dataclass(frozen=True)
@@ -168,6 +173,29 @@ class CostModel:
             raise ValueError("nbytes must be >= 0")
         speed = self._speed(codec)
         return self.call_overhead + nbytes / (speed.decompress_bps * self._ratio_factor(ratio))
+
+    def codec_break_even_bandwidth(
+        self, codec: Union[str, object], expected_ratio: float = DEFAULT_BREAK_EVEN_RATIO
+    ) -> float:
+        """Wire bandwidth (bytes/s) below which compressing beats raw transfer.
+
+        The topology-aware C-Allreduce's critical path per inter-node byte is
+        roughly one compression plus two decompressions (reduce-scatter hop +
+        allgather reconstruction); compression saves ``(1 - 1/ratio)`` of the
+        wire time.  Solving ``saved wire time > codec time`` for the bandwidth
+        gives the break-even point.  ``expected_ratio`` is the anticipated
+        compression ratio (the ratio-dependent codec speed-up is applied to it
+        as in :meth:`compress_seconds`); scientific float fields at the
+        paper's bounds typically land in the 15-30x range.
+        """
+        ensure_positive(expected_ratio, "expected_ratio")
+        speed = self._speed(codec)
+        factor = self._ratio_factor(expected_ratio)
+        codec_seconds_per_byte = 1.0 / (speed.compress_bps * factor) + 2.0 / (
+            speed.decompress_bps * factor
+        )
+        saved_fraction = 1.0 - 1.0 / expected_ratio
+        return saved_fraction / codec_seconds_per_byte
 
     # ------------------------------------------------------------ local costs
 

@@ -11,6 +11,8 @@ from typing import Optional, Sequence
 
 from repro.mpisim.network import PROGRESS_ASYNC, NetworkModel
 from repro.mpisim.topology import (
+    DragonflyTopology,
+    FatTreeTopology,
     FlatTopology,
     HierarchicalTopology,
     SharedUplinkTopology,
@@ -27,6 +29,9 @@ __all__ = [
     "flat_topology",
     "two_level_topology",
     "shared_uplink_topology",
+    "fat_tree_topology",
+    "dragonfly_topology",
+    "rail_optimized_fat_tree",
     "make_topology",
 ]
 
@@ -110,20 +115,112 @@ def two_level_topology(
 def shared_uplink_topology(
     ranks_per_node: int = 4,
     placement: Optional[Sequence[int]] = None,
+    inter_bandwidth: Optional[float] = None,
 ) -> SharedUplinkTopology:
     """Two-level cluster whose per-node uplink is split by concurrent egress.
 
-    Same link parameters as :func:`two_level_topology`, but all inter-node
-    transfers leaving one node share that node's single uplink evenly.  This
-    is the oversubscribed regime where hierarchical / topology-aware
-    collectives beat the flat ring.
+    Same link parameters as :func:`two_level_topology` (``inter_bandwidth``
+    overrides the calibrated uplink rate, e.g. to compare against a fabric
+    preset at equal per-node bandwidth), but all inter-node transfers leaving
+    one node share that node's single uplink evenly.  This is the
+    oversubscribed regime where hierarchical / topology-aware collectives
+    beat the flat ring.
     """
     net = default_network()
     return SharedUplinkTopology(
         ranks_per_node=ranks_per_node,
         placement=placement,
         inter_latency=net.latency,
-        inter_bandwidth=net.bandwidth,
+        inter_bandwidth=inter_bandwidth if inter_bandwidth is not None else net.bandwidth,
+    )
+
+
+def fat_tree_topology(
+    k: int = 4,
+    ranks_per_node: int = 1,
+    oversubscription: float = 1.0,
+    nics_per_node: int = 1,
+    routing: str = "minimal",
+    rail_policy: str = "hash",
+    nic_bandwidth: Optional[float] = None,
+    placement: Optional[Sequence[int]] = None,
+) -> FatTreeTopology:
+    """Three-level k-ary fat tree with the calibrated NIC as host injection.
+
+    ``oversubscription`` tapers every inter-switch stage to
+    ``nic_bandwidth / oversubscription`` (2.0 gives the classic 2:1 tree where
+    overlapping paths between *different* node pairs contend well before the
+    NICs saturate); ``nics_per_node``/``rail_policy`` enable multi-rail hosts.
+    """
+    net = default_network()
+    return FatTreeTopology(
+        k=k,
+        ranks_per_node=ranks_per_node,
+        placement=placement,
+        oversubscription=oversubscription,
+        nics_per_node=nics_per_node,
+        routing=routing,
+        rail_policy=rail_policy,
+        nic_latency=net.latency,
+        nic_bandwidth=nic_bandwidth if nic_bandwidth is not None else net.bandwidth,
+    )
+
+
+def dragonfly_topology(
+    n_groups: int = 4,
+    routers_per_group: int = 4,
+    nodes_per_router: int = 1,
+    ranks_per_node: int = 1,
+    oversubscription: float = 1.0,
+    nics_per_node: int = 1,
+    routing: str = "minimal",
+    rail_policy: str = "hash",
+    nic_bandwidth: Optional[float] = None,
+    placement: Optional[Sequence[int]] = None,
+) -> DragonflyTopology:
+    """Dragonfly with all-to-all groups and the calibrated NIC as injection.
+
+    Global links taper to ``nic_bandwidth / oversubscription``; pair with
+    ``routing="adaptive"`` to let Valiant detours route around a saturated
+    global link.
+    """
+    net = default_network()
+    return DragonflyTopology(
+        n_groups=n_groups,
+        routers_per_group=routers_per_group,
+        nodes_per_router=nodes_per_router,
+        ranks_per_node=ranks_per_node,
+        placement=placement,
+        oversubscription=oversubscription,
+        nics_per_node=nics_per_node,
+        routing=routing,
+        rail_policy=rail_policy,
+        nic_latency=net.latency,
+        nic_bandwidth=nic_bandwidth if nic_bandwidth is not None else net.bandwidth,
+    )
+
+
+def rail_optimized_fat_tree(
+    k: int = 4,
+    ranks_per_node: int = 4,
+    nics_per_node: int = 2,
+    oversubscription: float = 2.0,
+    nic_bandwidth: Optional[float] = None,
+) -> FatTreeTopology:
+    """Multi-rail placement preset: co-located ranks stripe over ``nics_per_node`` rails.
+
+    Models the rail-optimised GPU-pod wiring where each host injects over
+    parallel NICs into an oversubscribed tree — the regime in which striping
+    recovers the bandwidth the tapered switch tier takes away.
+    """
+    return fat_tree_topology(
+        k=k,
+        ranks_per_node=ranks_per_node,
+        oversubscription=oversubscription,
+        nics_per_node=nics_per_node,
+        rail_policy="stripe",
+        routing="adaptive",
+        nic_bandwidth=nic_bandwidth,
     )
 
 
@@ -132,6 +229,9 @@ TOPOLOGY_PRESETS = {
     "flat": flat_topology,
     "two_level": two_level_topology,
     "shared_uplink": shared_uplink_topology,
+    "fat_tree": fat_tree_topology,
+    "dragonfly": dragonfly_topology,
+    "rail_fat_tree": rail_optimized_fat_tree,
 }
 
 

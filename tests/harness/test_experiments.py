@@ -24,6 +24,7 @@ from repro.harness.experiments.stepwise_breakdown import (
     run_fig10_stepwise,
     stepwise_sweep,
 )
+from repro.harness.experiments.fabric_contention import FABRIC_NAMES, run_fabric_contention
 from repro.harness.experiments.topology_scaling import run_topology_scaling
 from repro.harness.runner import main
 
@@ -261,6 +262,29 @@ class TestTopologyScaling:
         assert small_selected == {"recursive_doubling"}
         # the compressed topology-aware variant rides along on both two-level rows
         assert any(r["algorithm"] == "c_allreduce_topo" for r in result.rows)
+
+
+class TestFabricContention:
+    def test_fabric_structure_and_gate_flip(self):
+        result = run_fabric_contention(scale=TINY, sizes_mb=[28], ranks_per_node=3)
+        fabrics = {row["fabric"] for row in result.rows}
+        assert fabrics == set(FABRIC_NAMES)
+        # every fabric row carries an effective bandwidth and exactly one pick
+        for fabric in fabrics:
+            rows = [r for r in result.rows if r["fabric"] == fabric]
+            assert all(r["effective_gbps"] is not None for r in rows)
+            assert sum(1 for r in rows if r["selected"]) == 1
+        # the headline: the compression gate flips with the 2:1 taper at
+        # identical per-node NIC bandwidth
+        decisions = {
+            row["fabric"]: row["inter_compressed"]
+            for row in result.rows
+            if row["algorithm"] == "c_allreduce_topo"
+        }
+        assert decisions["shared_uplink"] is False
+        assert decisions["fat_tree"] is False
+        assert decisions["fat_tree_2to1"] is True
+        assert decisions["dragonfly_2to1"] is True
 
 
 class TestTheoryAndDistribution:

@@ -1,0 +1,76 @@
+"""Golden regression pins for the pre-fabric topologies.
+
+These makespans were frozen from the ``topo`` experiment immediately before
+the switch-level fabric refactor (multi-stage ``LinkModel`` paths, the
+engine's ``resolve_link`` hook, bandwidth-scaled selection thresholds, the
+C-Allreduce compression gate).  The flat, hierarchical and shared-uplink
+fabrics must keep producing *these exact numbers*: their code paths — single
+``shared`` link, thresholds at scale 1.0, gate open at the calibrated
+bandwidth — are required to be bit-for-bit untouched by the fabric layer.
+
+If a change legitimately recalibrates these fabrics, regenerate with::
+
+    PYTHONPATH=src python -c "
+    from repro.harness.experiments.topology_scaling import run_topology_scaling
+    for r in run_topology_scaling(scale='small', sizes_mb=[0.03, 28]).rows:
+        print((r['topology'], r['size_mb'], r['algorithm']), ':', repr(r['total_time_s']))"
+"""
+
+import pytest
+
+from repro.harness.experiments.topology_scaling import run_topology_scaling
+
+#: (topology, size_mb, algorithm) -> frozen makespan in virtual seconds
+GOLDEN_MAKESPANS = {
+    ("flat", 0.03, "ring"): 0.0007262508712121213,
+    ("flat", 0.03, "recursive_doubling"): 0.00033956519848484846,
+    ("flat", 0.03, "rabenseifner"): 0.0002862549575757575,
+    ("flat", 0.03, "hierarchical"): 0.0007262508712121213,
+    ("flat", 28, "ring"): 0.11552873658333354,
+    ("flat", 28, "recursive_doubling"): 0.23954598336969693,
+    ("flat", 28, "rabenseifner"): 0.11508875701515153,
+    ("flat", 28, "hierarchical"): 0.11552873658333354,
+    ("two_level", 0.03, "ring"): 0.0007261364530303031,
+    ("two_level", 0.03, "recursive_doubling"): 0.00019141894090909093,
+    ("two_level", 0.03, "rabenseifner"): 0.00012631112424242423,
+    ("two_level", 0.03, "hierarchical"): 0.00025495962424242427,
+    ("two_level", 0.03, "c_allreduce_topo"): 0.00032606200671245596,
+    ("two_level", 28, "ring"): 0.11552745762196989,
+    ("two_level", 28, "recursive_doubling"): 0.1376362362181818,
+    ("two_level", 28, "rabenseifner"): 0.03860672513636362,
+    ("two_level", 28, "hierarchical"): 0.12142458943030304,
+    ("two_level", 28, "c_allreduce_topo"): 0.09198228314223172,
+    ("shared_uplink", 0.03, "ring"): 0.0007261364530303031,
+    ("shared_uplink", 0.03, "recursive_doubling"): 0.0005082948136363636,
+    ("shared_uplink", 0.03, "rabenseifner"): 0.0001489251159090909,
+    ("shared_uplink", 0.03, "hierarchical"): 0.00025495962424242427,
+    ("shared_uplink", 0.03, "c_allreduce_topo"): 0.00032606200671245596,
+    ("shared_uplink", 28, "ring"): 0.11552745762196989,
+    ("shared_uplink", 28, "recursive_doubling"): 0.4520365160727273,
+    ("shared_uplink", 28, "rabenseifner"): 0.09658250066363636,
+    ("shared_uplink", 28, "hierarchical"): 0.12142458943030304,
+    ("shared_uplink", 28, "c_allreduce_topo"): 0.09198228314223172,
+}
+
+
+@pytest.fixture(scope="module")
+def topo_result():
+    return run_topology_scaling(scale="small", sizes_mb=[0.03, 28])
+
+
+class TestGoldenMakespans:
+    def test_every_golden_cell_reproduces(self, topo_result):
+        observed = {
+            (row["topology"], row["size_mb"], row["algorithm"]): row["total_time_s"]
+            for row in topo_result.rows
+        }
+        assert set(observed) == set(GOLDEN_MAKESPANS)
+        mismatches = {
+            cell: (observed[cell], frozen)
+            for cell, frozen in GOLDEN_MAKESPANS.items()
+            if observed[cell] != pytest.approx(frozen, rel=1e-12, abs=0.0)
+        }
+        assert not mismatches, (
+            "pre-fabric topologies must stay bit-for-bit:\n"
+            + "\n".join(f"  {c}: got {o!r}, frozen {f!r}" for c, (o, f) in mismatches.items())
+        )

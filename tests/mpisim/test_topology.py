@@ -174,6 +174,24 @@ class TestSharedUplink:
         second = run_simulation(4, send_once_program(0, 2, nbytes), NET, topology=topo)
         assert second.total_time == pytest.approx(first.total_time, rel=1e-12)
 
+    def test_reuse_does_not_grow_link_state(self):
+        """Repeated launches reuse the cached uplink objects in place instead
+        of discarding and re-growing them every simulation."""
+        topo = SharedUplinkTopology(ranks_per_node=2)
+        nbytes = 8 * 1024 * 1024
+        run_simulation(4, send_once_program(0, 2, nbytes), NET, topology=topo)
+        uplink_after_first = topo.link(0, 2)
+        shared_after_first = uplink_after_first.shared
+        assert shared_after_first is not None
+        for _ in range(3):
+            run_simulation(4, send_once_program(0, 2, nbytes), NET, topology=topo)
+        assert topo.link(0, 2) is uplink_after_first
+        assert topo.link(0, 2).shared is shared_after_first
+        assert len(topo._uplinks) == 1
+        # the reset left no stale accounting behind
+        assert shared_after_first.active == 0
+        assert topo.uplink_load(0) == 0
+
     def test_shared_link_accounting(self):
         link = SharedLink(capacity=100.0)
         link.acquire()

@@ -6,7 +6,11 @@ These cover the properties the rest of the system leans on:
   arbitrary finite float data;
 * the bit-packing round-trips arbitrary unsigned integers;
 * chunk partitioning covers the index space exactly once;
-* the simulated ring allreduce equals the numpy sum for arbitrary inputs.
+* the simulated ring allreduce equals the numpy sum for arbitrary inputs;
+* every :class:`SharedLink` stage of every contended topology conserves
+  capacity (reservations never overlap, each occupies ``bytes / capacity``);
+* fabric routing is deterministic: identically configured topologies resolve
+  identical stage paths for identical traffic.
 """
 
 import numpy as np
@@ -15,7 +19,18 @@ from hypothesis.extra import numpy as hnp
 
 from repro.collectives import CollectiveContext, run_ring_allreduce
 from repro.compression import PipelinedSZx, SZxCompressor, ZFPCompressor
-from repro.mpisim import NetworkModel
+from repro.mpisim import (
+    DragonflyTopology,
+    FatTreeTopology,
+    Irecv,
+    Isend,
+    NetworkModel,
+    SharedUplinkTopology,
+    Waitall,
+    capacity_conservation_violations,
+    run_simulation,
+    trace_reservations,
+)
 from repro.utils.bitpack import pack_uint_bits, unpack_uint_bits
 from repro.utils.chunking import chunk_bounds, split_counts
 
@@ -99,6 +114,96 @@ class TestChunkingProperties:
         counts = split_counts(total, parts)
         assert sum(counts) == total
         assert max(counts) - min(counts) <= 1
+
+
+def shift_traffic_program(n_ranks, shifts, nbytes):
+    """Every rank sends to (rank + shift) and receives from (rank - shift)."""
+    payload = np.zeros(max(1, nbytes // 8))
+
+    def program(rank, size):
+        for step, shift in enumerate(shifts):
+            recv_req = yield Irecv(source=(rank - shift) % size, tag=step)
+            send_req = yield Isend(dest=(rank + shift) % size, data=payload, tag=step)
+            yield Waitall([recv_req, send_req])
+        return rank
+
+    return program
+
+
+#: identically parameterised factories used by both fabric properties; every
+#: preset family with contended stages is represented
+def _topology_factories(ranks_per_node, nics_per_node, routing, oversubscription):
+    common = dict(
+        ranks_per_node=ranks_per_node,
+        nics_per_node=nics_per_node,
+        routing=routing,
+        rail_policy="stripe" if nics_per_node > 1 else "hash",
+        oversubscription=oversubscription,
+    )
+    return {
+        "shared_uplink": lambda: SharedUplinkTopology(ranks_per_node=ranks_per_node),
+        "fat_tree": lambda: FatTreeTopology(k=4, **common),
+        "dragonfly": lambda: DragonflyTopology(
+            n_groups=3, routers_per_group=2, nodes_per_router=2, **common
+        ),
+    }
+
+
+fabric_params = st.fixed_dictionaries(
+    dict(
+        ranks_per_node=st.sampled_from([1, 2]),
+        nics_per_node=st.sampled_from([1, 2]),
+        routing=st.sampled_from(["minimal", "adaptive"]),
+        oversubscription=st.sampled_from([1.0, 2.0]),
+    )
+)
+
+
+class TestFabricProperties:
+    @given(
+        params=fabric_params,
+        name=st.sampled_from(["shared_uplink", "fat_tree", "dragonfly"]),
+        n_ranks=st.integers(min_value=2, max_value=10),
+        shifts=st.lists(
+            st.integers(min_value=1, max_value=9), min_size=1, max_size=3, unique=True
+        ),
+        kib=st.integers(min_value=1, max_value=2048),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_capacity_conservation(self, params, name, n_ranks, shifts, kib):
+        """Sum of concurrent reservations never exceeds any stage's capacity."""
+        shifts = [s % n_ranks for s in shifts if s % n_ranks]
+        topology = _topology_factories(**params)[name]()
+        with trace_reservations() as events:
+            result = run_simulation(
+                n_ranks,
+                shift_traffic_program(n_ranks, shifts, kib * 1024),
+                NET,
+                topology=topology,
+            )
+        assert result.total_time >= 0.0
+        assert capacity_conservation_violations(events) == []
+
+    @given(
+        params=fabric_params,
+        name=st.sampled_from(["fat_tree", "dragonfly"]),
+        n_ranks=st.integers(min_value=2, max_value=10),
+        pair_seed=st.integers(min_value=0, max_value=2**16),
+        n_messages=st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_routing_determinism(self, params, name, n_ranks, pair_seed, n_messages):
+        """Identical configuration + identical traffic => identical paths."""
+        rng = np.random.default_rng(pair_seed)
+        pairs = [tuple(rng.integers(0, n_ranks, size=2)) for _ in range(n_messages)]
+        make = _topology_factories(**params)[name]
+
+        def resolved_signatures(topology):
+            links = [topology.resolve_link(int(s), int(d)) for s, d in pairs]
+            by_link = {id(link): sig for sig, link in topology._path_links.items()}
+            return [by_link.get(id(link), ("intra",)) for link in links]
+
+        assert resolved_signatures(make()) == resolved_signatures(make())
 
 
 class TestCollectiveProperties:
