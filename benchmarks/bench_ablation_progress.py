@@ -15,8 +15,8 @@ Two ablations isolate *why* C-Coll wins under the calibrated model:
 import numpy as np
 import pytest
 
-from repro.ccoll import CCollConfig, run_c_allreduce
-from repro.collectives import run_ring_allreduce
+from repro.api import Cluster
+from repro.ccoll import CCollConfig
 from repro.datasets import load_field, message_of_size
 from repro.perfmodel import async_progress_network, default_network, line_rate_network
 from repro.utils.units import MB
@@ -52,10 +52,9 @@ class TestProgressSemanticsAblation:
                 ("on-poll", default_network()),
                 ("async", async_progress_network()),
             ):
-                for overlap in (False, True):
-                    outcome = run_c_allreduce(
-                        inputs, N_RANKS, config=config, network=network, overlap=overlap
-                    )
+                comm = Cluster(network=network, config=config).communicator(N_RANKS)
+                for overlap, variant in ((False, "nd"), (True, "on")):
+                    outcome = comm.allreduce(inputs, compression=variant)
                     results[(net_name, overlap)] = outcome.total_time
             return results
 
@@ -76,10 +75,9 @@ class TestFabricSpeedAblation:
                 ("calibrated", default_network()),
                 ("line-rate", line_rate_network()),
             ):
-                baseline = run_ring_allreduce(
-                    inputs, N_RANKS, ctx=config.context(), network=network
-                )
-                ccoll = run_c_allreduce(inputs, N_RANKS, config=config, network=network)
+                comm = Cluster(network=network, config=config).communicator(N_RANKS)
+                baseline = comm.allreduce(inputs, algorithm="ring")
+                ccoll = comm.allreduce(inputs, compression="on")
                 results[net_name] = baseline.total_time / ccoll.total_time
             return results
 

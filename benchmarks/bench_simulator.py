@@ -8,7 +8,7 @@ simulator regressions show up independently of the collectives built on top.
 import numpy as np
 import pytest
 
-from repro.collectives import CollectiveContext, run_ring_allreduce
+from repro.api import Cluster
 from repro.mpisim import Compute, Irecv, Isend, NetworkModel, Waitall, run_simulation
 
 NET = NetworkModel(latency=1e-6, bandwidth=1e9, eager_threshold=1024, inflight_window=1024**2)
@@ -54,7 +54,6 @@ class TestCollectiveThroughput:
     def test_baseline_allreduce_32_ranks(self, benchmark):
         rng = np.random.default_rng(0)
         inputs = [rng.standard_normal(20_000) for _ in range(32)]
-        outcome = benchmark(
-            run_ring_allreduce, inputs, 32, CollectiveContext(), NET
-        )
+        comm = Cluster(network=NET).communicator(32)
+        outcome = benchmark(comm.allreduce, inputs, "ring")
         np.testing.assert_allclose(outcome.value(0), np.sum(inputs, axis=0), rtol=1e-10)

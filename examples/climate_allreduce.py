@@ -15,8 +15,8 @@ import argparse
 
 import numpy as np
 
-from repro.ccoll import CCollConfig, run_c_allreduce, run_cpr_allreduce
-from repro.collectives import run_ring_allreduce
+from repro.api import Cluster
+from repro.ccoll import CCollConfig
 from repro.datasets import load_field, message_of_size
 from repro.harness import format_table
 from repro.metrics import nrmse, psnr
@@ -46,9 +46,10 @@ def main() -> None:
             codec="szx", error_bound=args.error_bound, size_multiplier=multiplier
         )
 
-        baseline = run_ring_allreduce(inputs, args.ranks, ctx=config.context(), network=network)
-        cpr = run_cpr_allreduce(inputs, args.ranks, config=config, network=network)
-        ccoll = run_c_allreduce(inputs, args.ranks, config=config, network=network)
+        comm = Cluster(network=network, config=config).communicator(args.ranks)
+        baseline = comm.allreduce(inputs, algorithm="ring")
+        cpr = comm.allreduce(inputs, compression="di")
+        ccoll = comm.allreduce(inputs, compression="on")
 
         for name, outcome in (("Allreduce", baseline), ("SZx CPR-P2P", cpr), ("C-Allreduce", ccoll)):
             rows.append(

@@ -1,26 +1,41 @@
 #!/usr/bin/env python
-"""Quickstart: compress a scientific field and run C-Allreduce against MPI_Allreduce.
+"""Quickstart: the three-layer session API on a compressed allreduce.
 
-This walks through the three layers of the library in ~60 lines:
+The library is used through three layers (PR 3's ``repro.api``):
 
-1. generate a synthetic scientific field and compress it with the SZx-style
-   error-bounded codec;
-2. run the original (uncompressed) ring allreduce on a simulated cluster;
-3. run C-Allreduce on the same data and compare speed and accuracy.
+1. **Cluster** — describe the machine once: interconnect model, topology,
+   cost model, C-Coll codec settings and the virtual-size multiplier.
+2. **Communicator** — an mpi4py-style session bound to that cluster and a
+   rank count; every MPI collective is a method
+   (``allreduce``, ``bcast``, ``reduce_scatter``, ...).
+3. **Outcomes** — each call returns per-rank values plus the simulated
+   timeline (makespan, per-category breakdown, bytes on the wire).
+
+This walkthrough compresses a scientific field with the SZx-style codec, then
+runs the original MPI_Allreduce and C-Allreduce on the same simulated cluster
+and compares speed and accuracy.
 
 Run with::
 
     python examples/quickstart.py
+
+To execute the same collectives on a *real* cluster instead of the simulator,
+swap the backend (requires the optional ``mpi4py`` package) and launch under
+``mpiexec -n 8``::
+
+    from repro.api import MPI4PyBackend
+
+    comm = cluster.communicator(N_RANKS, backend=MPI4PyBackend())
+    outcome = comm.allreduce(per_rank)   # same call, real Isend/Irecv/Wait
 """
 
 import numpy as np
 
-from repro.ccoll import CCollConfig, run_c_allreduce
-from repro.collectives import run_ring_allreduce
+from repro.api import Cluster
+from repro.ccoll import CCollConfig
 from repro.compression import SZxCompressor
 from repro.datasets import load_field
 from repro.metrics import psnr
-from repro.perfmodel import default_network
 
 N_RANKS = 8
 ERROR_BOUND = 1e-3
@@ -41,23 +56,27 @@ def main() -> None:
         f"PSNR {psnr(data, reconstructed):.1f} dB"
     )
 
-    # --- 2. the uncompressed baseline on the simulated cluster --------------
-    network = default_network()
+    # --- 2. layer one: the cluster, bound once -------------------------------
+    cluster = Cluster(
+        config=CCollConfig(
+            codec="szx", error_bound=ERROR_BOUND, size_multiplier=SIZE_MULTIPLIER
+        )
+    )
     per_rank = [data * np.float32(1 + 1e-6 * r) for r in range(N_RANKS)]
     exact_sum = np.sum(np.stack(per_rank), axis=0, dtype=np.float64)
 
-    config = CCollConfig(
-        codec="szx", error_bound=ERROR_BOUND, size_multiplier=SIZE_MULTIPLIER
-    )
-    baseline = run_ring_allreduce(per_rank, N_RANKS, ctx=config.context(), network=network)
+    # --- 3. layer two: the communicator session ------------------------------
+    comm = cluster.communicator(N_RANKS)
+
+    baseline = comm.allreduce(per_rank, algorithm="ring")  # the paper's AD baseline
     print(
         f"\nMPI_Allreduce  ({N_RANKS} ranks, "
         f"{per_rank[0].nbytes * SIZE_MULTIPLIER / 1e6:.0f} MB virtual): "
         f"{baseline.total_time * 1e3:.1f} ms"
     )
 
-    # --- 3. C-Allreduce ------------------------------------------------------
-    ccoll = run_c_allreduce(per_rank, N_RANKS, config=config, network=network)
+    # --- 4. layer three: outcomes --------------------------------------------
+    ccoll = comm.allreduce(per_rank, compression="on")  # the full C-Allreduce
     speedup = baseline.total_time / ccoll.total_time
     quality = psnr(exact_sum, ccoll.value(0))
     print(

@@ -16,8 +16,8 @@ import argparse
 
 import numpy as np
 
-from repro.ccoll import CCollConfig, run_c_allreduce, run_cpr_allreduce
-from repro.collectives import run_ring_allreduce
+from repro.api import Cluster
+from repro.ccoll import CCollConfig
 from repro.datasets import load_field, message_of_size
 from repro.harness import format_table
 from repro.perfmodel import CostModel, default_network, line_rate_network
@@ -25,9 +25,10 @@ from repro.utils.units import MB
 
 
 def run_point(inputs, n_ranks, config, network):
-    baseline = run_ring_allreduce(inputs, n_ranks, ctx=config.context(), network=network)
-    cpr = run_cpr_allreduce(inputs, n_ranks, config=config, network=network)
-    ccoll = run_c_allreduce(inputs, n_ranks, config=config, network=network)
+    comm = Cluster(network=network, config=config).communicator(n_ranks)
+    baseline = comm.allreduce(inputs, algorithm="ring")
+    cpr = comm.allreduce(inputs, compression="di")
+    ccoll = comm.allreduce(inputs, compression="on")
     return baseline, cpr, ccoll
 
 

@@ -6,6 +6,7 @@ and ``DESIGN.md`` for the system inventory and paper-experiment index.
 
 Subpackages:
 
+* :mod:`repro.api`         — the public session API (Cluster / Communicator)
 * :mod:`repro.compression` — SZx / PIPE-SZx / ZFP-style codecs
 * :mod:`repro.datasets`    — synthetic RTM / Hurricane / CESM-ATM fields
 * :mod:`repro.mpisim`      — discrete-event MPI runtime simulator
@@ -21,7 +22,9 @@ from repro._version import __version__
 
 # Convenience re-exports of the most common entry points.  The subpackages stay
 # the canonical import locations; these aliases only cover what a quickstart or
-# notebook typically needs.
+# notebook typically needs.  The run_* aliases are the deprecated legacy shims,
+# kept importable for scripts that have not migrated to the session API yet.
+from repro.api import Cluster, Communicator, MPI4PyBackend, SimBackend
 from repro.apps.image_stacking import run_image_stacking
 from repro.ccoll.allreduce import run_c_allreduce
 from repro.ccoll.config import CCollConfig
@@ -37,6 +40,10 @@ from repro.perfmodel.presets import default_cost_model, default_network
 
 __all__ = [
     "__version__",
+    "Cluster",
+    "Communicator",
+    "SimBackend",
+    "MPI4PyBackend",
     "CCollConfig",
     "CostModel",
     "SZxCompressor",

@@ -1,0 +1,54 @@
+"""repro.api — the unified session API for running collectives.
+
+This is the package's public surface since PR 3.  The three-layer story:
+
+1. :class:`Cluster` describes the machine once — interconnect, topology,
+   cost model, C-Coll settings, virtual-size scaling — either directly or via
+   ``Cluster.from_preset("fat_tree", nodes=8)``.
+2. :class:`Communicator` is an mpi4py-style session bound to a cluster and a
+   rank count, exposing ``allreduce / reduce_scatter / allgather / bcast /
+   scatter / gather / reduce / alltoall / barrier`` with ``algorithm="auto"``
+   (the MPICH-style tuning table) and ``compression="off"|"on"|"auto"``
+   (the C-Coll variants and the fabric break-even gate).
+3. Every call returns the familiar outcome objects
+   (:class:`~repro.collectives.context.CollectiveOutcome` /
+   :class:`~repro.ccoll.movement.CCollOutcome`): per-rank values plus the
+   simulated timeline.
+
+Execution is pluggable through the :class:`~repro.mpisim.backends.Backend`
+protocol: the default :class:`~repro.mpisim.backends.SimBackend` runs the
+discrete-event simulator (bit-for-bit the legacy behaviour) and
+:class:`~repro.mpisim.backends.MPI4PyBackend` interprets the same rank
+programs against real MPI when ``mpi4py`` is available::
+
+    from repro.api import Cluster, Communicator
+
+    comm = Cluster.from_preset("shared_uplink", ranks_per_node=4).communicator(16)
+    outcome = comm.allreduce(vectors, compression="auto")
+    print(outcome.total_time, comm.last_algorithm)
+
+The legacy ``run_*`` free functions still exist as deprecated shims that
+delegate here; new code should not call them.
+"""
+
+from repro.api.cluster import Cluster
+from repro.api.communicator import Communicator
+from repro.mpisim.backends import (
+    Backend,
+    BackendUnavailableError,
+    MPI4PyBackend,
+    SimBackend,
+    default_backend,
+    resolve_backend,
+)
+
+__all__ = [
+    "Backend",
+    "BackendUnavailableError",
+    "Cluster",
+    "Communicator",
+    "MPI4PyBackend",
+    "SimBackend",
+    "default_backend",
+    "resolve_backend",
+]

@@ -1,0 +1,208 @@
+"""The :class:`Cluster` — one object binding the whole machine description.
+
+Layer one of the session API's three-layer story::
+
+    Cluster  ->  Communicator  ->  CollectiveOutcome / CCollOutcome
+    (machine)    (session)         (per-rank values + simulated timing)
+
+A ``Cluster`` bundles everything the legacy ``run_*`` functions used to take
+as four-to-five separate keyword arguments — the interconnect
+:class:`~repro.mpisim.network.NetworkModel`, the placement/fabric
+:class:`~repro.mpisim.topology.Topology`, the
+:class:`~repro.perfmodel.costmodel.CostModel`, the C-Coll
+:class:`~repro.ccoll.config.CCollConfig` and the virtual ``size_multiplier``
+— into a single immutable value that is bound *once* and threaded everywhere
+by :class:`repro.api.Communicator`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.ccoll.config import CCollConfig
+from repro.collectives.context import CollectiveContext
+from repro.mpisim.backends import Backend
+from repro.mpisim.network import NetworkModel
+from repro.mpisim.topology import Topology
+from repro.perfmodel.costmodel import CostModel
+from repro.perfmodel.presets import TOPOLOGY_PRESETS, default_network, make_topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api.communicator import Communicator
+
+__all__ = ["Cluster"]
+
+
+def _fat_tree_arity_for(nodes: int) -> int:
+    """Smallest even fat-tree arity ``k`` whose ``k^3/4`` host slots fit ``nodes``."""
+    k = 2
+    while k * k * k // 4 < nodes:
+        k += 2
+    return k
+
+
+def _translate_nodes(preset: str, nodes: int, kwargs: dict) -> dict:
+    """Turn a ``nodes=N`` convenience argument into preset-native parameters."""
+    if nodes < 1:
+        raise ValueError(f"nodes must be >= 1, got {nodes}")
+    if preset in ("fat_tree", "rail_fat_tree"):
+        kwargs.setdefault("k", _fat_tree_arity_for(nodes))
+    elif preset == "dragonfly":
+        routers = kwargs.get("routers_per_group", 4)
+        per_router = kwargs.get("nodes_per_router", 1)
+        kwargs.setdefault("n_groups", max(2, math.ceil(nodes / (routers * per_router))))
+    else:
+        # flat/two_level/shared_uplink size themselves from n_ranks at call
+        # time, so a fixed node count has nothing to configure
+        raise ValueError(
+            f"preset {preset!r} derives its node count from the communicator size; "
+            "'nodes' only applies to fixed-size fabrics (fat_tree, rail_fat_tree, dragonfly)"
+        )
+    return kwargs
+
+
+class Cluster:
+    """Immutable description of the machine a :class:`Communicator` runs on.
+
+    Parameters
+    ----------
+    network:
+        Interconnect model; ``None`` keeps the engine's calibrated
+        Omni-Path-like default.
+    topology:
+        Placement/fabric model; ``None`` is the flat one-rank-per-node fabric.
+    config:
+        C-Coll settings (codec, error bound, frameworks).  Defaults to
+        :class:`CCollConfig`'s calibrated defaults.
+    cost:
+        Shorthand override for ``config.cost``.
+    size_multiplier:
+        Shorthand override for ``config.size_multiplier`` (virtual bytes per
+        real byte — the paper-scale message trick).
+
+    The C-Coll config is the single source of truth for the cost model and the
+    size multiplier; the ``cost``/``size_multiplier`` shorthands are folded
+    into it, so ``cluster.config.context()`` and ``cluster.context()`` always
+    agree.
+    """
+
+    __slots__ = ("network", "topology", "config", "preset")
+
+    def __init__(
+        self,
+        network: Optional[NetworkModel] = None,
+        topology: Optional[Topology] = None,
+        config: Optional[CCollConfig] = None,
+        cost: Optional[CostModel] = None,
+        size_multiplier: Optional[float] = None,
+        preset: Optional[str] = None,
+    ) -> None:
+        config = config if config is not None else CCollConfig()
+        updates = {}
+        if cost is not None:
+            updates["cost"] = cost
+        if size_multiplier is not None:
+            updates["size_multiplier"] = size_multiplier
+        if updates:
+            config = config.with_updates(**updates)
+        object.__setattr__(self, "network", network)
+        object.__setattr__(self, "topology", topology)
+        object.__setattr__(self, "config", config)
+        object.__setattr__(self, "preset", preset)
+
+    def __setattr__(self, name, value):  # noqa: ANN001 - immutability guard
+        raise AttributeError(f"Cluster is immutable; use with_updates() to change {name!r}")
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def from_preset(
+        cls,
+        preset: str,
+        *,
+        network: Optional[NetworkModel] = None,
+        config: Optional[CCollConfig] = None,
+        cost: Optional[CostModel] = None,
+        size_multiplier: Optional[float] = None,
+        nodes: Optional[int] = None,
+        **topology_kwargs,
+    ) -> "Cluster":
+        """Build a cluster from a named topology preset.
+
+        ``preset`` is a key of
+        :data:`repro.perfmodel.presets.TOPOLOGY_PRESETS` (``"flat"``,
+        ``"two_level"``, ``"shared_uplink"``, ``"fat_tree"``, ``"dragonfly"``,
+        ``"rail_fat_tree"``); remaining keyword arguments go to the preset
+        factory.  For the fixed-size fabrics, ``nodes=N`` picks the smallest
+        fabric with at least ``N`` host slots (e.g.
+        ``Cluster.from_preset("fat_tree", nodes=8)`` chooses the 16-host
+        ``k=4`` tree).  The calibrated network model is bound explicitly so
+        the cluster is self-describing.
+        """
+        key = preset.lower()
+        if key not in TOPOLOGY_PRESETS:
+            raise ValueError(
+                f"unknown topology preset {preset!r}; available: {', '.join(TOPOLOGY_PRESETS)}"
+            )
+        kwargs = dict(topology_kwargs)
+        if nodes is not None:
+            kwargs = _translate_nodes(key, nodes, kwargs)
+        return cls(
+            network=network if network is not None else default_network(),
+            topology=make_topology(key, **kwargs),
+            config=config,
+            cost=cost,
+            size_multiplier=size_multiplier,
+            preset=key,
+        )
+
+    def with_updates(self, **kwargs) -> "Cluster":
+        """Return a copy with some of (network, topology, config, cost,
+        size_multiplier) replaced."""
+        merged = {
+            "network": self.network,
+            "topology": self.topology,
+            "config": self.config,
+            "preset": self.preset,
+        }
+        if "topology" in kwargs and "preset" not in kwargs:
+            # a replaced topology invalidates the recorded preset name
+            merged["preset"] = None
+        merged.update(kwargs)
+        return Cluster(**merged)
+
+    # -------------------------------------------------------------- shorthands
+
+    @property
+    def cost(self) -> CostModel:
+        """The cost model (from the C-Coll config)."""
+        return self.config.cost
+
+    @property
+    def size_multiplier(self) -> float:
+        """Virtual bytes per real byte (from the C-Coll config)."""
+        return self.config.size_multiplier
+
+    def context(self) -> CollectiveContext:
+        """The execution context the uncompressed baselines run with."""
+        return self.config.context()
+
+    def communicator(self, n_ranks: int, backend: Optional[Backend] = None) -> "Communicator":
+        """Open a session of ``n_ranks`` ranks on this cluster.
+
+        ``backend`` selects the executor (``None`` -> the simulator; see
+        :mod:`repro.mpisim.backends`).
+        """
+        from repro.api.communicator import Communicator  # noqa: PLC0415 - cycle
+
+        return Communicator(self, n_ranks, backend=backend)
+
+    def __repr__(self) -> str:
+        fabric = self.preset or (
+            type(self.topology).__name__ if self.topology is not None else "flat"
+        )
+        return (
+            f"Cluster(fabric={fabric}, codec={self.config.codec!r}, "
+            f"size_multiplier={self.size_multiplier:g})"
+        )

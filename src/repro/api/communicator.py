@@ -1,0 +1,417 @@
+"""The :class:`Communicator` — the session object exposing every collective.
+
+Layer two of the three-layer story (``Cluster -> Communicator -> outcomes``).
+A communicator binds a :class:`~repro.api.cluster.Cluster` and a rank count
+once, then exposes the full collective surface as methods::
+
+    comm = Cluster.from_preset("shared_uplink", ranks_per_node=4).communicator(16)
+    outcome = comm.allreduce(vectors)                       # tuning-table pick
+    outcome = comm.allreduce(vectors, compression="on")     # full C-Allreduce
+    outcome = comm.allreduce(vectors, compression="auto")   # PR 2 break-even gate
+    comm.last_algorithm                                     # what "auto" chose
+
+Every method returns the same :class:`~repro.collectives.context.CollectiveOutcome`
+(or :class:`~repro.ccoll.movement.CCollOutcome` when compression is involved)
+the legacy ``run_*`` functions returned, produced bit-for-bit identically on
+the default :class:`~repro.mpisim.backends.SimBackend`.
+
+The ``compression`` argument is resolved through the *same* alias table as the
+Table V harness (:data:`repro.ccoll.variants.VARIANT_ALIASES`):
+
+``"off"``
+    The uncompressed baseline; ``algorithm`` picks the schedule (``"auto"``
+    consults :func:`repro.collectives.selection.select_algorithm`).
+``"on"`` / ``"di"`` / ``"nd"`` (allreduce only for di/nd)
+    The C-Coll variant with that canonical name (``Overlap`` / ``DI`` / ``ND``).
+``"auto"``
+    The placement- and bandwidth-aware choice: on multi-rank-per-node fabrics
+    the topology-aware C-Allreduce with its ``compress_inter="auto"`` gate;
+    elsewhere the break-even gate of
+    :func:`repro.ccoll.topology_aware.select_inter_compression` decides
+    between the full C-collective and the uncompressed baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.api.cluster import Cluster
+from repro.ccoll.computation import _run_c_reduce_scatter
+from repro.ccoll.cpr_p2p import _run_cpr_allgather, _run_cpr_bcast, _run_cpr_scatter
+from repro.ccoll.movement import CCollOutcome, _run_c_allgather, _run_c_bcast, _run_c_scatter
+from repro.ccoll.topology_aware import (
+    _run_topology_aware_c_allreduce,
+    select_inter_compression,
+)
+from repro.ccoll.variants import _VARIANT_RUNNERS, canonical_variant
+from repro.collectives.allgather import _run_ring_allgather
+from repro.collectives.alltoall import _run_pairwise_alltoall
+from repro.collectives.barrier import _run_barrier
+from repro.collectives.bcast import _run_binomial_bcast
+from repro.collectives.context import CollectiveOutcome
+from repro.collectives.gather import _run_binomial_gather
+from repro.collectives.reduce import _run_binomial_reduce
+from repro.collectives.reduce_scatter import _run_ring_reduce_scatter
+from repro.collectives.scatter import _run_binomial_scatter
+from repro.collectives.selection import _run_allreduce
+from repro.mpisim.backends import Backend, resolve_backend
+from repro.mpisim.topology import FlatTopology
+
+__all__ = ["Communicator"]
+
+
+class Communicator:
+    """A fixed-size rank session on a :class:`Cluster`.
+
+    Parameters
+    ----------
+    cluster:
+        The machine description (``None`` -> the calibrated default cluster).
+    n_ranks:
+        Communicator size; bound once, like ``MPI_COMM_WORLD``.
+    backend:
+        Executor for rank programs (``None``/"sim" -> the simulator,
+        "mpi4py" -> real MPI; see :mod:`repro.mpisim.backends`).
+    """
+
+    def __init__(
+        self,
+        cluster: Optional[Cluster],
+        n_ranks: int,
+        backend: Union[Backend, str, None] = None,
+    ) -> None:
+        if int(n_ranks) != n_ranks or n_ranks < 1:
+            raise ValueError(f"n_ranks must be a positive integer, got {n_ranks!r}")
+        self.cluster = cluster if cluster is not None else Cluster()
+        self.n_ranks = int(n_ranks)
+        self.backend = resolve_backend(backend)
+        #: algorithm chosen by each allreduce call, latest last ("auto" trace)
+        self.algorithm_trace: List[str] = []
+        #: canonical compression route of each compressed-capable call
+        self.compression_trace: List[str] = []
+
+    # ----------------------------------------------------------------- helpers
+
+    @property
+    def size(self) -> int:
+        """Alias of ``n_ranks`` (MPI naming)."""
+        return self.n_ranks
+
+    @property
+    def last_algorithm(self) -> Optional[str]:
+        """The allreduce algorithm used by the most recent call, if any."""
+        return self.algorithm_trace[-1] if self.algorithm_trace else None
+
+    @property
+    def last_compression(self) -> Optional[str]:
+        """Canonical compression route of the most recent compressible call."""
+        return self.compression_trace[-1] if self.compression_trace else None
+
+    def _common(self) -> dict:
+        """Cluster bindings threaded into every runner."""
+        return {
+            "network": self.cluster.network,
+            "topology": self.cluster.topology,
+            "backend": self.backend,
+        }
+
+    def _resolve_compression(self, compression: Union[str, bool]) -> str:
+        """Map a user compression switch to ``"auto"`` or a canonical variant."""
+        if compression is False:
+            return "AD"
+        if compression is True:
+            return "Overlap"
+        key = str(compression).strip().lower()
+        if key == "auto":
+            return "auto"
+        return canonical_variant(key)
+
+    @staticmethod
+    def _is_framework_switch(compression: Union[str, bool]) -> bool:
+        """True for the facade's on/off-style switches (vs explicit variants)."""
+        return compression is True or str(compression).strip().lower() == "on"
+
+    def _configured_c_variant(self) -> str:
+        """The C-Allreduce variant the cluster's config asks for."""
+        return "Overlap" if self.cluster.config.use_overlap else "ND"
+
+    def _gate_says_compress(self) -> bool:
+        """The PR 2 break-even gate on this cluster's fabric."""
+        topology = self.cluster.topology if self.cluster.topology is not None else FlatTopology()
+        return select_inter_compression(topology, self.cluster.config, self.cluster.network)
+
+    # --------------------------------------------------------------- allreduce
+
+    def allreduce(
+        self,
+        inputs,
+        algorithm: str = "auto",
+        compression: Union[str, bool] = "off",
+    ):
+        """Element-wise sum across all ranks; every rank gets the result.
+
+        ``algorithm`` applies to the uncompressed path (``"auto"`` consults
+        the tuning table; or name one of ``ring`` / ``recursive_doubling`` /
+        ``rabenseifner`` / ``hierarchical``).  ``compression`` is resolved via
+        the shared Table V alias table (see the module docstring).
+        """
+        mode = self._resolve_compression(compression)
+        if mode == "Overlap" and self._is_framework_switch(compression):
+            # "on"/True ask for the C-Coll framework *as configured*; the
+            # explicit "overlap"/"nd" spellings pin the exact Table V variant
+            mode = self._configured_c_variant()
+        if mode == "AD":
+            outcome, used = _run_allreduce(
+                inputs,
+                self.n_ranks,
+                algorithm=algorithm,
+                ctx=self.cluster.context(),
+                **self._common(),
+            )
+            self.algorithm_trace.append(used)
+            self.compression_trace.append("AD")
+            return outcome
+        if algorithm != "auto":
+            raise ValueError(
+                "algorithm= only applies to compression='off'; the compressed "
+                "variants fix their own schedule (ring / hierarchical)"
+            )
+        if mode == "auto":
+            return self._auto_compressed_allreduce(inputs)
+        runner = _VARIANT_RUNNERS[mode]
+        outcome = runner(
+            inputs,
+            self.n_ranks,
+            self.cluster.config,
+            self.cluster.network,
+            self.cluster.topology,
+            self.backend,
+        )
+        self.algorithm_trace.append("ring")
+        self.compression_trace.append(mode)
+        return outcome
+
+    def _auto_compressed_allreduce(self, inputs) -> CCollOutcome:
+        """``compression="auto"``: placement-aware schedule + break-even gate.
+
+        Multi-rank-per-node fabrics get the topology-aware C-Allreduce, whose
+        ``compress_inter="auto"`` gate decides per fabric whether the
+        inter-node hops are worth compressing.  One-rank-per-node fabrics
+        (including flat) have no intra/inter split, so the same break-even
+        gate simply picks between the full C-Allreduce and the tuning-table
+        baseline.
+        """
+        topology = self.cluster.topology
+        if topology is not None and topology.max_ranks_per_node(self.n_ranks) > 1:
+            # co-located ranks: the hierarchical schedule applies (on a single
+            # node it degenerates to the lossless intra-node reduction)
+            outcome = _run_topology_aware_c_allreduce(
+                inputs,
+                self.n_ranks,
+                topology=topology,
+                config=self.cluster.config,
+                network=self.cluster.network,
+                compress_inter="auto",
+                backend=self.backend,
+            )
+            self.algorithm_trace.append("hierarchical")
+            self.compression_trace.append("topology_aware")
+            return outcome
+        if self._gate_says_compress():
+            variant = self._configured_c_variant()
+            outcome = _VARIANT_RUNNERS[variant](
+                inputs,
+                self.n_ranks,
+                self.cluster.config,
+                self.cluster.network,
+                topology,
+                self.backend,
+            )
+            outcome.inter_compressed = True
+            self.algorithm_trace.append("ring")
+            self.compression_trace.append(variant)
+            return outcome
+        plain, used = _run_allreduce(
+            inputs,
+            self.n_ranks,
+            algorithm="auto",
+            ctx=self.cluster.context(),
+            **self._common(),
+        )
+        self.algorithm_trace.append(used)
+        self.compression_trace.append("AD")
+        return CCollOutcome(
+            values=plain.values, sim=plain.sim, compression_ratio=None, inter_compressed=False
+        )
+
+    # --------------------------------------------------- data-movement family
+
+    def allgather(self, inputs, compression: Union[str, bool] = "off") -> CollectiveOutcome:
+        """Every rank contributes a block; every rank receives all blocks."""
+        mode = self._movement_mode("allgather", compression)
+        if mode == "AD":
+            return self._record(
+                mode,
+                _run_ring_allgather(
+                    inputs, self.n_ranks, ctx=self.cluster.context(), **self._common()
+                ),
+            )
+        if mode == "DI":
+            return self._record(
+                mode,
+                _run_cpr_allgather(
+                    inputs, self.n_ranks, config=self.cluster.config, **self._common()
+                ),
+            )
+        return self._record(
+            mode,
+            _run_c_allgather(inputs, self.n_ranks, config=self.cluster.config, **self._common()),
+        )
+
+    def bcast(
+        self, data, root: int = 0, compression: Union[str, bool] = "off"
+    ) -> CollectiveOutcome:
+        """Broadcast ``data`` from ``root`` to every rank."""
+        self._check_root(root)
+        mode = self._movement_mode("bcast", compression)
+        if mode == "AD":
+            return self._record(
+                mode,
+                _run_binomial_bcast(
+                    data, self.n_ranks, root=root, ctx=self.cluster.context(), **self._common()
+                ),
+            )
+        if mode == "DI":
+            return self._record(
+                mode,
+                _run_cpr_bcast(
+                    data, self.n_ranks, root=root, config=self.cluster.config, **self._common()
+                ),
+            )
+        return self._record(
+            mode,
+            _run_c_bcast(
+                data, self.n_ranks, root=root, config=self.cluster.config, **self._common()
+            ),
+        )
+
+    def scatter(
+        self, inputs, root: int = 0, compression: Union[str, bool] = "off"
+    ) -> CollectiveOutcome:
+        """Scatter one block per rank from ``root``."""
+        self._check_root(root)
+        mode = self._movement_mode("scatter", compression)
+        if mode == "AD":
+            return self._record(
+                mode,
+                _run_binomial_scatter(
+                    inputs, self.n_ranks, root=root, ctx=self.cluster.context(), **self._common()
+                ),
+            )
+        if mode == "DI":
+            return self._record(
+                mode,
+                _run_cpr_scatter(
+                    inputs, self.n_ranks, root=root, config=self.cluster.config, **self._common()
+                ),
+            )
+        return self._record(
+            mode,
+            _run_c_scatter(
+                inputs, self.n_ranks, root=root, config=self.cluster.config, **self._common()
+            ),
+        )
+
+    def reduce_scatter(
+        self,
+        inputs,
+        compression: Union[str, bool] = "off",
+        overlap: Optional[bool] = None,
+    ) -> CollectiveOutcome:
+        """Reduce element-wise and scatter chunks; rank ``r`` gets chunk ``r``.
+
+        ``overlap`` overrides the config's PIPE-SZx pipelining switch on the
+        compressed path.
+        """
+        mode = self._movement_mode("reduce_scatter", compression, di_available=False)
+        if mode == "AD":
+            return self._record(
+                mode,
+                _run_ring_reduce_scatter(
+                    inputs, self.n_ranks, ctx=self.cluster.context(), **self._common()
+                ),
+            )
+        # trace the schedule that actually runs: the explicit overlap argument,
+        # falling back to the config's PIPE-SZx switch (like the runner does)
+        effective_overlap = self.cluster.config.use_overlap if overlap is None else overlap
+        return self._record(
+            "Overlap" if effective_overlap else "ND",
+            _run_c_reduce_scatter(
+                inputs,
+                self.n_ranks,
+                config=self.cluster.config,
+                overlap=overlap,
+                **self._common(),
+            ),
+        )
+
+    def _movement_mode(
+        self, name: str, compression: Union[str, bool], di_available: bool = True
+    ) -> str:
+        """Resolve a compression switch for the non-allreduce collectives.
+
+        Returns ``"AD"`` (baseline), ``"DI"`` (CPR-P2P) or ``"Overlap"``
+        (the C-Coll framework variant); ``"auto"`` applies the break-even
+        gate.  ``ND`` has no meaning outside allreduce.
+        """
+        mode = self._resolve_compression(compression)
+        if mode == "auto":
+            mode = "Overlap" if self._gate_says_compress() else "AD"
+        if mode == "ND" or (mode == "DI" and not di_available):
+            options = "'off', 'on', 'di' or 'auto'" if di_available else "'off', 'on' or 'auto'"
+            raise ValueError(
+                f"compression={compression!r} is not available for {name}; use {options}"
+            )
+        return mode
+
+    def _record(self, mode: str, outcome: CollectiveOutcome) -> CollectiveOutcome:
+        self.compression_trace.append(mode)
+        return outcome
+
+    # ------------------------------------------------------ uncompressed-only
+
+    def gather(self, inputs, root: int = 0) -> CollectiveOutcome:
+        """Gather one block per rank to ``root`` (no compressed variant in C-Coll)."""
+        self._check_root(root)
+        return _run_binomial_gather(
+            inputs, self.n_ranks, root=root, ctx=self.cluster.context(), **self._common()
+        )
+
+    def reduce(self, inputs, root: int = 0) -> CollectiveOutcome:
+        """Sum one vector per rank onto ``root`` (no compressed variant in C-Coll)."""
+        self._check_root(root)
+        return _run_binomial_reduce(
+            inputs, self.n_ranks, root=root, ctx=self.cluster.context(), **self._common()
+        )
+
+    def alltoall(self, inputs) -> CollectiveOutcome:
+        """Pairwise exchange: ``inputs[r][d]`` is the block rank ``r`` sends to ``d``."""
+        return _run_pairwise_alltoall(
+            inputs, self.n_ranks, ctx=self.cluster.context(), **self._common()
+        )
+
+    def barrier(self) -> CollectiveOutcome:
+        """Synchronise all ranks; every rank's value is ``None``."""
+        return _run_barrier(self.n_ranks, **self._common())
+
+    # -------------------------------------------------------------------- misc
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.n_ranks:
+            raise ValueError(f"root must be in [0, {self.n_ranks}), got {root}")
+
+    def __repr__(self) -> str:
+        return (
+            f"Communicator(n_ranks={self.n_ranks}, cluster={self.cluster!r}, "
+            f"backend={self.backend.name!r})"
+        )

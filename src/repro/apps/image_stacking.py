@@ -23,9 +23,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.ccoll.config import CCollConfig
-from repro.ccoll.cpr_p2p import run_cpr_allreduce
-from repro.ccoll.allreduce import run_c_allreduce
-from repro.collectives.allreduce import run_ring_allreduce
+from repro.api import Cluster
 from repro.datasets.rtm import generate_rtm_snapshot
 from repro.metrics.quality import QualityReport, quality_report
 from repro.mpisim.network import NetworkModel
@@ -128,19 +126,15 @@ def run_image_stacking(
 
     compression_ratio = None
     if method == "allreduce":
-        outcome = run_ring_allreduce(
-            flats,
-            n_ranks,
-            ctx=CCollConfig(size_multiplier=size_multiplier).context(),
-            network=network,
-        )
-    elif method == "c-allreduce":
-        config = _method_config(method, error_bound, rate, size_multiplier)
-        outcome = run_c_allreduce(flats, n_ranks, config=config, network=network)
-        compression_ratio = outcome.compression_ratio
+        comm = Cluster(
+            network=network, config=CCollConfig(size_multiplier=size_multiplier)
+        ).communicator(n_ranks)
+        outcome = comm.allreduce(flats, algorithm="ring")
     else:
         config = _method_config(method, error_bound, rate, size_multiplier)
-        outcome = run_cpr_allreduce(flats, n_ranks, config=config, network=network)
+        comm = Cluster(network=network, config=config).communicator(n_ranks)
+        compression = "on" if method == "c-allreduce" else "di"
+        outcome = comm.allreduce(flats, compression=compression)
         compression_ratio = outcome.compression_ratio
 
     stacked = np.asarray(outcome.value(0), dtype=np.float32)

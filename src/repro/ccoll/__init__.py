@@ -45,7 +45,12 @@ from repro.ccoll.topology_aware import (
     run_topology_aware_c_allreduce,
     topology_aware_c_allreduce_program,
 )
-from repro.ccoll.variants import ALLREDUCE_VARIANTS, run_allreduce_variant
+from repro.ccoll.variants import (
+    ALLREDUCE_VARIANTS,
+    VARIANT_ALIASES,
+    canonical_variant,
+    run_allreduce_variant,
+)
 
 __all__ = [
     "CCollConfig",
@@ -77,5 +82,7 @@ __all__ = [
     "topology_aware_c_allreduce_program",
     "run_topology_aware_c_allreduce",
     "ALLREDUCE_VARIANTS",
+    "VARIANT_ALIASES",
+    "canonical_variant",
     "run_allreduce_variant",
 ]

@@ -29,9 +29,10 @@ from repro.ccoll.computation import (
 from repro.ccoll.config import CCollConfig
 from repro.ccoll.movement import CCollOutcome, _finish, c_allgather_program
 from repro.collectives.context import CollectiveContext, as_rank_arrays
-from repro.mpisim.launcher import run_simulation
+from repro.mpisim.backends import Backend, execute as _execute
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.topology import Topology
+from repro.utils.deprecation import warn_legacy_runner
 
 __all__ = ["c_allreduce_program", "run_c_allreduce"]
 
@@ -73,19 +74,21 @@ def c_allreduce_program(
     return np.concatenate(blocks)
 
 
-def run_c_allreduce(
+def _run_c_allreduce(
     inputs,
     n_ranks: int,
     config: Optional[CCollConfig] = None,
     network: Optional[NetworkModel] = None,
     overlap: Optional[bool] = None,
     topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
 ) -> CCollOutcome:
     """Run C-Allreduce (or its non-overlapped ND variant with ``overlap=False``).
 
     ``topology`` only affects link timing here (the flat ring schedule is kept);
-    use :func:`repro.ccoll.topology_aware.run_topology_aware_c_allreduce` for
-    the placement-aware schedule that compresses inter-node hops only.
+    use the topology-aware C-Allreduce (``Communicator.allreduce`` with
+    ``compression="auto"``) for the placement-aware schedule that compresses
+    inter-node hops only.
     """
     config = config or CCollConfig()
     ctx = config.context()
@@ -108,5 +111,27 @@ def run_c_allreduce(
             overlap=use_overlap,
         )
 
-    sim = run_simulation(n_ranks, factory, network=network, topology=topology)
+    sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return _finish(sim.rank_values, sim, rs_adapters + ag_adapters)
+
+
+def run_c_allreduce(
+    inputs,
+    n_ranks: int,
+    config: Optional[CCollConfig] = None,
+    network: Optional[NetworkModel] = None,
+    overlap: Optional[bool] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
+) -> CCollOutcome:
+    """Deprecated shim — use ``Communicator.allreduce(compression="on")``."""
+    warn_legacy_runner("run_c_allreduce", "Communicator.allreduce(compression='on')")
+    return _run_c_allreduce(
+        inputs,
+        n_ranks,
+        config=config,
+        network=network,
+        overlap=overlap,
+        topology=topology,
+        backend=backend,
+    )

@@ -33,10 +33,12 @@ from repro.ccoll.adapter import CompressedMessage, CompressionAdapter
 from repro.ccoll.config import CCollConfig
 from repro.collectives.context import CollectiveContext, CollectiveOutcome, as_rank_arrays
 from repro.collectives.reduce_scatter import partition_chunks
+from repro.mpisim.backends import Backend, execute as _execute
 from repro.mpisim.commands import Compute, Irecv, Isend, Test, Wait, Waitall
-from repro.mpisim.launcher import run_simulation
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.timeline import CAT_COMDECOM, CAT_MEMCPY, CAT_OTHERS, CAT_REDUCTION, CAT_WAIT
+from repro.mpisim.topology import Topology
+from repro.utils.deprecation import warn_legacy_runner
 
 __all__ = [
     "segment_count",
@@ -169,12 +171,14 @@ def c_reduce_scatter_program(
     return chunks[rank]
 
 
-def run_c_reduce_scatter(
+def _run_c_reduce_scatter(
     inputs,
     n_ranks: int,
     config: Optional[CCollConfig] = None,
     network: Optional[NetworkModel] = None,
     overlap: Optional[bool] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
 ) -> CollectiveOutcome:
     """Run the C-Coll reduce-scatter; rank ``r``'s result is reduced chunk ``r``."""
     config = config or CCollConfig()
@@ -193,5 +197,27 @@ def run_c_reduce_scatter(
             overlap=use_overlap,
         )
 
-    sim = run_simulation(n_ranks, factory, network=network)
+    sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return CollectiveOutcome(values=sim.rank_values, sim=sim)
+
+
+def run_c_reduce_scatter(
+    inputs,
+    n_ranks: int,
+    config: Optional[CCollConfig] = None,
+    network: Optional[NetworkModel] = None,
+    overlap: Optional[bool] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
+) -> CollectiveOutcome:
+    """Deprecated shim — use ``Communicator.reduce_scatter(compression="on")``."""
+    warn_legacy_runner("run_c_reduce_scatter", "Communicator.reduce_scatter(compression='on')")
+    return _run_c_reduce_scatter(
+        inputs,
+        n_ranks,
+        config=config,
+        network=network,
+        overlap=overlap,
+        topology=topology,
+        backend=backend,
+    )

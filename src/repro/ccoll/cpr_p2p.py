@@ -30,8 +30,8 @@ from repro.ccoll.config import CCollConfig
 from repro.ccoll.movement import CCollOutcome, _finish
 from repro.collectives.context import CollectiveContext, as_rank_arrays
 from repro.collectives.reduce_scatter import partition_chunks
+from repro.mpisim.backends import Backend, execute as _execute
 from repro.mpisim.commands import Compute, Irecv, Isend, Wait, Waitall
-from repro.mpisim.launcher import run_simulation
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.timeline import (
     CAT_ALLGATHER,
@@ -41,6 +41,8 @@ from repro.mpisim.timeline import (
     CAT_REDUCTION,
     CAT_WAIT,
 )
+from repro.mpisim.topology import Topology
+from repro.utils.deprecation import warn_legacy_runner
 
 __all__ = [
     "cpr_allreduce_program",
@@ -132,11 +134,13 @@ def cpr_allreduce_program(
     return np.concatenate(chunks)
 
 
-def run_cpr_allreduce(
+def _run_cpr_allreduce(
     inputs,
     n_ranks: int,
     config: Optional[CCollConfig] = None,
     network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
 ) -> CCollOutcome:
     """Run the CPR-P2P (direct integration) ring allreduce."""
     config = config or CCollConfig()
@@ -147,8 +151,23 @@ def run_cpr_allreduce(
     def factory(rank: int, size: int):
         return cpr_allreduce_program(rank, size, vectors[rank], adapters[rank], ctx)
 
-    sim = run_simulation(n_ranks, factory, network=network)
+    sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return _finish(sim.rank_values, sim, adapters)
+
+
+def run_cpr_allreduce(
+    inputs,
+    n_ranks: int,
+    config: Optional[CCollConfig] = None,
+    network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
+) -> CCollOutcome:
+    """Deprecated shim — use ``Communicator.allreduce(compression="di")``."""
+    warn_legacy_runner("run_cpr_allreduce", "Communicator.allreduce(compression='di')")
+    return _run_cpr_allreduce(
+        inputs, n_ranks, config=config, network=network, topology=topology, backend=backend
+    )
 
 
 # -------------------------------------------------------------------------- allgather
@@ -183,11 +202,13 @@ def cpr_allgather_program(
     return blocks
 
 
-def run_cpr_allgather(
+def _run_cpr_allgather(
     inputs,
     n_ranks: int,
     config: Optional[CCollConfig] = None,
     network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
 ) -> CCollOutcome:
     """Run the CPR-P2P ring allgather."""
     config = config or CCollConfig()
@@ -198,8 +219,23 @@ def run_cpr_allgather(
     def factory(rank: int, size: int):
         return cpr_allgather_program(rank, size, blocks[rank], adapters[rank], ctx)
 
-    sim = run_simulation(n_ranks, factory, network=network)
+    sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return _finish(sim.rank_values, sim, adapters)
+
+
+def run_cpr_allgather(
+    inputs,
+    n_ranks: int,
+    config: Optional[CCollConfig] = None,
+    network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
+) -> CCollOutcome:
+    """Deprecated shim — use ``Communicator.allgather(compression="di")``."""
+    warn_legacy_runner("run_cpr_allgather", "Communicator.allgather(compression='di')")
+    return _run_cpr_allgather(
+        inputs, n_ranks, config=config, network=network, topology=topology, backend=backend
+    )
 
 
 # ------------------------------------------------------------------------------ bcast
@@ -242,12 +278,14 @@ def cpr_bcast_program(
     return buffer
 
 
-def run_cpr_bcast(
+def _run_cpr_bcast(
     data: np.ndarray,
     n_ranks: int,
     root: int = 0,
     config: Optional[CCollConfig] = None,
     network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
 ) -> CCollOutcome:
     """Run the CPR-P2P binomial broadcast."""
     config = config or CCollConfig()
@@ -260,8 +298,25 @@ def run_cpr_bcast(
             rank, size, data if rank == root else None, adapters[rank], ctx, root=root
         )
 
-    sim = run_simulation(n_ranks, factory, network=network)
+    sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return _finish(sim.rank_values, sim, adapters)
+
+
+def run_cpr_bcast(
+    data: np.ndarray,
+    n_ranks: int,
+    root: int = 0,
+    config: Optional[CCollConfig] = None,
+    network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
+) -> CCollOutcome:
+    """Deprecated shim — use ``Communicator.bcast(compression="di")``."""
+    warn_legacy_runner("run_cpr_bcast", "Communicator.bcast(compression='di')")
+    return _run_cpr_bcast(
+        data, n_ranks, root=root, config=config, network=network, topology=topology,
+        backend=backend,
+    )
 
 
 # ---------------------------------------------------------------------------- scatter
@@ -315,12 +370,14 @@ def cpr_scatter_program(
     return segment[0]
 
 
-def run_cpr_scatter(
+def _run_cpr_scatter(
     inputs,
     n_ranks: int,
     root: int = 0,
     config: Optional[CCollConfig] = None,
     network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
 ) -> CCollOutcome:
     """Run the CPR-P2P binomial scatter."""
     config = config or CCollConfig()
@@ -334,5 +391,22 @@ def run_cpr_scatter(
             rank, size, relative_blocks if rank == root else None, adapters[rank], ctx, root=root
         )
 
-    sim = run_simulation(n_ranks, factory, network=network)
+    sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return _finish(sim.rank_values, sim, adapters)
+
+
+def run_cpr_scatter(
+    inputs,
+    n_ranks: int,
+    root: int = 0,
+    config: Optional[CCollConfig] = None,
+    network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
+) -> CCollOutcome:
+    """Deprecated shim — use ``Communicator.scatter(compression="di")``."""
+    warn_legacy_runner("run_cpr_scatter", "Communicator.scatter(compression='di')")
+    return _run_cpr_scatter(
+        inputs, n_ranks, root=root, config=config, network=network, topology=topology,
+        backend=backend,
+    )

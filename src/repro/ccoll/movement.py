@@ -30,10 +30,12 @@ import numpy as np
 from repro.ccoll.adapter import CompressedMessage, CompressionAdapter
 from repro.ccoll.config import CCollConfig
 from repro.collectives.context import CollectiveContext, CollectiveOutcome, as_rank_arrays
+from repro.mpisim.backends import Backend, execute as _execute
 from repro.mpisim.commands import Compute, Irecv, Isend, Wait, Waitall
-from repro.mpisim.launcher import run_simulation
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.timeline import CAT_ALLGATHER, CAT_COMDECOM, CAT_OTHERS, CAT_WAIT
+from repro.mpisim.topology import Topology
+from repro.utils.deprecation import warn_legacy_runner
 
 __all__ = [
     "CCollOutcome",
@@ -168,11 +170,13 @@ def c_allgather_program(
     return blocks
 
 
-def run_c_allgather(
+def _run_c_allgather(
     inputs,
     n_ranks: int,
     config: Optional[CCollConfig] = None,
     network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
 ) -> CCollOutcome:
     """Run C-Allgather; every rank's result is the list of all (reconstructed) blocks."""
     config = config or CCollConfig()
@@ -183,8 +187,23 @@ def run_c_allgather(
     def factory(rank: int, size: int):
         return c_allgather_program(rank, size, blocks[rank], adapters[rank], ctx)
 
-    sim = run_simulation(n_ranks, factory, network=network)
+    sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return _finish(sim.rank_values, sim, adapters)
+
+
+def run_c_allgather(
+    inputs,
+    n_ranks: int,
+    config: Optional[CCollConfig] = None,
+    network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
+) -> CCollOutcome:
+    """Deprecated shim — use ``Communicator.allgather(compression="on")``."""
+    warn_legacy_runner("run_c_allgather", "Communicator.allgather(compression='on')")
+    return _run_c_allgather(
+        inputs, n_ranks, config=config, network=network, topology=topology, backend=backend
+    )
 
 
 # ----------------------------------------------------------------------------- bcast
@@ -236,12 +255,14 @@ def c_bcast_program(
     return result
 
 
-def run_c_bcast(
+def _run_c_bcast(
     data: np.ndarray,
     n_ranks: int,
     root: int = 0,
     config: Optional[CCollConfig] = None,
     network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
 ) -> CCollOutcome:
     """Run C-Bcast; every rank's result is the (root-exact / reconstructed) buffer."""
     config = config or CCollConfig()
@@ -254,8 +275,25 @@ def run_c_bcast(
             rank, size, data if rank == root else None, adapters[rank], ctx, root=root
         )
 
-    sim = run_simulation(n_ranks, factory, network=network)
+    sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return _finish(sim.rank_values, sim, adapters)
+
+
+def run_c_bcast(
+    data: np.ndarray,
+    n_ranks: int,
+    root: int = 0,
+    config: Optional[CCollConfig] = None,
+    network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
+) -> CCollOutcome:
+    """Deprecated shim — use ``Communicator.bcast(compression="on")``."""
+    warn_legacy_runner("run_c_bcast", "Communicator.bcast(compression='on')")
+    return _run_c_bcast(
+        data, n_ranks, root=root, config=config, network=network, topology=topology,
+        backend=backend,
+    )
 
 
 # --------------------------------------------------------------------------- scatter
@@ -316,12 +354,14 @@ def c_scatter_program(
     return result
 
 
-def run_c_scatter(
+def _run_c_scatter(
     inputs,
     n_ranks: int,
     root: int = 0,
     config: Optional[CCollConfig] = None,
     network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
 ) -> CCollOutcome:
     """Run C-Scatter; rank ``r``'s result is its (reconstructed) block ``inputs[r]``."""
     config = config or CCollConfig()
@@ -335,5 +375,22 @@ def run_c_scatter(
             rank, size, relative_blocks if rank == root else None, adapters[rank], ctx, root=root
         )
 
-    sim = run_simulation(n_ranks, factory, network=network)
+    sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return _finish(sim.rank_values, sim, adapters)
+
+
+def run_c_scatter(
+    inputs,
+    n_ranks: int,
+    root: int = 0,
+    config: Optional[CCollConfig] = None,
+    network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
+) -> CCollOutcome:
+    """Deprecated shim — use ``Communicator.scatter(compression="on")``."""
+    warn_legacy_runner("run_c_scatter", "Communicator.scatter(compression='on')")
+    return _run_c_scatter(
+        inputs, n_ranks, root=root, config=config, network=network, topology=topology,
+        backend=backend,
+    )

@@ -51,11 +51,12 @@ from repro.collectives.hierarchical import (
     node_groups,
 )
 from repro.collectives.reduce_scatter import partition_chunks
+from repro.mpisim.backends import Backend, execute as _execute
 from repro.mpisim.commands import Compute, Irecv, Isend, Waitall
-from repro.mpisim.launcher import run_simulation
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.topology import FlatTopology, Topology
 from repro.mpisim.timeline import CAT_COMDECOM, CAT_OTHERS, CAT_REDUCTION, CAT_WAIT
+from repro.utils.deprecation import warn_legacy_runner
 
 __all__ = [
     "topology_aware_c_allreduce_program",
@@ -182,13 +183,14 @@ def select_inter_compression(
     return effective < config.cost.codec_break_even_bandwidth(config.codec)
 
 
-def run_topology_aware_c_allreduce(
+def _run_topology_aware_c_allreduce(
     inputs,
     n_ranks: int,
     topology: Optional[Topology] = None,
     config: Optional[CCollConfig] = None,
     network: Optional[NetworkModel] = None,
     compress_inter: Union[str, bool] = "auto",
+    backend: Optional[Backend] = None,
 ) -> CCollOutcome:
     """Run the topology-aware C-Allreduce (compression on inter-node hops only).
 
@@ -220,7 +222,7 @@ def run_topology_aware_c_allreduce(
                 peers=peers_by_rank[rank], leaders=leaders,
             )
 
-        sim = run_simulation(n_ranks, plain_factory, network=network, topology=topology)
+        sim = _execute(backend, n_ranks, plain_factory, network=network, topology=topology)
         return CCollOutcome(
             values=sim.rank_values, sim=sim, compression_ratio=None, inter_compressed=False
         )
@@ -233,7 +235,31 @@ def run_topology_aware_c_allreduce(
             peers=peers_by_rank[rank], leaders=leaders,
         )
 
-    sim = run_simulation(n_ranks, factory, network=network, topology=topology)
+    sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     outcome = _finish(sim.rank_values, sim, adapters)
     outcome.inter_compressed = True
     return outcome
+
+
+def run_topology_aware_c_allreduce(
+    inputs,
+    n_ranks: int,
+    topology: Optional[Topology] = None,
+    config: Optional[CCollConfig] = None,
+    network: Optional[NetworkModel] = None,
+    compress_inter: Union[str, bool] = "auto",
+    backend: Optional[Backend] = None,
+) -> CCollOutcome:
+    """Deprecated shim — use ``Communicator.allreduce(compression="auto")``."""
+    warn_legacy_runner(
+        "run_topology_aware_c_allreduce", "Communicator.allreduce(compression='auto')"
+    )
+    return _run_topology_aware_c_allreduce(
+        inputs,
+        n_ranks,
+        topology=topology,
+        config=config,
+        network=network,
+        compress_inter=compress_inter,
+        backend=backend,
+    )

@@ -12,24 +12,120 @@ Abbreviation  Implementation
               compression/communication overlap) — i.e. the full C-Allreduce.
 ============  =================================================================
 
-``run_allreduce_variant`` is the single entry point the harness uses for
-Figures 7-13.
+The alias table below is the *single* mapping from user-facing spellings to
+canonical variants; it is shared by :func:`run_allreduce_variant` (the Table V
+harness entry point) and by ``Communicator.allreduce(compression=...)`` in
+:mod:`repro.api`, so the facade and the harness cannot drift.  The facade's
+``compression="off"``/``"on"`` switches are aliases of ``AD``/``Overlap`` in
+the same table.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Dict, Optional
 
-from repro.ccoll.allreduce import run_c_allreduce
+from repro.ccoll.allreduce import _run_c_allreduce
 from repro.ccoll.config import CCollConfig
-from repro.ccoll.cpr_p2p import run_cpr_allreduce
+from repro.ccoll.cpr_p2p import _run_cpr_allreduce
 from repro.ccoll.movement import CCollOutcome
-from repro.collectives.allreduce import run_ring_allreduce
+from repro.collectives.allreduce import _run_ring_allreduce
+from repro.mpisim.backends import Backend
 from repro.mpisim.network import NetworkModel
+from repro.mpisim.topology import Topology
+from repro.utils.deprecation import warn_legacy_runner
 
-__all__ = ["ALLREDUCE_VARIANTS", "run_allreduce_variant"]
+__all__ = [
+    "ALLREDUCE_VARIANTS",
+    "VARIANT_ALIASES",
+    "canonical_variant",
+    "run_allreduce_variant",
+]
 
 ALLREDUCE_VARIANTS = ("AD", "DI", "ND", "Overlap")
+
+#: lower-cased user spelling -> canonical Table V variant.  ``"off"``/``"on"``
+#: are the facade's compression switches; everything else predates the facade.
+VARIANT_ALIASES: Dict[str, str] = {
+    "ad": "AD",
+    "allreduce": "AD",
+    "original": "AD",
+    "off": "AD",
+    "di": "DI",
+    "cpr-p2p": "DI",
+    "cpr_p2p": "DI",
+    "nd": "ND",
+    "novel design": "ND",
+    "novel_design": "ND",
+    "overlap": "Overlap",
+    "c-allreduce": "Overlap",
+    "c_allreduce": "Overlap",
+    "callreduce": "Overlap",
+    "on": "Overlap",
+}
+
+
+def canonical_variant(name: str) -> str:
+    """Resolve any accepted spelling (case-insensitive) to its canonical variant."""
+    key = str(name).strip().lower()
+    try:
+        return VARIANT_ALIASES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown allreduce variant {name!r}; expected one of {ALLREDUCE_VARIANTS} "
+            f"(aliases: {', '.join(sorted(VARIANT_ALIASES))})"
+        ) from None
+
+
+def _run_ad(inputs, n_ranks, config, network, topology, backend) -> CCollOutcome:
+    outcome = _run_ring_allreduce(
+        inputs, n_ranks, ctx=config.context(), network=network, topology=topology,
+        backend=backend,
+    )
+    return CCollOutcome(values=outcome.values, sim=outcome.sim, compression_ratio=None)
+
+
+def _run_di(inputs, n_ranks, config, network, topology, backend) -> CCollOutcome:
+    return _run_cpr_allreduce(
+        inputs, n_ranks, config=config, network=network, topology=topology, backend=backend
+    )
+
+
+def _run_nd(inputs, n_ranks, config, network, topology, backend) -> CCollOutcome:
+    return _run_c_allreduce(
+        inputs, n_ranks, config=config, network=network, overlap=False,
+        topology=topology, backend=backend,
+    )
+
+
+def _run_overlap(inputs, n_ranks, config, network, topology, backend) -> CCollOutcome:
+    return _run_c_allreduce(
+        inputs, n_ranks, config=config, network=network, overlap=True,
+        topology=topology, backend=backend,
+    )
+
+
+#: canonical variant -> runner with the uniform positional signature
+_VARIANT_RUNNERS: Dict[str, Callable[..., CCollOutcome]] = {
+    "AD": _run_ad,
+    "DI": _run_di,
+    "ND": _run_nd,
+    "Overlap": _run_overlap,
+}
+
+
+def _run_allreduce_variant(
+    variant: str,
+    inputs,
+    n_ranks: int,
+    config: Optional[CCollConfig] = None,
+    network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
+) -> CCollOutcome:
+    """Run one of the Table V allreduce variants and return its outcome."""
+    config = config or CCollConfig()
+    runner = _VARIANT_RUNNERS[canonical_variant(variant)]
+    return runner(inputs, n_ranks, config, network, topology, backend)
 
 
 def run_allreduce_variant(
@@ -38,26 +134,21 @@ def run_allreduce_variant(
     n_ranks: int,
     config: Optional[CCollConfig] = None,
     network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
 ) -> CCollOutcome:
-    """Run one of the Table V allreduce variants and return its outcome.
+    """Deprecated shim — use ``Communicator.allreduce(compression=<variant>)``.
 
     ``variant`` is one of ``"AD"``, ``"DI"``, ``"ND"``, ``"Overlap"``
-    (case-insensitive; ``"C-Allreduce"`` is accepted as an alias of
-    ``"Overlap"``).
+    (case-insensitive; see :data:`VARIANT_ALIASES` for accepted aliases).
     """
-    config = config or CCollConfig()
-    name = variant.strip().lower()
-    if name in ("ad", "allreduce", "original"):
-        outcome = run_ring_allreduce(
-            inputs, n_ranks, ctx=config.context(), network=network
-        )
-        return CCollOutcome(values=outcome.values, sim=outcome.sim, compression_ratio=None)
-    if name in ("di", "cpr-p2p", "cpr_p2p"):
-        return run_cpr_allreduce(inputs, n_ranks, config=config, network=network)
-    if name in ("nd", "novel design", "novel_design"):
-        return run_c_allreduce(inputs, n_ranks, config=config, network=network, overlap=False)
-    if name in ("overlap", "c-allreduce", "c_allreduce", "callreduce"):
-        return run_c_allreduce(inputs, n_ranks, config=config, network=network, overlap=True)
-    raise ValueError(
-        f"unknown allreduce variant {variant!r}; expected one of {ALLREDUCE_VARIANTS}"
+    warn_legacy_runner("run_allreduce_variant", "Communicator.allreduce(compression=<variant>)")
+    return _run_allreduce_variant(
+        variant,
+        inputs,
+        n_ranks,
+        config=config,
+        network=network,
+        topology=topology,
+        backend=backend,
     )

@@ -12,6 +12,7 @@ reuse the same communication structures with compression integrated.
 from repro.collectives.allgather import ring_allgather_program, run_ring_allgather
 from repro.collectives.allreduce import ring_allreduce_program, run_ring_allreduce
 from repro.collectives.alltoall import pairwise_alltoall_program, run_pairwise_alltoall
+from repro.collectives.barrier import barrier_program
 from repro.collectives.bcast import binomial_bcast_program, run_binomial_bcast
 from repro.collectives.context import CollectiveContext, CollectiveOutcome, as_rank_arrays
 from repro.collectives.gather import binomial_gather_program, run_binomial_gather
@@ -44,6 +45,7 @@ __all__ = [
     "CollectiveContext",
     "CollectiveOutcome",
     "as_rank_arrays",
+    "barrier_program",
     "partition_chunks",
     "ring_allgather_program",
     "run_ring_allgather",

@@ -13,10 +13,12 @@ from typing import List, Optional
 import numpy as np
 
 from repro.collectives.context import CollectiveContext, CollectiveOutcome, as_rank_arrays
+from repro.mpisim.backends import Backend, execute as _execute
 from repro.mpisim.commands import Compute, Irecv, Isend, Waitall
-from repro.mpisim.launcher import run_simulation
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.timeline import CAT_ALLGATHER
+from repro.mpisim.topology import Topology
+from repro.utils.deprecation import warn_legacy_runner
 
 __all__ = ["ring_allgather_program", "run_ring_allgather"]
 
@@ -55,11 +57,13 @@ def ring_allgather_program(
     return blocks
 
 
-def run_ring_allgather(
+def _run_ring_allgather(
     inputs,
     n_ranks: int,
     ctx: Optional[CollectiveContext] = None,
     network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
 ) -> CollectiveOutcome:
     """Run the ring allgather on ``n_ranks`` simulated ranks.
 
@@ -72,5 +76,20 @@ def run_ring_allgather(
     def factory(rank: int, size: int):
         return ring_allgather_program(rank, size, blocks[rank], ctx)
 
-    sim = run_simulation(n_ranks, factory, network=network)
+    sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return CollectiveOutcome(values=sim.rank_values, sim=sim)
+
+
+def run_ring_allgather(
+    inputs,
+    n_ranks: int,
+    ctx: Optional[CollectiveContext] = None,
+    network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
+) -> CollectiveOutcome:
+    """Deprecated shim — use ``Communicator.allgather()``."""
+    warn_legacy_runner("run_ring_allgather", "Communicator.allgather()")
+    return _run_ring_allgather(
+        inputs, n_ranks, ctx=ctx, network=network, topology=topology, backend=backend
+    )

@@ -16,11 +16,12 @@ import numpy as np
 
 from repro.collectives.context import CollectiveContext, CollectiveOutcome, as_rank_arrays
 from repro.collectives.reduce_scatter import partition_chunks
+from repro.mpisim.backends import Backend, execute as _execute
 from repro.mpisim.commands import Compute, Irecv, Isend, Waitall
-from repro.mpisim.launcher import run_simulation
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.timeline import CAT_ALLGATHER, CAT_MEMCPY, CAT_OTHERS, CAT_REDUCTION, CAT_WAIT
 from repro.mpisim.topology import Topology
+from repro.utils.deprecation import warn_legacy_runner
 
 __all__ = ["ring_allreduce_over_group", "ring_allreduce_program", "run_ring_allreduce"]
 
@@ -97,12 +98,13 @@ def ring_allreduce_program(
     return result
 
 
-def run_ring_allreduce(
+def _run_ring_allreduce(
     inputs,
     n_ranks: int,
     ctx: Optional[CollectiveContext] = None,
     network: Optional[NetworkModel] = None,
     topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
 ) -> CollectiveOutcome:
     """Run the uncompressed ring allreduce (the paper's AD baseline)."""
     ctx = ctx or CollectiveContext()
@@ -111,5 +113,20 @@ def run_ring_allreduce(
     def factory(rank: int, size: int):
         return ring_allreduce_program(rank, size, vectors[rank], ctx)
 
-    sim = run_simulation(n_ranks, factory, network=network, topology=topology)
+    sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return CollectiveOutcome(values=sim.rank_values, sim=sim)
+
+
+def run_ring_allreduce(
+    inputs,
+    n_ranks: int,
+    ctx: Optional[CollectiveContext] = None,
+    network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
+) -> CollectiveOutcome:
+    """Deprecated shim — use ``Communicator.allreduce(..., algorithm="ring")``."""
+    warn_legacy_runner("run_ring_allreduce", "Communicator.allreduce(algorithm='ring')")
+    return _run_ring_allreduce(
+        inputs, n_ranks, ctx=ctx, network=network, topology=topology, backend=backend
+    )

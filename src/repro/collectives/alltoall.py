@@ -13,10 +13,12 @@ from typing import List, Optional
 import numpy as np
 
 from repro.collectives.context import CollectiveContext, CollectiveOutcome
+from repro.mpisim.backends import Backend, execute as _execute
 from repro.mpisim.commands import Compute, Irecv, Isend, Waitall
-from repro.mpisim.launcher import run_simulation
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.timeline import CAT_MEMCPY, CAT_WAIT
+from repro.mpisim.topology import Topology
+from repro.utils.deprecation import warn_legacy_runner
 
 __all__ = ["pairwise_alltoall_program", "run_pairwise_alltoall"]
 
@@ -50,11 +52,13 @@ def pairwise_alltoall_program(
     return received
 
 
-def run_pairwise_alltoall(
+def _run_pairwise_alltoall(
     inputs: List[List[np.ndarray]],
     n_ranks: int,
     ctx: Optional[CollectiveContext] = None,
     network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
 ) -> CollectiveOutcome:
     """Run the pairwise all-to-all.
 
@@ -69,5 +73,20 @@ def run_pairwise_alltoall(
     def factory(rank: int, size: int):
         return pairwise_alltoall_program(rank, size, blocks[rank], ctx)
 
-    sim = run_simulation(n_ranks, factory, network=network)
+    sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return CollectiveOutcome(values=sim.rank_values, sim=sim)
+
+
+def run_pairwise_alltoall(
+    inputs: List[List[np.ndarray]],
+    n_ranks: int,
+    ctx: Optional[CollectiveContext] = None,
+    network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
+) -> CollectiveOutcome:
+    """Deprecated shim — use ``Communicator.alltoall()``."""
+    warn_legacy_runner("run_pairwise_alltoall", "Communicator.alltoall()")
+    return _run_pairwise_alltoall(
+        inputs, n_ranks, ctx=ctx, network=network, topology=topology, backend=backend
+    )

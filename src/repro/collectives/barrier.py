@@ -1,0 +1,39 @@
+"""Barrier synchronisation (MPI_Barrier).
+
+The engine's :class:`~repro.mpisim.commands.Barrier` command already
+synchronises all ranks at the maximum arrival time; this module merely wraps
+it in the standard rank-program / runner pair so the facade
+(:meth:`repro.api.Communicator.barrier`) can expose it through the same
+backend seam as every other collective.  There is no legacy ``run_*`` shim:
+the barrier first became public with the session API.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.collectives.context import CollectiveOutcome
+from repro.mpisim.backends import Backend, execute as _execute
+from repro.mpisim.commands import Barrier
+from repro.mpisim.network import NetworkModel
+from repro.mpisim.timeline import CAT_WAIT
+from repro.mpisim.topology import Topology
+
+__all__ = ["barrier_program"]
+
+
+def barrier_program(rank: int, size: int, category: str = CAT_WAIT):
+    """Rank program: synchronise with every other rank, return ``None``."""
+    yield Barrier(category=category)
+    return None
+
+
+def _run_barrier(
+    n_ranks: int,
+    network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
+) -> CollectiveOutcome:
+    """Run a barrier across ``n_ranks`` ranks."""
+    sim = _execute(backend, n_ranks, barrier_program, network=network, topology=topology)
+    return CollectiveOutcome(values=sim.rank_values, sim=sim)

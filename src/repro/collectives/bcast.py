@@ -11,10 +11,12 @@ from typing import Optional
 import numpy as np
 
 from repro.collectives.context import CollectiveContext, CollectiveOutcome
+from repro.mpisim.backends import Backend, execute as _execute
 from repro.mpisim.commands import Compute, Irecv, Isend, Wait
-from repro.mpisim.launcher import run_simulation
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.timeline import CAT_MEMCPY, CAT_WAIT
+from repro.mpisim.topology import Topology
+from repro.utils.deprecation import warn_legacy_runner
 
 __all__ = ["binomial_bcast_program", "run_binomial_bcast"]
 
@@ -57,12 +59,14 @@ def binomial_bcast_program(
     return buffer
 
 
-def run_binomial_bcast(
+def _run_binomial_bcast(
     data: np.ndarray,
     n_ranks: int,
     root: int = 0,
     ctx: Optional[CollectiveContext] = None,
     network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
 ) -> CollectiveOutcome:
     """Broadcast ``data`` from ``root``; every rank's result is the full buffer."""
     ctx = ctx or CollectiveContext()
@@ -73,5 +77,21 @@ def run_binomial_bcast(
             rank, size, data if rank == root else None, ctx, root=root
         )
 
-    sim = run_simulation(n_ranks, factory, network=network)
+    sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return CollectiveOutcome(values=sim.rank_values, sim=sim)
+
+
+def run_binomial_bcast(
+    data: np.ndarray,
+    n_ranks: int,
+    root: int = 0,
+    ctx: Optional[CollectiveContext] = None,
+    network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
+) -> CollectiveOutcome:
+    """Deprecated shim — use ``Communicator.bcast()``."""
+    warn_legacy_runner("run_binomial_bcast", "Communicator.bcast()")
+    return _run_binomial_bcast(
+        data, n_ranks, root=root, ctx=ctx, network=network, topology=topology, backend=backend
+    )

@@ -93,9 +93,12 @@ def as_rank_arrays(inputs, n_ranks: int) -> List[np.ndarray]:
 
     ``inputs`` may be a list with one array per rank, or a single array that
     every rank contributes identically (convenient in tests and examples).
+    The single-array form is expanded into *independent copies*: rank programs
+    may mutate their buffer in place, and sharing one ndarray across all ranks
+    would let one rank's mutation corrupt every other rank's input.
     """
     if isinstance(inputs, np.ndarray):
-        inputs = [inputs] * n_ranks
+        inputs = [inputs.copy() for _ in range(n_ranks)]
     inputs = list(inputs)
     if len(inputs) != n_ranks:
         raise ValueError(f"expected {n_ranks} per-rank arrays, got {len(inputs)}")

@@ -11,10 +11,12 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.collectives.context import CollectiveContext, CollectiveOutcome, as_rank_arrays
+from repro.mpisim.backends import Backend, execute as _execute
 from repro.mpisim.commands import Compute, Irecv, Isend, Wait
-from repro.mpisim.launcher import run_simulation
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.timeline import CAT_MEMCPY, CAT_WAIT
+from repro.mpisim.topology import Topology
+from repro.utils.deprecation import warn_legacy_runner
 
 __all__ = ["binomial_gather_program", "run_binomial_gather"]
 
@@ -63,12 +65,14 @@ def binomial_gather_program(
     return [collected[(r - root) % size] for r in range(size)]
 
 
-def run_binomial_gather(
+def _run_binomial_gather(
     inputs,
     n_ranks: int,
     root: int = 0,
     ctx: Optional[CollectiveContext] = None,
     network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
 ) -> CollectiveOutcome:
     """Gather one block per rank to ``root``."""
     ctx = ctx or CollectiveContext()
@@ -77,5 +81,21 @@ def run_binomial_gather(
     def factory(rank: int, size: int):
         return binomial_gather_program(rank, size, blocks[rank], ctx, root=root)
 
-    sim = run_simulation(n_ranks, factory, network=network)
+    sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return CollectiveOutcome(values=sim.rank_values, sim=sim)
+
+
+def run_binomial_gather(
+    inputs,
+    n_ranks: int,
+    root: int = 0,
+    ctx: Optional[CollectiveContext] = None,
+    network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
+) -> CollectiveOutcome:
+    """Deprecated shim — use ``Communicator.gather()``."""
+    warn_legacy_runner("run_binomial_gather", "Communicator.gather()")
+    return _run_binomial_gather(
+        inputs, n_ranks, root=root, ctx=ctx, network=network, topology=topology, backend=backend
+    )

@@ -29,11 +29,12 @@ import numpy as np
 
 from repro.collectives.allreduce import ring_allreduce_over_group
 from repro.collectives.context import CollectiveContext, CollectiveOutcome, as_rank_arrays
+from repro.mpisim.backends import Backend, execute as _execute
 from repro.mpisim.commands import Compute, Irecv, Isend, Wait
-from repro.mpisim.launcher import run_simulation
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.topology import FlatTopology, Topology
 from repro.mpisim.timeline import CAT_MEMCPY, CAT_OTHERS, CAT_REDUCTION, CAT_WAIT
+from repro.utils.deprecation import warn_legacy_runner
 
 __all__ = ["hierarchical_allreduce_program", "run_hierarchical_allreduce", "node_groups"]
 
@@ -153,12 +154,13 @@ def hierarchical_allreduce_program(
     return vec
 
 
-def run_hierarchical_allreduce(
+def _run_hierarchical_allreduce(
     inputs,
     n_ranks: int,
     topology: Optional[Topology] = None,
     ctx: Optional[CollectiveContext] = None,
     network: Optional[NetworkModel] = None,
+    backend: Optional[Backend] = None,
 ) -> CollectiveOutcome:
     """Run the hierarchical allreduce.
 
@@ -177,5 +179,22 @@ def run_hierarchical_allreduce(
             peers=peers_by_rank[rank], leaders=leaders,
         )
 
-    sim = run_simulation(n_ranks, factory, network=network, topology=topology)
+    sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return CollectiveOutcome(values=sim.rank_values, sim=sim)
+
+
+def run_hierarchical_allreduce(
+    inputs,
+    n_ranks: int,
+    topology: Optional[Topology] = None,
+    ctx: Optional[CollectiveContext] = None,
+    network: Optional[NetworkModel] = None,
+    backend: Optional[Backend] = None,
+) -> CollectiveOutcome:
+    """Deprecated shim — use ``Communicator.allreduce(algorithm="hierarchical")``."""
+    warn_legacy_runner(
+        "run_hierarchical_allreduce", "Communicator.allreduce(algorithm='hierarchical')"
+    )
+    return _run_hierarchical_allreduce(
+        inputs, n_ranks, topology=topology, ctx=ctx, network=network, backend=backend
+    )

@@ -19,8 +19,8 @@ import numpy as np
 
 from repro.collectives.context import CollectiveContext, CollectiveOutcome, as_rank_arrays
 from repro.collectives.recursive_doubling import largest_power_of_two_below
+from repro.mpisim.backends import Backend, execute as _execute
 from repro.mpisim.commands import Compute, Irecv, Isend, Wait, Waitall
-from repro.mpisim.launcher import run_simulation
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.topology import Topology
 from repro.mpisim.timeline import (
@@ -31,6 +31,7 @@ from repro.mpisim.timeline import (
     CAT_WAIT,
 )
 from repro.utils.chunking import split_counts, split_displacements
+from repro.utils.deprecation import warn_legacy_runner
 
 __all__ = ["rabenseifner_allreduce_program", "run_rabenseifner_allreduce"]
 
@@ -153,12 +154,13 @@ def rabenseifner_allreduce_program(
     return buf
 
 
-def run_rabenseifner_allreduce(
+def _run_rabenseifner_allreduce(
     inputs,
     n_ranks: int,
     ctx: Optional[CollectiveContext] = None,
     network: Optional[NetworkModel] = None,
     topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
 ) -> CollectiveOutcome:
     """Run the Rabenseifner (reduce-scatter + allgather) allreduce."""
     ctx = ctx or CollectiveContext()
@@ -167,5 +169,22 @@ def run_rabenseifner_allreduce(
     def factory(rank: int, size: int):
         return rabenseifner_allreduce_program(rank, size, vectors[rank], ctx)
 
-    sim = run_simulation(n_ranks, factory, network=network, topology=topology)
+    sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return CollectiveOutcome(values=sim.rank_values, sim=sim)
+
+
+def run_rabenseifner_allreduce(
+    inputs,
+    n_ranks: int,
+    ctx: Optional[CollectiveContext] = None,
+    network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
+) -> CollectiveOutcome:
+    """Deprecated shim — use ``Communicator.allreduce(algorithm="rabenseifner")``."""
+    warn_legacy_runner(
+        "run_rabenseifner_allreduce", "Communicator.allreduce(algorithm='rabenseifner')"
+    )
+    return _run_rabenseifner_allreduce(
+        inputs, n_ranks, ctx=ctx, network=network, topology=topology, backend=backend
+    )

@@ -20,11 +20,12 @@ from typing import Optional
 import numpy as np
 
 from repro.collectives.context import CollectiveContext, CollectiveOutcome, as_rank_arrays
+from repro.mpisim.backends import Backend, execute as _execute
 from repro.mpisim.commands import Compute, Irecv, Isend, Wait, Waitall
-from repro.mpisim.launcher import run_simulation
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.topology import Topology
 from repro.mpisim.timeline import CAT_MEMCPY, CAT_OTHERS, CAT_REDUCTION, CAT_WAIT
+from repro.utils.deprecation import warn_legacy_runner
 
 __all__ = ["recursive_doubling_allreduce_program", "run_recursive_doubling_allreduce"]
 
@@ -96,12 +97,13 @@ def recursive_doubling_allreduce_program(
     return vec
 
 
-def run_recursive_doubling_allreduce(
+def _run_recursive_doubling_allreduce(
     inputs,
     n_ranks: int,
     ctx: Optional[CollectiveContext] = None,
     network: Optional[NetworkModel] = None,
     topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
 ) -> CollectiveOutcome:
     """Run the recursive-doubling allreduce on the simulated fabric."""
     ctx = ctx or CollectiveContext()
@@ -110,5 +112,23 @@ def run_recursive_doubling_allreduce(
     def factory(rank: int, size: int):
         return recursive_doubling_allreduce_program(rank, size, vectors[rank], ctx)
 
-    sim = run_simulation(n_ranks, factory, network=network, topology=topology)
+    sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return CollectiveOutcome(values=sim.rank_values, sim=sim)
+
+
+def run_recursive_doubling_allreduce(
+    inputs,
+    n_ranks: int,
+    ctx: Optional[CollectiveContext] = None,
+    network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
+) -> CollectiveOutcome:
+    """Deprecated shim — use ``Communicator.allreduce(algorithm="recursive_doubling")``."""
+    warn_legacy_runner(
+        "run_recursive_doubling_allreduce",
+        "Communicator.allreduce(algorithm='recursive_doubling')",
+    )
+    return _run_recursive_doubling_allreduce(
+        inputs, n_ranks, ctx=ctx, network=network, topology=topology, backend=backend
+    )

@@ -12,10 +12,12 @@ from typing import Optional
 import numpy as np
 
 from repro.collectives.context import CollectiveContext, CollectiveOutcome, as_rank_arrays
+from repro.mpisim.backends import Backend, execute as _execute
 from repro.mpisim.commands import Compute, Irecv, Isend, Wait
-from repro.mpisim.launcher import run_simulation
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.timeline import CAT_REDUCTION, CAT_WAIT
+from repro.mpisim.topology import Topology
+from repro.utils.deprecation import warn_legacy_runner
 
 __all__ = ["binomial_reduce_program", "run_binomial_reduce"]
 
@@ -54,12 +56,14 @@ def binomial_reduce_program(
     return accumulator
 
 
-def run_binomial_reduce(
+def _run_binomial_reduce(
     inputs,
     n_ranks: int,
     root: int = 0,
     ctx: Optional[CollectiveContext] = None,
     network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
 ) -> CollectiveOutcome:
     """Sum one vector per rank onto ``root``."""
     ctx = ctx or CollectiveContext()
@@ -68,5 +72,21 @@ def run_binomial_reduce(
     def factory(rank: int, size: int):
         return binomial_reduce_program(rank, size, vectors[rank], ctx, root=root)
 
-    sim = run_simulation(n_ranks, factory, network=network)
+    sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return CollectiveOutcome(values=sim.rank_values, sim=sim)
+
+
+def run_binomial_reduce(
+    inputs,
+    n_ranks: int,
+    root: int = 0,
+    ctx: Optional[CollectiveContext] = None,
+    network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
+) -> CollectiveOutcome:
+    """Deprecated shim — use ``Communicator.reduce()``."""
+    warn_legacy_runner("run_binomial_reduce", "Communicator.reduce()")
+    return _run_binomial_reduce(
+        inputs, n_ranks, root=root, ctx=ctx, network=network, topology=topology, backend=backend
+    )

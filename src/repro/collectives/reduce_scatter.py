@@ -14,11 +14,13 @@ from typing import List, Optional
 import numpy as np
 
 from repro.collectives.context import CollectiveContext, CollectiveOutcome, as_rank_arrays
+from repro.mpisim.backends import Backend, execute as _execute
 from repro.mpisim.commands import Compute, Irecv, Isend, Waitall
-from repro.mpisim.launcher import run_simulation
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.timeline import CAT_MEMCPY, CAT_REDUCTION, CAT_WAIT
+from repro.mpisim.topology import Topology
 from repro.utils.chunking import split_counts, split_displacements
+from repro.utils.deprecation import warn_legacy_runner
 
 __all__ = ["ring_reduce_scatter_program", "run_ring_reduce_scatter", "partition_chunks"]
 
@@ -62,11 +64,13 @@ def ring_reduce_scatter_program(
     return chunks[rank]
 
 
-def run_ring_reduce_scatter(
+def _run_ring_reduce_scatter(
     inputs,
     n_ranks: int,
     ctx: Optional[CollectiveContext] = None,
     network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
 ) -> CollectiveOutcome:
     """Run the ring reduce-scatter; rank ``r``'s result is reduced chunk ``r``."""
     ctx = ctx or CollectiveContext()
@@ -75,5 +79,20 @@ def run_ring_reduce_scatter(
     def factory(rank: int, size: int):
         return ring_reduce_scatter_program(rank, size, vectors[rank], ctx)
 
-    sim = run_simulation(n_ranks, factory, network=network)
+    sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return CollectiveOutcome(values=sim.rank_values, sim=sim)
+
+
+def run_ring_reduce_scatter(
+    inputs,
+    n_ranks: int,
+    ctx: Optional[CollectiveContext] = None,
+    network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
+) -> CollectiveOutcome:
+    """Deprecated shim — use ``Communicator.reduce_scatter()``."""
+    warn_legacy_runner("run_ring_reduce_scatter", "Communicator.reduce_scatter()")
+    return _run_ring_reduce_scatter(
+        inputs, n_ranks, ctx=ctx, network=network, topology=topology, backend=backend
+    )

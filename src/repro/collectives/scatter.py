@@ -13,10 +13,12 @@ from typing import List, Optional
 import numpy as np
 
 from repro.collectives.context import CollectiveContext, CollectiveOutcome, as_rank_arrays
+from repro.mpisim.backends import Backend, execute as _execute
 from repro.mpisim.commands import Compute, Irecv, Isend, Wait
-from repro.mpisim.launcher import run_simulation
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.timeline import CAT_MEMCPY, CAT_WAIT
+from repro.mpisim.topology import Topology
+from repro.utils.deprecation import warn_legacy_runner
 
 __all__ = ["binomial_scatter_program", "run_binomial_scatter"]
 
@@ -81,12 +83,14 @@ def binomial_scatter_program(
     return segment[0]
 
 
-def run_binomial_scatter(
+def _run_binomial_scatter(
     inputs,
     n_ranks: int,
     root: int = 0,
     ctx: Optional[CollectiveContext] = None,
     network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
 ) -> CollectiveOutcome:
     """Scatter one block per rank from ``root``.
 
@@ -103,5 +107,21 @@ def run_binomial_scatter(
             rank, size, relative_blocks if rank == root else None, ctx, root=root
         )
 
-    sim = run_simulation(n_ranks, factory, network=network)
+    sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return CollectiveOutcome(values=sim.rank_values, sim=sim)
+
+
+def run_binomial_scatter(
+    inputs,
+    n_ranks: int,
+    root: int = 0,
+    ctx: Optional[CollectiveContext] = None,
+    network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
+) -> CollectiveOutcome:
+    """Deprecated shim — use ``Communicator.scatter()``."""
+    warn_legacy_runner("run_binomial_scatter", "Communicator.scatter()")
+    return _run_binomial_scatter(
+        inputs, n_ranks, root=root, ctx=ctx, network=network, topology=topology, backend=backend
+    )

@@ -23,13 +23,17 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro.collectives.allreduce import run_ring_allreduce
-from repro.collectives.context import CollectiveContext, CollectiveOutcome, as_rank_arrays
-from repro.collectives.hierarchical import run_hierarchical_allreduce
-from repro.collectives.rabenseifner import run_rabenseifner_allreduce
-from repro.collectives.recursive_doubling import run_recursive_doubling_allreduce
+import numpy as np
+
+from repro.collectives.allreduce import _run_ring_allreduce
+from repro.collectives.context import CollectiveContext, CollectiveOutcome
+from repro.collectives.hierarchical import _run_hierarchical_allreduce
+from repro.collectives.rabenseifner import _run_rabenseifner_allreduce
+from repro.collectives.recursive_doubling import _run_recursive_doubling_allreduce
+from repro.mpisim.backends import Backend
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.topology import DEFAULT_INTER_BANDWIDTH, Topology
+from repro.utils.deprecation import warn_legacy_runner
 
 __all__ = [
     "ALGORITHM_RUNNERS",
@@ -65,10 +69,10 @@ def bandwidth_scale(topology: Optional[Topology]) -> float:
 
 #: algorithm name -> runner with the uniform (inputs, n_ranks, ...) signature
 ALGORITHM_RUNNERS: Dict[str, Callable[..., CollectiveOutcome]] = {
-    "ring": run_ring_allreduce,
-    "recursive_doubling": run_recursive_doubling_allreduce,
-    "rabenseifner": run_rabenseifner_allreduce,
-    "hierarchical": run_hierarchical_allreduce,
+    "ring": _run_ring_allreduce,
+    "recursive_doubling": _run_recursive_doubling_allreduce,
+    "rabenseifner": _run_rabenseifner_allreduce,
+    "hierarchical": _run_hierarchical_allreduce,
 }
 
 
@@ -105,13 +109,14 @@ def select_algorithm(
     return "rabenseifner"
 
 
-def run_allreduce(
+def _run_allreduce(
     inputs,
     n_ranks: int,
     algorithm: str = "auto",
     ctx: Optional[CollectiveContext] = None,
     network: Optional[NetworkModel] = None,
     topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
 ) -> Tuple[CollectiveOutcome, str]:
     """Run an allreduce, selecting the algorithm from the tuning table.
 
@@ -121,13 +126,48 @@ def run_allreduce(
     """
     ctx = ctx or CollectiveContext()
     if algorithm == "auto":
-        vectors = as_rank_arrays(inputs, n_ranks)
-        algorithm = select_algorithm(ctx.vbytes(vectors[0]), n_ranks, topology)
+        # size-probe without expanding: as_rank_arrays copies per rank, and
+        # the selected runner normalises the inputs itself anyway
+        if isinstance(inputs, np.ndarray):
+            probe = inputs
+        else:
+            inputs = list(inputs)
+            if not inputs:
+                raise ValueError(f"expected {n_ranks} per-rank arrays, got 0")
+            probe = np.asarray(inputs[0])
+        algorithm = select_algorithm(ctx.vbytes(probe), n_ranks, topology)
     runner = ALGORITHM_RUNNERS.get(algorithm)
     if runner is None:
         raise ValueError(
             f"unknown allreduce algorithm {algorithm!r}; "
             f"available: {', '.join(ALGORITHM_RUNNERS)} or 'auto'"
         )
-    kwargs: Dict[str, Any] = {"ctx": ctx, "network": network, "topology": topology}
+    kwargs: Dict[str, Any] = {
+        "ctx": ctx,
+        "network": network,
+        "topology": topology,
+        "backend": backend,
+    }
     return runner(inputs, n_ranks, **kwargs), algorithm
+
+
+def run_allreduce(
+    inputs,
+    n_ranks: int,
+    algorithm: str = "auto",
+    ctx: Optional[CollectiveContext] = None,
+    network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    backend: Optional[Backend] = None,
+) -> Tuple[CollectiveOutcome, str]:
+    """Deprecated shim — use ``Communicator.allreduce()`` (auto-selecting)."""
+    warn_legacy_runner("run_allreduce", "Communicator.allreduce()")
+    return _run_allreduce(
+        inputs,
+        n_ranks,
+        algorithm=algorithm,
+        ctx=ctx,
+        network=network,
+        topology=topology,
+        backend=backend,
+    )

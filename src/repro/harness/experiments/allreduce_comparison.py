@@ -17,9 +17,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.ccoll.allreduce import run_c_allreduce
-from repro.ccoll.cpr_p2p import run_cpr_allreduce
-from repro.collectives.allreduce import run_ring_allreduce
+from repro.api import Cluster
 from repro.datasets.registry import load_field
 from repro.harness.common import (
     default_config,
@@ -53,25 +51,30 @@ def _run_implementation(
     error_bound: float,
     rate: float = 4.0,
 ):
-    """Dispatch one of the Figure 11 implementations and return its outcome."""
+    """Dispatch one of the Figure 11 implementations through the session API."""
     if name == "Allreduce":
         config = default_config(size_multiplier=multiplier)
-        return run_ring_allreduce(inputs, n_ranks, ctx=config.context(), network=network)
-    if name == "ZFP(FXR)":
+        compression = "off"
+    elif name == "ZFP(FXR)":
         config = default_config(codec="zfp_fxr", rate=rate, size_multiplier=multiplier)
-        return run_cpr_allreduce(inputs, n_ranks, config=config, network=network)
-    if name == "ZFP(ABS)":
+        compression = "di"
+    elif name == "ZFP(ABS)":
         config = default_config(
             codec="zfp_abs", error_bound=error_bound, size_multiplier=multiplier
         )
-        return run_cpr_allreduce(inputs, n_ranks, config=config, network=network)
-    if name == "SZx":
+        compression = "di"
+    elif name == "SZx":
         config = default_config(codec="szx", error_bound=error_bound, size_multiplier=multiplier)
-        return run_cpr_allreduce(inputs, n_ranks, config=config, network=network)
-    if name == "C-Allreduce":
+        compression = "di"
+    elif name == "C-Allreduce":
         config = default_config(codec="szx", error_bound=error_bound, size_multiplier=multiplier)
-        return run_c_allreduce(inputs, n_ranks, config=config, network=network)
-    raise ValueError(f"unknown implementation {name!r}")
+        compression = "on"
+    else:
+        raise ValueError(f"unknown implementation {name!r}")
+    comm = Cluster(network=network, config=config).communicator(n_ranks)
+    # the paper's baseline is the ring; the compressed variants fix their schedule
+    algorithm = "ring" if compression == "off" else "auto"
+    return comm.allreduce(inputs, algorithm=algorithm, compression=compression)
 
 
 def run_fig11_datasizes(
@@ -248,7 +251,8 @@ def run_fig14_15_accuracy(
             ("rel (x value range)", error_bound * value_range),
         ):
             config = default_config(codec="szx", error_bound=bound, size_multiplier=multiplier)
-            outcome = run_c_allreduce(inputs, n_ranks, config=config, network=network)
+            comm = Cluster(network=network, config=config).communicator(n_ranks)
+            outcome = comm.allreduce(inputs, compression="on")
             quality = quality_report(exact, outcome.value(0))
             result.add_row(
                 field=f"{application}/{field_name}",

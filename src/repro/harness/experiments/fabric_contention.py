@@ -32,8 +32,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.ccoll.topology_aware import run_topology_aware_c_allreduce
-from repro.collectives.selection import run_allreduce, select_algorithm
+from repro.api import Cluster
+from repro.collectives.selection import select_algorithm
 from repro.harness.common import (
     default_config,
     load_rtm_message,
@@ -172,21 +172,16 @@ def run_fabric_contention(
             data, multiplier = load_rtm_message(size_mb, settings)
             inputs = per_rank_variants(data, n_ranks)
             config = default_config(error_bound=error_bound, size_multiplier=multiplier)
-            ctx = config.context()
             virtual_nbytes = int(size_mb * MB)
             ring_time = None
             rows: List[Dict[str, object]] = []
             choice = select_algorithm(virtual_nbytes, n_ranks, factory())
             for algo in _ALGORITHMS:
                 topology = factory()
-                outcome, _ = run_allreduce(
-                    inputs,
-                    n_ranks,
-                    algorithm=algo,
-                    ctx=ctx,
-                    network=network,
-                    topology=topology,
-                )
+                comm = Cluster(
+                    network=network, topology=topology, config=config
+                ).communicator(n_ranks)
+                outcome = comm.allreduce(inputs, algorithm=algo)
                 if algo == "ring":
                     ring_time = outcome.total_time
                 rows.append(
@@ -204,9 +199,10 @@ def run_fabric_contention(
                     )
                 )
             topology = factory()
-            outcome = run_topology_aware_c_allreduce(
-                inputs, n_ranks, topology=topology, config=config, network=network
-            )
+            comm = Cluster(
+                network=network, topology=topology, config=config
+            ).communicator(n_ranks)
+            outcome = comm.allreduce(inputs, compression="auto")
             rows.append(
                 dict(
                     fabric=fabric_name,

@@ -12,10 +12,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.ccoll.cpr_p2p import run_cpr_bcast, run_cpr_scatter
-from repro.ccoll.movement import run_c_bcast, run_c_scatter
-from repro.collectives.bcast import run_binomial_bcast
-from repro.collectives.scatter import run_binomial_scatter
+from repro.api import Cluster
 from repro.harness.common import (
     default_config,
     load_rtm_message,
@@ -56,13 +53,14 @@ def run_fig16_scatter_bcast(
     for size_mb in sizes:
         data, multiplier = load_rtm_message(size_mb, settings)
         config = default_config(codec="szx", error_bound=error_bound, size_multiplier=multiplier)
+        comm = Cluster(network=network, config=config).communicator(n_ranks)
 
         # ---- broadcast: the root sends the full message to everyone
-        baseline = run_binomial_bcast(data, n_ranks, ctx=config.context(), network=network)
+        baseline = comm.bcast(data, compression="off")
         runs = {
             "Baseline": baseline,
-            "SZx (CPR-P2P)": run_cpr_bcast(data, n_ranks, config=config, network=network),
-            "C-Bcast": run_c_bcast(data, n_ranks, config=config, network=network),
+            "SZx (CPR-P2P)": comm.bcast(data, compression="di"),
+            "C-Bcast": comm.bcast(data, compression="on"),
         }
         for name, outcome in runs.items():
             result.add_row(
@@ -75,11 +73,11 @@ def run_fig16_scatter_bcast(
 
         # ---- scatter: the message is split into one block per rank
         blocks = per_rank_variants(data, n_ranks)
-        baseline = run_binomial_scatter(blocks, n_ranks, ctx=config.context(), network=network)
+        baseline = comm.scatter(blocks, compression="off")
         runs = {
             "Baseline": baseline,
-            "SZx (CPR-P2P)": run_cpr_scatter(blocks, n_ranks, config=config, network=network),
-            "C-Scatter": run_c_scatter(blocks, n_ranks, config=config, network=network),
+            "SZx (CPR-P2P)": comm.scatter(blocks, compression="di"),
+            "C-Scatter": comm.scatter(blocks, compression="on"),
         }
         for name, outcome in runs.items():
             result.add_row(

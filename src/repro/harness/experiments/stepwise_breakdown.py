@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.ccoll.variants import run_allreduce_variant
+from repro.api import Cluster
 from repro.harness.common import (
     default_config,
     load_rtm_message,
@@ -58,15 +58,19 @@ def stepwise_sweep(
         data, multiplier = load_rtm_message(size_mb, settings)
         inputs = per_rank_variants(data, n_ranks)
         config = default_config(error_bound=error_bound, size_multiplier=multiplier)
+        comm = Cluster(network=network, config=config).communicator(n_ranks)
         for variant in variants:
-            outcome = run_allreduce_variant(variant, inputs, n_ranks, config=config, network=network)
+            if variant == "AD":
+                outcome = comm.allreduce(inputs, algorithm="ring", compression="off")
+            else:
+                outcome = comm.allreduce(inputs, compression=variant)
             breakdown = outcome.sim.breakdown_mean()
             row: Dict[str, object] = {
                 "size_mb": size_mb,
                 "variant": variant,
                 "n_ranks": n_ranks,
                 "total_time_s": outcome.total_time,
-                "compression_ratio": outcome.compression_ratio,
+                "compression_ratio": getattr(outcome, "compression_ratio", None),
             }
             for category in STANDARD_CATEGORIES:
                 row[category] = breakdown.get(category)

@@ -1,0 +1,325 @@
+"""Pluggable execution backends for rank programs.
+
+A *backend* is the single seam between the collective algorithms and whatever
+actually executes their rank programs.  Every collective in this repository is
+written against the narrow command set of :mod:`repro.mpisim.commands`
+(Isend / Irecv / Wait / Waitall / Test / Probe / Barrier / Compute), which is
+deliberately small enough to admit more than one interpreter:
+
+* :class:`SimBackend` (the default) hands the program factory to the
+  discrete-event :class:`~repro.mpisim.engine.Engine` via
+  :func:`~repro.mpisim.launcher.run_simulation` — bit-for-bit identical to
+  calling ``run_simulation`` directly.
+* :class:`MPI4PyBackend` interprets the same commands against real MPI through
+  the optional ``mpi4py`` package, so the same collective code can run on an
+  actual cluster for validation.  It is import-guarded: constructing it
+  without ``mpi4py`` installed raises :class:`BackendUnavailableError`, and
+  the CI suite skips its tests when the package is absent.
+
+The facade (:class:`repro.api.Communicator`) and the private ``_run_*``
+collective runners take a ``backend`` argument and route every simulation
+through :func:`execute` below; passing ``backend=None`` selects the shared
+:class:`SimBackend` and reproduces the pre-backend behaviour exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Generator, Optional, Protocol, Union, runtime_checkable
+
+from repro.mpisim.commands import Barrier, Compute, Irecv, Isend, Probe, Test, Wait, Waitall
+from repro.mpisim.engine import RankResult, payload_nbytes
+from repro.mpisim.errors import InvalidCommandError
+from repro.mpisim.launcher import SimulationResult, run_simulation
+from repro.mpisim.network import NetworkModel
+from repro.mpisim.timeline import TimeBreakdown
+from repro.mpisim.topology import Topology
+
+__all__ = [
+    "Backend",
+    "BackendUnavailableError",
+    "SimBackend",
+    "MPI4PyBackend",
+    "default_backend",
+    "resolve_backend",
+    "execute",
+]
+
+ProgramFactory = Callable[[int, int], Generator]
+
+#: safety limit shared with :func:`repro.mpisim.launcher.run_simulation`
+DEFAULT_MAX_COMMANDS = 50_000_000
+
+
+class BackendUnavailableError(RuntimeError):
+    """Raised when a backend's runtime dependency (e.g. mpi4py) is missing."""
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Executes a rank-program factory and returns a :class:`SimulationResult`.
+
+    Implementations must run ``program_factory(rank, size)`` for every rank of
+    an ``n_ranks`` communicator and package per-rank values and finish times
+    into a :class:`~repro.mpisim.launcher.SimulationResult`.  ``network`` and
+    ``topology`` describe the *modelled* fabric; backends that execute on real
+    hardware are free to ignore them.
+    """
+
+    name: str
+
+    def execute(
+        self,
+        n_ranks: int,
+        program_factory: ProgramFactory,
+        *,
+        network: Optional[NetworkModel] = None,
+        topology: Optional[Topology] = None,
+        max_commands: int = DEFAULT_MAX_COMMANDS,
+    ) -> SimulationResult:
+        ...
+
+
+class SimBackend:
+    """The default backend: the discrete-event simulator.
+
+    ``execute`` is a pass-through to :func:`repro.mpisim.launcher.run_simulation`
+    with identical defaults, so results (values, makespans, breakdowns) match a
+    direct ``run_simulation`` call bit for bit.
+    """
+
+    name = "sim"
+
+    def execute(
+        self,
+        n_ranks: int,
+        program_factory: ProgramFactory,
+        *,
+        network: Optional[NetworkModel] = None,
+        topology: Optional[Topology] = None,
+        max_commands: int = DEFAULT_MAX_COMMANDS,
+    ) -> SimulationResult:
+        return run_simulation(
+            n_ranks,
+            program_factory,
+            network=network,
+            max_commands=max_commands,
+            topology=topology,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SimBackend()"
+
+
+class _MPIRequestHandle:  # pragma: no cover - requires mpi4py
+    """Maps a rank program's request handle onto a live mpi4py request.
+
+    ``Test`` may observe completion before ``Wait`` is issued; mpi4py requests
+    become inactive once completed, so the received payload is stashed on the
+    handle for the eventual ``Wait``/``Waitall``.
+    """
+
+    __slots__ = ("req", "kind", "done", "data")
+
+    def __init__(self, req: Any, kind: str) -> None:
+        self.req = req
+        self.kind = kind  # "send" | "recv"
+        self.done = False
+        self.data: Any = None
+
+    def wait(self) -> Any:
+        if not self.done:
+            self.data = self.req.wait()
+            self.done = True
+        return self.data if self.kind == "recv" else None
+
+    def test(self) -> bool:
+        if self.done:
+            return True
+        completed, data = self.req.test()
+        if completed:
+            self.done = True
+            self.data = data
+        return self.done
+
+
+class MPI4PyBackend:
+    """Interpret the rank-program command set against real MPI via ``mpi4py``.
+
+    Usage sketch (run under ``mpiexec -n 8 python script.py``)::
+
+        from repro.api import Cluster, MPI4PyBackend
+
+        comm = Cluster().communicator(8, backend=MPI4PyBackend())
+        outcome = comm.allreduce(my_vector, algorithm="ring")
+
+    Every MPI process executes *its own* rank program (the factory is called
+    once, with this process's rank); per-rank values and wall-clock times are
+    then allgathered so each process returns a complete
+    :class:`SimulationResult`.  The modelled ``network``/``topology`` are
+    ignored — the real fabric provides the timing — and ``finish_time`` holds
+    measured wall seconds instead of virtual seconds.  Time blocked in
+    ``Wait``/``Waitall``/``Barrier`` is attributed to the command's category in
+    the per-rank breakdown; modelled ``Compute`` durations are skipped because
+    the real computation already ran inline between yields.
+    """
+
+    name = "mpi4py"
+
+    def __init__(self, comm: Any = None) -> None:
+        try:
+            from mpi4py import MPI  # noqa: PLC0415 - optional dependency probe
+        except ImportError as exc:  # pragma: no cover - exercised only sans mpi4py
+            raise BackendUnavailableError(
+                "MPI4PyBackend requires the optional 'mpi4py' package; install it "
+                "and launch under mpiexec, or use the default SimBackend"
+            ) from exc
+        self._MPI = MPI
+        self.comm = comm if comm is not None else MPI.COMM_WORLD
+
+    # The interpreter below mirrors Engine._dispatch for the real-MPI case.
+    # Coverage: only reachable with mpi4py installed (skipped in plain CI).
+    def execute(  # pragma: no cover - requires mpi4py + mpiexec
+        self,
+        n_ranks: int,
+        program_factory: ProgramFactory,
+        *,
+        network: Optional[NetworkModel] = None,
+        topology: Optional[Topology] = None,
+        max_commands: int = DEFAULT_MAX_COMMANDS,
+    ) -> SimulationResult:
+        comm = self.comm
+        world = comm.Get_size()
+        if world != n_ranks:
+            raise ValueError(
+                f"MPI4PyBackend: communicator spans {world} processes but the "
+                f"collective was issued for {n_ranks} ranks; launch with "
+                f"mpiexec -n {n_ranks}"
+            )
+        rank = comm.Get_rank()
+        start = time.perf_counter()
+        value, breakdown, bytes_sent, messages = self._run_rank(
+            program_factory(rank, n_ranks), max_commands
+        )
+        elapsed = time.perf_counter() - start
+        gathered = comm.allgather((value, elapsed, breakdown.as_dict(), bytes_sent, messages))
+        ranks = [
+            RankResult(
+                rank=r,
+                value=v,
+                finish_time=t,
+                breakdown=TimeBreakdown(seconds=dict(b)),
+                bytes_sent=nbytes,
+                messages_sent=count,
+            )
+            for r, (v, t, b, nbytes, count) in enumerate(gathered)
+        ]
+        return SimulationResult(n_ranks=n_ranks, ranks=ranks)
+
+    def _run_rank(self, program: Generator, max_commands: int):  # pragma: no cover - requires mpi4py
+        comm = self.comm
+        breakdown = TimeBreakdown()
+        bytes_sent = 0
+        messages = 0
+        executed = 0
+        result: Any = None
+
+        def timed(category: str, fn: Callable[[], Any]) -> Any:
+            begin = time.perf_counter()
+            out = fn()
+            breakdown.add(category, time.perf_counter() - begin)
+            return out
+
+        try:
+            command = next(program)
+        except StopIteration as stop:
+            return stop.value, breakdown, bytes_sent, messages
+        while True:
+            executed += 1
+            if executed > max_commands:
+                raise InvalidCommandError(
+                    f"rank program exceeded max_commands={max_commands} on the MPI backend"
+                )
+            if isinstance(command, Compute):
+                # real computation already happened inline; the modelled
+                # duration only has meaning in virtual time
+                outcome = None
+            elif isinstance(command, Isend):
+                outcome = _MPIRequestHandle(
+                    comm.isend(command.data, dest=command.dest, tag=command.tag), "send"
+                )
+                bytes_sent += payload_nbytes(command.data)
+                messages += 1
+            elif isinstance(command, Irecv):
+                outcome = _MPIRequestHandle(
+                    comm.irecv(source=command.source, tag=command.tag), "recv"
+                )
+            elif isinstance(command, Wait):
+                outcome = timed(command.category, command.request.wait)
+            elif isinstance(command, Waitall):
+                requests = list(command.requests)
+                outcome = timed(command.category, lambda: [req.wait() for req in requests])
+            elif isinstance(command, Test):
+                outcome = command.request.test()
+            elif isinstance(command, Probe):
+                outcome = comm.iprobe(source=command.source, tag=command.tag)
+            elif isinstance(command, Barrier):
+                timed(command.category, comm.Barrier)
+                outcome = None
+            else:
+                raise InvalidCommandError(
+                    f"MPI4PyBackend cannot interpret command {command!r}"
+                )
+            try:
+                command = program.send(outcome)
+            except StopIteration as stop:
+                result = stop.value
+                break
+        return result, breakdown, bytes_sent, messages
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MPI4PyBackend(comm={self.comm!r})"
+
+
+_DEFAULT_BACKEND = SimBackend()
+
+#: names accepted by :func:`resolve_backend` for string selection
+BACKEND_NAMES = ("sim", "mpi4py")
+
+
+def default_backend() -> SimBackend:
+    """The process-wide default backend (a shared :class:`SimBackend`)."""
+    return _DEFAULT_BACKEND
+
+
+def resolve_backend(backend: Union[Backend, str, None]) -> Backend:
+    """Normalise a backend argument: ``None`` / name / instance -> instance."""
+    if backend is None:
+        return _DEFAULT_BACKEND
+    if isinstance(backend, str):
+        key = backend.lower()
+        if key == "sim":
+            return _DEFAULT_BACKEND
+        if key in ("mpi", "mpi4py"):
+            return MPI4PyBackend()
+        raise ValueError(f"unknown backend {backend!r}; available: {', '.join(BACKEND_NAMES)}")
+    return backend
+
+
+def execute(
+    backend: Union[Backend, str, None],
+    n_ranks: int,
+    program_factory: ProgramFactory,
+    *,
+    network: Optional[NetworkModel] = None,
+    topology: Optional[Topology] = None,
+    max_commands: int = DEFAULT_MAX_COMMANDS,
+) -> SimulationResult:
+    """Run a program factory on ``backend`` (``None`` -> default simulator)."""
+    return resolve_backend(backend).execute(
+        n_ranks,
+        program_factory,
+        network=network,
+        topology=topology,
+        max_commands=max_commands,
+    )

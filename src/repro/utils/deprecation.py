@@ -1,0 +1,37 @@
+"""Deprecation machinery for the legacy free-function collective surface.
+
+PR 3 replaced the ~20 parallel ``run_*`` entry points with the session API in
+:mod:`repro.api` (``Cluster`` + ``Communicator``).  The old functions remain
+as thin delegating shims so existing scripts keep working, but every call
+emits :class:`ReproDeprecationWarning`.  The test suite turns that warning
+into an error (see ``pytest.ini``), which is what keeps migrated code from
+quietly regressing onto the old surface.
+
+Policy: the shims stay for at least two further PRs, warn on every call, and
+are exercised by the facade-equivalence pins in ``tests/api`` (which are the
+only tests allowed to call them, under ``pytest.warns``).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["ReproDeprecationWarning", "warn_legacy_runner"]
+
+
+class ReproDeprecationWarning(DeprecationWarning):
+    """Warning emitted by repro's deprecated legacy ``run_*`` free functions."""
+
+
+def warn_legacy_runner(old: str, replacement: str) -> None:
+    """Warn that the legacy free function ``old`` should be ``replacement``.
+
+    ``stacklevel=3`` points the warning at the *caller* of the shim (the shim
+    itself calls this helper), so users see their own line, not ours.
+    """
+    warnings.warn(
+        f"{old}() is deprecated; use {replacement} "
+        "(see repro.api.Cluster / repro.api.Communicator)",
+        ReproDeprecationWarning,
+        stacklevel=3,
+    )

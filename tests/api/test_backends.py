@@ -1,0 +1,80 @@
+"""Tests for the pluggable execution backends (:mod:`repro.mpisim.backends`)."""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+import pytest
+
+from repro.api import Cluster, SimBackend, default_backend, resolve_backend
+from repro.collectives import CollectiveContext, ring_allreduce_program
+from repro.mpisim import NetworkModel, run_simulation
+from repro.mpisim.backends import BackendUnavailableError, MPI4PyBackend
+
+HAVE_MPI4PY = importlib.util.find_spec("mpi4py") is not None
+
+NET = NetworkModel(latency=1e-6, bandwidth=1e9, eager_threshold=1024, inflight_window=256 * 1024)
+
+
+class TestSimBackend:
+    def test_bit_for_bit_with_run_simulation(self):
+        """SimBackend.execute is run_simulation — same values, times, traffic."""
+        rng = np.random.default_rng(0)
+        inputs = [rng.standard_normal(1024) for _ in range(6)]
+        ctx = CollectiveContext()
+
+        def factory(rank, size):
+            return ring_allreduce_program(rank, size, inputs[rank], ctx)
+
+        direct = run_simulation(6, factory, network=NET)
+        via_backend = SimBackend().execute(6, factory, network=NET)
+        assert via_backend.total_time == direct.total_time
+        assert via_backend.total_bytes_sent == direct.total_bytes_sent
+        assert [r.finish_time for r in via_backend.ranks] == [
+            r.finish_time for r in direct.ranks
+        ]
+        for a, b in zip(via_backend.rank_values, direct.rank_values):
+            np.testing.assert_array_equal(a, b)
+
+    def test_resolve_backend(self):
+        assert resolve_backend(None) is default_backend()
+        assert resolve_backend("sim") is default_backend()
+        custom = SimBackend()
+        assert resolve_backend(custom) is custom
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("carrier-pigeon")
+
+    def test_communicator_accepts_backend_instance_and_name(self):
+        inputs = [np.full(32, float(r)) for r in range(4)]
+        by_name = Cluster().communicator(4, backend="sim")
+        by_instance = Cluster().communicator(4, backend=SimBackend())
+        a = by_name.allreduce(inputs, algorithm="ring")
+        b = by_instance.allreduce(inputs, algorithm="ring")
+        assert a.total_time == b.total_time
+        np.testing.assert_array_equal(a.value(0), b.value(0))
+
+
+class TestMPI4PyBackend:
+    @pytest.mark.skipif(HAVE_MPI4PY, reason="mpi4py present: guard not reachable")
+    def test_import_guard_raises_without_mpi4py(self):
+        with pytest.raises(BackendUnavailableError, match="mpi4py"):
+            MPI4PyBackend()
+
+    @pytest.mark.skipif(not HAVE_MPI4PY, reason="mpi4py not installed")
+    def test_single_process_collective_on_real_mpi(self):
+        """Under a plain (non-mpiexec) run, COMM_WORLD has one rank; a
+        1-rank allreduce must still produce the identity result."""
+        backend = MPI4PyBackend()
+        comm = Cluster().communicator(1, backend=backend)
+        data = np.arange(16.0)
+        outcome = comm.allreduce([data], algorithm="ring")
+        np.testing.assert_array_equal(outcome.value(0), data)
+
+    @pytest.mark.skipif(not HAVE_MPI4PY, reason="mpi4py not installed")
+    def test_size_mismatch_rejected(self):
+        backend = MPI4PyBackend()
+        if backend.comm.Get_size() == 8:
+            pytest.skip("launched under mpiexec -n 8")
+        with pytest.raises(ValueError, match="spans"):
+            Cluster().communicator(8, backend=backend).barrier()

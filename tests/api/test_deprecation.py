@@ -1,0 +1,72 @@
+"""The legacy ``run_*`` shims must warn — and the suite must treat that as error.
+
+``pytest.ini`` escalates :class:`ReproDeprecationWarning` to an error for the
+whole suite, so these tests both pin the shims' warning behaviour and prove
+the enforcement mechanism works (calling a shim outside ``pytest.warns``
+would fail the test run).
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.utils.deprecation import ReproDeprecationWarning
+
+SHIM_CASES = [
+    ("repro.collectives", "run_ring_allreduce"),
+    ("repro.collectives", "run_ring_allgather"),
+    ("repro.collectives", "run_ring_reduce_scatter"),
+    ("repro.collectives", "run_binomial_bcast"),
+    ("repro.collectives", "run_binomial_gather"),
+    ("repro.collectives", "run_binomial_reduce"),
+    ("repro.collectives", "run_binomial_scatter"),
+    ("repro.collectives", "run_recursive_doubling_allreduce"),
+    ("repro.collectives", "run_rabenseifner_allreduce"),
+    ("repro.collectives", "run_hierarchical_allreduce"),
+    ("repro.collectives", "run_allreduce"),
+    ("repro.ccoll", "run_c_allreduce"),
+    ("repro.ccoll", "run_cpr_allreduce"),
+    ("repro.ccoll", "run_c_allgather"),
+    ("repro.ccoll", "run_cpr_allgather"),
+    ("repro.ccoll", "run_c_reduce_scatter"),
+    ("repro.ccoll", "run_topology_aware_c_allreduce"),
+]
+
+
+@pytest.mark.parametrize("module_name,func_name", SHIM_CASES)
+def test_every_shim_warns_and_mentions_the_replacement(module_name, func_name):
+    module = __import__(module_name, fromlist=[func_name])
+    shim = getattr(module, func_name)
+    inputs = [np.ones(8), np.ones(8)]
+    data = inputs if "bcast" not in func_name else inputs[0]
+    with pytest.warns(ReproDeprecationWarning, match="Communicator"):
+        shim(data, 2)
+
+
+def test_facade_calls_are_warning_free():
+    """The facade routes through the private impls — no shim, no warning."""
+    from repro.api import Cluster
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", ReproDeprecationWarning)
+        comm = Cluster().communicator(2)
+        comm.allreduce([np.ones(8), np.ones(8)], compression="on")
+        comm.bcast(np.ones(8), compression="di")
+        comm.allreduce([np.ones(8), np.ones(8)], compression="auto")
+        comm.barrier()
+
+
+def test_run_allreduce_variant_warns():
+    from repro.ccoll import run_allreduce_variant
+
+    with pytest.warns(ReproDeprecationWarning):
+        run_allreduce_variant("AD", [np.ones(8), np.ones(8)], 2)
+
+
+def test_pairwise_alltoall_shim_warns():
+    from repro.collectives import run_pairwise_alltoall
+
+    matrix = [[np.ones(4), np.ones(4)], [np.ones(4), np.ones(4)]]
+    with pytest.warns(ReproDeprecationWarning):
+        run_pairwise_alltoall(matrix, 2)

@@ -1,0 +1,309 @@
+"""Facade-equivalence pins: ``Communicator`` reproduces the legacy ``run_*``.
+
+For every collective and every topology preset the issue names (flat,
+two_level, shared_uplink, fat_tree), the session API must reproduce the legacy
+free functions *bit for bit*: identical per-rank values (exact array equality)
+and identical makespans.  These are the only tests allowed to call the
+deprecated shims — deliberately, inside ``pytest.warns``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Cluster
+from repro.ccoll import (
+    CCollConfig,
+    run_allreduce_variant,
+    run_c_allgather,
+    run_c_bcast,
+    run_c_reduce_scatter,
+    run_c_scatter,
+    run_cpr_allgather,
+    run_cpr_bcast,
+    run_cpr_scatter,
+    run_topology_aware_c_allreduce,
+)
+from repro.collectives import (
+    run_allreduce,
+    run_binomial_bcast,
+    run_binomial_gather,
+    run_binomial_reduce,
+    run_binomial_scatter,
+    run_pairwise_alltoall,
+    run_ring_allgather,
+    run_ring_allreduce,
+    run_ring_reduce_scatter,
+)
+from repro.perfmodel.presets import default_network, make_topology
+from repro.utils.deprecation import ReproDeprecationWarning
+
+N_RANKS = 8
+PRESETS = {
+    "flat": {},
+    "two_level": {"ranks_per_node": 4},
+    "shared_uplink": {"ranks_per_node": 4},
+    "fat_tree": {"k": 4},
+}
+preset_param = pytest.mark.parametrize("preset", sorted(PRESETS))
+
+
+def topo_for(preset):
+    return make_topology(preset, **PRESETS[preset])
+
+
+def comm_for(preset, config=None):
+    return Cluster(
+        network=default_network(), topology=topo_for(preset), config=config
+    ).communicator(N_RANKS)
+
+
+def legacy(runner, *args, **kwargs):
+    """Call a deprecated shim, asserting it warns (the sanctioned exemption)."""
+    with pytest.warns(ReproDeprecationWarning):
+        return runner(*args, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    rng = np.random.default_rng(11)
+    x = np.linspace(0, 6 * np.pi, 4096)
+    return [
+        (np.sin(x) + 0.01 * rng.standard_normal(x.size)).astype(np.float32) * (1 + 1e-6 * r)
+        for r in range(N_RANKS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def config():
+    return CCollConfig(codec="szx", error_bound=1e-3, size_multiplier=32.0)
+
+
+def assert_equivalent(facade_outcome, legacy_outcome):
+    """Values bit-for-bit, makespans exact, traffic identical."""
+    assert facade_outcome.total_time == legacy_outcome.total_time
+    assert facade_outcome.sim.total_bytes_sent == legacy_outcome.sim.total_bytes_sent
+    assert facade_outcome.sim.rank_times == legacy_outcome.sim.rank_times
+    for mine, theirs in zip(facade_outcome.values, legacy_outcome.values):
+        if mine is None:
+            assert theirs is None
+        elif isinstance(mine, list):
+            for a, b in zip(mine, theirs):
+                np.testing.assert_array_equal(a, b)
+        else:
+            np.testing.assert_array_equal(mine, theirs)
+
+
+class TestUncompressedEquivalence:
+    @preset_param
+    def test_allreduce_ring(self, preset, vectors, config):
+        facade = comm_for(preset, config).allreduce(vectors, algorithm="ring")
+        ref = legacy(
+            run_ring_allreduce,
+            vectors,
+            N_RANKS,
+            ctx=config.context(),
+            network=default_network(),
+            topology=topo_for(preset),
+        )
+        assert_equivalent(facade, ref)
+
+    @preset_param
+    def test_allreduce_auto_matches_selector(self, preset, vectors, config):
+        comm = comm_for(preset, config)
+        facade = comm.allreduce(vectors)
+        ref, used = legacy(
+            run_allreduce,
+            vectors,
+            N_RANKS,
+            algorithm="auto",
+            ctx=config.context(),
+            network=default_network(),
+            topology=topo_for(preset),
+        )
+        assert comm.last_algorithm == used
+        assert_equivalent(facade, ref)
+
+    @preset_param
+    def test_allgather(self, preset, vectors):
+        facade = comm_for(preset).allgather(vectors)
+        ref = legacy(
+            run_ring_allgather,
+            vectors,
+            N_RANKS,
+            network=default_network(),
+            topology=topo_for(preset),
+        )
+        assert_equivalent(facade, ref)
+
+    @preset_param
+    def test_reduce_scatter(self, preset, vectors):
+        facade = comm_for(preset).reduce_scatter(vectors)
+        ref = legacy(
+            run_ring_reduce_scatter,
+            vectors,
+            N_RANKS,
+            network=default_network(),
+            topology=topo_for(preset),
+        )
+        assert_equivalent(facade, ref)
+
+    @preset_param
+    def test_bcast(self, preset, vectors):
+        facade = comm_for(preset).bcast(vectors[0], root=1)
+        ref = legacy(
+            run_binomial_bcast,
+            vectors[0],
+            N_RANKS,
+            root=1,
+            network=default_network(),
+            topology=topo_for(preset),
+        )
+        assert_equivalent(facade, ref)
+
+    @preset_param
+    def test_scatter(self, preset, vectors):
+        facade = comm_for(preset).scatter(vectors)
+        ref = legacy(
+            run_binomial_scatter,
+            vectors,
+            N_RANKS,
+            network=default_network(),
+            topology=topo_for(preset),
+        )
+        assert_equivalent(facade, ref)
+
+    @preset_param
+    def test_gather(self, preset, vectors):
+        facade = comm_for(preset).gather(vectors, root=2)
+        ref = legacy(
+            run_binomial_gather,
+            vectors,
+            N_RANKS,
+            root=2,
+            network=default_network(),
+            topology=topo_for(preset),
+        )
+        assert_equivalent(facade, ref)
+
+    @preset_param
+    def test_reduce(self, preset, vectors):
+        facade = comm_for(preset).reduce(vectors)
+        ref = legacy(
+            run_binomial_reduce,
+            vectors,
+            N_RANKS,
+            network=default_network(),
+            topology=topo_for(preset),
+        )
+        assert_equivalent(facade, ref)
+
+    @preset_param
+    def test_alltoall(self, preset):
+        rng = np.random.default_rng(5)
+        matrix = [[rng.standard_normal(32) for _ in range(N_RANKS)] for _ in range(N_RANKS)]
+        facade = comm_for(preset).alltoall(matrix)
+        ref = legacy(
+            run_pairwise_alltoall,
+            matrix,
+            N_RANKS,
+            network=default_network(),
+            topology=topo_for(preset),
+        )
+        assert_equivalent(facade, ref)
+
+
+class TestCompressedEquivalence:
+    @preset_param
+    @pytest.mark.parametrize("variant", ["DI", "ND", "Overlap"])
+    def test_allreduce_variants(self, preset, variant, vectors, config):
+        facade = comm_for(preset, config).allreduce(vectors, compression=variant)
+        ref = legacy(
+            run_allreduce_variant,
+            variant,
+            vectors,
+            N_RANKS,
+            config=config,
+            network=default_network(),
+            topology=topo_for(preset),
+        )
+        assert_equivalent(facade, ref)
+        assert facade.compression_ratio == ref.compression_ratio
+
+    @preset_param
+    def test_c_allgather(self, preset, vectors, config):
+        facade = comm_for(preset, config).allgather(vectors, compression="on")
+        ref = legacy(
+            run_c_allgather,
+            vectors,
+            N_RANKS,
+            config=config,
+            network=default_network(),
+            topology=topo_for(preset),
+        )
+        assert_equivalent(facade, ref)
+
+    @preset_param
+    def test_cpr_allgather(self, preset, vectors, config):
+        facade = comm_for(preset, config).allgather(vectors, compression="di")
+        ref = legacy(
+            run_cpr_allgather,
+            vectors,
+            N_RANKS,
+            config=config,
+            network=default_network(),
+            topology=topo_for(preset),
+        )
+        assert_equivalent(facade, ref)
+
+    @preset_param
+    def test_c_and_cpr_bcast_scatter(self, preset, vectors, config):
+        comm = comm_for(preset, config)
+        cases = [
+            (comm.bcast(vectors[0], compression="on"), run_c_bcast, (vectors[0],), {}),
+            (comm.bcast(vectors[0], compression="di"), run_cpr_bcast, (vectors[0],), {}),
+            (comm.scatter(vectors, compression="on"), run_c_scatter, (vectors,), {}),
+            (comm.scatter(vectors, compression="di"), run_cpr_scatter, (vectors,), {}),
+        ]
+        for facade, runner, args, kwargs in cases:
+            ref = legacy(
+                runner,
+                *args,
+                N_RANKS,
+                config=config,
+                network=default_network(),
+                topology=topo_for(preset),
+                **kwargs,
+            )
+            assert_equivalent(facade, ref)
+
+    @preset_param
+    def test_c_reduce_scatter(self, preset, vectors, config):
+        facade = comm_for(preset, config).reduce_scatter(vectors, compression="on")
+        ref = legacy(
+            run_c_reduce_scatter,
+            vectors,
+            N_RANKS,
+            config=config,
+            network=default_network(),
+            topology=topo_for(preset),
+        )
+        assert_equivalent(facade, ref)
+
+    @pytest.mark.parametrize("preset", ["two_level", "shared_uplink"])
+    def test_auto_matches_topology_aware(self, preset, vectors, config):
+        """On multi-rank-per-node clusters compression='auto' is the
+        topology-aware C-Allreduce with its compress_inter='auto' gate."""
+        facade = comm_for(preset, config).allreduce(vectors, compression="auto")
+        ref = legacy(
+            run_topology_aware_c_allreduce,
+            vectors,
+            N_RANKS,
+            topology=topo_for(preset),
+            config=config,
+            network=default_network(),
+            compress_inter="auto",
+        )
+        assert_equivalent(facade, ref)
+        assert facade.inter_compressed == ref.inter_compressed

@@ -1,7 +1,7 @@
 """Correctness and error-bound tests for the C-Coll collectives.
 
 These tests verify the paper's accuracy claims end to end with the real
-codecs flowing through the simulated collectives:
+codecs flowing through the simulated collectives (via the session API):
 
 * data-movement collectives (C-Allgather, C-Bcast, C-Scatter) reconstruct
   every value within the single compression error bound;
@@ -15,19 +15,8 @@ codecs flowing through the simulated collectives:
 import numpy as np
 import pytest
 
-from repro.ccoll import (
-    CCollConfig,
-    run_allreduce_variant,
-    run_c_allgather,
-    run_c_allreduce,
-    run_c_bcast,
-    run_c_reduce_scatter,
-    run_c_scatter,
-    run_cpr_allgather,
-    run_cpr_allreduce,
-    run_cpr_bcast,
-    run_cpr_scatter,
-)
+from repro.api import Cluster
+from repro.ccoll import CCollConfig
 from repro.collectives import partition_chunks
 from repro.mpisim import NetworkModel
 
@@ -54,11 +43,15 @@ def config(**kwargs):
     return CCollConfig(**defaults)
 
 
+def comm_for(n_ranks, **config_kwargs):
+    return Cluster(network=NET, config=config(**config_kwargs)).communicator(n_ranks)
+
+
 class TestCAllgather:
     @pytest.mark.parametrize("n_ranks", [2, 3, 5])
     def test_blocks_within_single_error_bound(self, n_ranks):
         blocks = smooth_vectors(n_ranks)
-        outcome = run_c_allgather(blocks, n_ranks, config=config(), network=NET)
+        outcome = comm_for(n_ranks).allgather(blocks, compression="on")
         for rank in range(n_ranks):
             gathered = outcome.value(rank)
             for i in range(n_ranks):
@@ -69,13 +62,13 @@ class TestCAllgather:
 
     def test_reports_compression_ratio(self):
         blocks = smooth_vectors(3)
-        outcome = run_c_allgather(blocks, 3, config=config(), network=NET)
+        outcome = comm_for(3).allgather(blocks, compression="on")
         assert outcome.compression_ratio is not None
         assert outcome.compression_ratio > 1.5
 
     def test_single_rank(self):
         blocks = smooth_vectors(1)
-        outcome = run_c_allgather(blocks, 1, config=config(), network=NET)
+        outcome = comm_for(1).allgather(blocks, compression="on")
         np.testing.assert_array_equal(outcome.value(0)[0], blocks[0])
 
 
@@ -83,7 +76,7 @@ class TestCBcastScatter:
     @pytest.mark.parametrize("n_ranks", [2, 4, 7])
     def test_bcast_within_single_error_bound(self, n_ranks):
         data = smooth_vectors(1)[0]
-        outcome = run_c_bcast(data, n_ranks, config=config(), network=NET)
+        outcome = comm_for(n_ranks).bcast(data, compression="on")
         np.testing.assert_array_equal(outcome.value(0), data)
         for rank in range(1, n_ranks):
             assert max_err(outcome.value(rank), data) <= EB * 1.01
@@ -91,14 +84,14 @@ class TestCBcastScatter:
     @pytest.mark.parametrize("n_ranks", [2, 4, 6])
     def test_scatter_within_single_error_bound(self, n_ranks):
         blocks = smooth_vectors(n_ranks)
-        outcome = run_c_scatter(blocks, n_ranks, config=config(), network=NET)
+        outcome = comm_for(n_ranks).scatter(blocks, compression="on")
         np.testing.assert_array_equal(outcome.value(0), blocks[0])
         for rank in range(1, n_ranks):
             assert max_err(outcome.value(rank), blocks[rank]) <= EB * 1.01
 
     def test_bcast_nonzero_root(self):
         data = smooth_vectors(1)[0]
-        outcome = run_c_bcast(data, 5, root=2, config=config(), network=NET)
+        outcome = comm_for(5).bcast(data, root=2, compression="on")
         for rank in range(5):
             assert max_err(outcome.value(rank), data) <= EB * 1.01
 
@@ -108,19 +101,17 @@ class TestCReduceScatterAndAllreduce:
     def test_reduce_scatter_error_bounded_by_chain(self, n_ranks):
         vectors = smooth_vectors(n_ranks)
         expected_chunks = partition_chunks(np.sum(vectors, axis=0), n_ranks)
-        outcome = run_c_reduce_scatter(vectors, n_ranks, config=config(), network=NET)
+        outcome = comm_for(n_ranks).reduce_scatter(vectors, compression="on")
         # every hop of the aggregation chain compresses once: worst case N * eb
         for rank in range(n_ranks):
             assert max_err(outcome.value(rank), expected_chunks[rank]) <= n_ranks * EB * 1.01
 
     @pytest.mark.parametrize("n_ranks", [2, 4, 5])
-    @pytest.mark.parametrize("overlap", [True, False])
-    def test_allreduce_error_bounded_by_chain(self, n_ranks, overlap):
+    @pytest.mark.parametrize("variant", ["on", "nd"])  # Overlap / non-overlapped ND
+    def test_allreduce_error_bounded_by_chain(self, n_ranks, variant):
         vectors = smooth_vectors(n_ranks)
         expected = np.sum(vectors, axis=0)
-        outcome = run_c_allreduce(
-            vectors, n_ranks, config=config(), network=NET, overlap=overlap
-        )
+        outcome = comm_for(n_ranks).allreduce(vectors, compression=variant)
         for rank in range(n_ranks):
             assert max_err(outcome.value(rank), expected) <= (n_ranks + 1) * EB * 1.01
 
@@ -132,7 +123,7 @@ class TestCReduceScatterAndAllreduce:
         n_ranks = 8
         vectors = smooth_vectors(n_ranks)
         expected = np.sum(vectors, axis=0)
-        outcome = run_c_allreduce(vectors, n_ranks, config=config(), network=NET)
+        outcome = comm_for(n_ranks).allreduce(vectors, compression="on")
         abs_err = np.abs(outcome.value(0).astype(np.float64) - expected.astype(np.float64))
         # Corollary 1 bound (2/3) sqrt(n) eb, with 2x slack for non-Gaussian /
         # correlated quantisation errors of the real codec
@@ -143,13 +134,13 @@ class TestCReduceScatterAndAllreduce:
 
     def test_allreduce_all_ranks_agree(self):
         vectors = smooth_vectors(4)
-        outcome = run_c_allreduce(vectors, 4, config=config(), network=NET)
+        outcome = comm_for(4).allreduce(vectors, compression="on")
         for rank in range(1, 4):
             np.testing.assert_allclose(outcome.value(rank), outcome.value(0), atol=2 * EB)
 
     def test_single_rank_allreduce_is_identity(self):
         vectors = smooth_vectors(1)
-        outcome = run_c_allreduce(vectors, 1, config=config(), network=NET)
+        outcome = comm_for(1).allreduce(vectors, compression="on")
         np.testing.assert_array_equal(outcome.value(0), vectors[0])
 
 
@@ -158,7 +149,7 @@ class TestCprP2PBaselines:
         n_ranks = 4
         vectors = smooth_vectors(n_ranks)
         expected = np.sum(vectors, axis=0)
-        outcome = run_cpr_allreduce(vectors, n_ranks, config=config(), network=NET)
+        outcome = comm_for(n_ranks).allreduce(vectors, compression="di")
         # CPR-P2P recompresses in both stages: reduce-scatter chain plus one
         # compression per allgather hop
         bound = 2 * n_ranks * EB
@@ -173,8 +164,9 @@ class TestCprP2PBaselines:
         is the paper's point.)"""
         n_ranks = 8
         blocks = smooth_vectors(n_ranks)
-        cpr = run_cpr_allgather(blocks, n_ranks, config=config(), network=NET)
-        ccoll = run_c_allgather(blocks, n_ranks, config=config(), network=NET)
+        comm = comm_for(n_ranks)
+        cpr = comm.allgather(blocks, compression="di")
+        ccoll = comm.allgather(blocks, compression="on")
         # block 1 as seen by rank 0 travelled n_ranks-1 hops in the ring
         furthest = 1
         cpr_err = max_err(cpr.value(0)[furthest], blocks[furthest])
@@ -189,8 +181,9 @@ class TestCprP2PBaselines:
         compress-once C-Allgather."""
         n_ranks = 6
         blocks = smooth_vectors(n_ranks)
-        cpr = run_cpr_allgather(blocks, n_ranks, config=config(), network=NET)
-        ccoll = run_c_allgather(blocks, n_ranks, config=config(), network=NET)
+        comm = comm_for(n_ranks)
+        cpr = comm.allgather(blocks, compression="di")
+        ccoll = comm.allgather(blocks, compression="on")
         cpr_comdecom = cpr.sim.category_seconds("ComDecom")
         ccoll_comdecom = ccoll.sim.category_seconds("ComDecom")
         # CPR-P2P pays (N-1) compressions + (N-1) decompressions per rank while
@@ -200,13 +193,14 @@ class TestCprP2PBaselines:
 
     def test_cpr_bcast_and_scatter_round_trip(self):
         data = smooth_vectors(1)[0]
-        outcome = run_cpr_bcast(data, 8, config=config(), network=NET)
+        comm = comm_for(8)
+        outcome = comm.bcast(data, compression="di")
         for rank in range(8):
             # at most log2(8) = 3 lossy hops
             assert max_err(outcome.value(rank), data) <= 3 * EB * 1.01
 
         blocks = smooth_vectors(8)
-        outcome = run_cpr_scatter(blocks, 8, config=config(), network=NET)
+        outcome = comm.scatter(blocks, compression="di")
         for rank in range(8):
             assert max_err(outcome.value(rank), blocks[rank]) <= 3 * EB * 1.01
 
@@ -216,10 +210,12 @@ class TestVariants:
         n_ranks = 4
         vectors = smooth_vectors(n_ranks)
         expected = np.sum(vectors, axis=0)
+        comm = comm_for(n_ranks)
         for variant in ("AD", "DI", "ND", "Overlap"):
-            outcome = run_allreduce_variant(
-                variant, vectors, n_ranks, config=config(), network=NET
-            )
+            if variant == "AD":
+                outcome = comm.allreduce(vectors, algorithm="ring", compression="off")
+            else:
+                outcome = comm.allreduce(vectors, compression=variant)
             # AD is exact up to float32 summation-order effects; the compressed
             # variants are bounded by the aggregation-chain worst case
             tol = 1e-5 if variant == "AD" else 2 * n_ranks * EB
@@ -227,13 +223,18 @@ class TestVariants:
 
     def test_unknown_variant_rejected(self):
         with pytest.raises(ValueError):
-            run_allreduce_variant("FOO", smooth_vectors(2), 2, network=NET)
+            comm_for(2).allreduce(smooth_vectors(2), compression="FOO")
 
     def test_aliases(self):
         vectors = smooth_vectors(2)
-        a = run_allreduce_variant("C-Allreduce", vectors, 2, config=config(), network=NET)
-        b = run_allreduce_variant("Overlap", vectors, 2, config=config(), network=NET)
+        comm = comm_for(2)
+        a = comm.allreduce(vectors, compression="C-Allreduce")
+        b = comm.allreduce(vectors, compression="Overlap")
         np.testing.assert_allclose(a.value(0), b.value(0))
+
+    def test_algorithm_only_applies_uncompressed(self):
+        with pytest.raises(ValueError, match="algorithm"):
+            comm_for(2).allreduce(smooth_vectors(2), algorithm="ring", compression="on")
 
 
 class TestConfig:

@@ -3,22 +3,14 @@
 These tests run the simulated collectives with the default (calibrated)
 network and cost models and assert the *relative* outcomes the paper reports —
 who wins, in which direction, and roughly by how much.  Absolute times are
-model outputs and are never asserted.
+model outputs and are never asserted.  Everything goes through the session API.
 """
 
 import numpy as np
 import pytest
 
-from repro.ccoll import (
-    CCollConfig,
-    run_allreduce_variant,
-    run_c_allreduce,
-    run_c_bcast,
-    run_c_scatter,
-    run_cpr_bcast,
-    run_cpr_scatter,
-)
-from repro.collectives import run_binomial_bcast, run_binomial_scatter, run_ring_allreduce
+from repro.api import Cluster
+from repro.ccoll import CCollConfig
 from repro.datasets import load_field, message_of_size
 from repro.perfmodel import default_cost_model, default_network, line_rate_network
 from repro.utils.units import MB
@@ -49,15 +41,19 @@ def config():
     )
 
 
+def make_comm(config, network=None):
+    return Cluster(
+        network=network if network is not None else default_network(), config=config
+    ).communicator(N_RANKS)
+
+
 @pytest.fixture(scope="module")
 def variant_times(rank_inputs, config):
     """Run the four Table V variants once and cache their outcomes."""
-    net = default_network()
-    outcomes = {}
-    for variant in ("AD", "DI", "ND", "Overlap"):
-        outcomes[variant] = run_allreduce_variant(
-            variant, rank_inputs, N_RANKS, config=config, network=net
-        )
+    comm = make_comm(config)
+    outcomes = {"AD": comm.allreduce(rank_inputs, algorithm="ring", compression="off")}
+    for variant in ("DI", "ND", "Overlap"):
+        outcomes[variant] = comm.allreduce(rank_inputs, compression=variant)
     return outcomes
 
 
@@ -116,36 +112,35 @@ class TestAllreduceShapes:
 
     def test_zfp_fxr_baseline_slower_than_szx_baseline(self, rank_inputs, config):
         """Figure 11: among CPR-P2P baselines, SZx is fastest and ZFP(FXR) slowest."""
-        net = default_network()
-        szx = run_allreduce_variant("DI", rank_inputs, N_RANKS, config=config, network=net)
+        szx = make_comm(config).allreduce(rank_inputs, compression="di")
         fxr_config = config.with_updates(codec="zfp_fxr", rate=4.0)
-        fxr = run_allreduce_variant("DI", rank_inputs, N_RANKS, config=fxr_config, network=net)
+        fxr = make_comm(fxr_config).allreduce(rank_inputs, compression="di")
         assert fxr.total_time > szx.total_time
 
     def test_line_rate_fabric_removes_the_benefit(self, rank_inputs, config):
         """Ablation: on a fabric delivering the full 12.5 GB/s line rate, CPU
         compression cannot pay for itself and C-Allreduce loses to the original."""
-        net = line_rate_network()
-        ad = run_ring_allreduce(rank_inputs, N_RANKS, ctx=config.context(), network=net)
-        ccoll = run_c_allreduce(rank_inputs, N_RANKS, config=config, network=net)
+        comm = make_comm(config, network=line_rate_network())
+        ad = comm.allreduce(rank_inputs, algorithm="ring", compression="off")
+        ccoll = comm.allreduce(rank_inputs, compression="on")
         assert ccoll.total_time > ad.total_time
 
 
 class TestBcastScatterShapes:
     def test_c_bcast_beats_baseline_and_cpr(self, rtm_message, config):
         """Figure 16: C-Bcast beats MPI_Bcast, while the CPR-P2P SZx baseline loses."""
-        net = default_network()
-        baseline = run_binomial_bcast(rtm_message, N_RANKS, ctx=config.context(), network=net)
-        c_bcast = run_c_bcast(rtm_message, N_RANKS, config=config, network=net)
-        cpr = run_cpr_bcast(rtm_message, N_RANKS, config=config, network=net)
+        comm = make_comm(config)
+        baseline = comm.bcast(rtm_message, compression="off")
+        c_bcast = comm.bcast(rtm_message, compression="on")
+        cpr = comm.bcast(rtm_message, compression="di")
         assert c_bcast.total_time < baseline.total_time / 1.5
         assert cpr.total_time > c_bcast.total_time
 
     def test_c_scatter_beats_baseline_and_cpr(self, rank_inputs, config):
         """Figure 16: C-Scatter beats MPI_Scatter, while the CPR-P2P baseline loses."""
-        net = default_network()
-        baseline = run_binomial_scatter(rank_inputs, N_RANKS, ctx=config.context(), network=net)
-        c_scatter = run_c_scatter(rank_inputs, N_RANKS, config=config, network=net)
-        cpr = run_cpr_scatter(rank_inputs, N_RANKS, config=config, network=net)
+        comm = make_comm(config)
+        baseline = comm.scatter(rank_inputs, compression="off")
+        c_scatter = comm.scatter(rank_inputs, compression="on")
+        cpr = comm.scatter(rank_inputs, compression="di")
         assert c_scatter.total_time < baseline.total_time / 1.3
         assert cpr.total_time > c_scatter.total_time

@@ -5,7 +5,7 @@ of schedule: every rank ends with the element-wise sum of all per-rank inputs,
 for every algorithm, every communicator size (including non-powers of two) and
 every vector length.  The golden regression pins the flat-topology ring
 makespan to the seed's exact value, so any engine or network change that
-perturbs calibrated timings fails loudly.
+perturbs calibrated timings fails loudly.  All runs go through the session API.
 """
 
 from __future__ import annotations
@@ -15,16 +15,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.collectives import (
-    ALGORITHM_RUNNERS,
-    CollectiveContext,
-    run_allreduce,
-    run_hierarchical_allreduce,
-    run_rabenseifner_allreduce,
-    run_recursive_doubling_allreduce,
-    run_ring_allreduce,
-    select_algorithm,
-)
+from repro.api import Cluster
+from repro.collectives import ALGORITHM_RUNNERS, select_algorithm
 from repro.collectives.selection import RING_MIN_BYTES, SHORT_MESSAGE_BYTES
 from repro.mpisim import FlatTopology, HierarchicalTopology, SharedUplinkTopology
 
@@ -34,35 +26,25 @@ from repro.mpisim import FlatTopology, HierarchicalTopology, SharedUplinkTopolog
 GOLDEN_RING_MAKESPAN_8x8192 = 0.0005227897696969699
 GOLDEN_RING_BYTES_8x8192 = 917504
 
+ALGORITHMS = tuple(ALGORITHM_RUNNERS)
+
 
 def _inputs(n_ranks: int, length: int, seed: int):
     rng = np.random.default_rng(seed)
     return [rng.standard_normal(length) for _ in range(n_ranks)]
 
 
-algorithm_runners = pytest.mark.parametrize(
-    "runner",
-    [
-        run_ring_allreduce,
-        run_recursive_doubling_allreduce,
-        run_rabenseifner_allreduce,
-        run_hierarchical_allreduce,
-    ],
-    ids=["ring", "recursive_doubling", "rabenseifner", "hierarchical"],
-)
-
-
 class TestAllreduceSum:
-    @algorithm_runners
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
     @settings(max_examples=25, deadline=None)
     @given(
         n_ranks=st.integers(min_value=1, max_value=12),
         length=st.integers(min_value=1, max_value=300),
         seed=st.integers(min_value=0, max_value=2**16),
     )
-    def test_every_rank_gets_the_global_sum(self, runner, n_ranks, length, seed):
+    def test_every_rank_gets_the_global_sum(self, algorithm, n_ranks, length, seed):
         inputs = _inputs(n_ranks, length, seed)
-        outcome = runner(inputs, n_ranks, ctx=CollectiveContext())
+        outcome = Cluster().communicator(n_ranks).allreduce(inputs, algorithm=algorithm)
         expected = np.sum(inputs, axis=0)
         for rank in range(n_ranks):
             np.testing.assert_allclose(
@@ -80,8 +62,8 @@ class TestAllreduceSum:
         self, n_ranks, ranks_per_node, length, seed
     ):
         inputs = _inputs(n_ranks, length, seed)
-        topology = HierarchicalTopology(ranks_per_node=ranks_per_node)
-        outcome = run_hierarchical_allreduce(inputs, n_ranks, topology=topology)
+        cluster = Cluster(topology=HierarchicalTopology(ranks_per_node=ranks_per_node))
+        outcome = cluster.communicator(n_ranks).allreduce(inputs, algorithm="hierarchical")
         expected = np.sum(inputs, axis=0)
         for rank in range(n_ranks):
             np.testing.assert_allclose(
@@ -91,8 +73,9 @@ class TestAllreduceSum:
     def test_inputs_are_not_mutated(self):
         inputs = _inputs(6, 64, seed=5)
         originals = [arr.copy() for arr in inputs]
-        for runner in ALGORITHM_RUNNERS.values():
-            runner(inputs, 6, ctx=CollectiveContext())
+        comm = Cluster().communicator(6)
+        for algorithm in ALGORITHMS:
+            comm.allreduce(inputs, algorithm=algorithm)
             for arr, orig in zip(inputs, originals):
                 np.testing.assert_array_equal(arr, orig)
 
@@ -100,15 +83,14 @@ class TestAllreduceSum:
 class TestGoldenRegression:
     def test_flat_ring_makespan_matches_seed_exactly(self):
         inputs = _inputs(8, 8192, seed=0)
-        outcome = run_ring_allreduce(inputs, 8, ctx=CollectiveContext())
+        outcome = Cluster().communicator(8).allreduce(inputs, algorithm="ring")
         assert outcome.total_time == GOLDEN_RING_MAKESPAN_8x8192
         assert outcome.sim.total_bytes_sent == GOLDEN_RING_BYTES_8x8192
 
     def test_flat_topology_object_matches_seed_exactly(self):
         inputs = _inputs(8, 8192, seed=0)
-        outcome = run_ring_allreduce(
-            inputs, 8, ctx=CollectiveContext(), topology=FlatTopology()
-        )
+        comm = Cluster(topology=FlatTopology()).communicator(8)
+        outcome = comm.allreduce(inputs, algorithm="ring")
         assert outcome.total_time == GOLDEN_RING_MAKESPAN_8x8192
 
 
@@ -135,14 +117,16 @@ class TestSelection:
         solo = SharedUplinkTopology(ranks_per_node=1)
         assert select_algorithm(RING_MIN_BYTES, 16, solo) == "ring"
 
-    def test_run_allreduce_auto_dispatch(self):
+    def test_communicator_auto_dispatch_consults_the_table(self):
         inputs = _inputs(4, 128, seed=9)
-        outcome, algorithm = run_allreduce(inputs, 4, algorithm="auto")
-        assert algorithm == "recursive_doubling"  # 1 KiB message
+        comm = Cluster().communicator(4)
+        outcome = comm.allreduce(inputs)  # algorithm="auto" is the default
+        assert comm.last_algorithm == "recursive_doubling"  # 1 KiB message
+        assert comm.last_algorithm == select_algorithm(inputs[0].nbytes, 4, None)
         np.testing.assert_allclose(
             outcome.value(0), np.sum(inputs, axis=0), rtol=1e-10
         )
 
-    def test_run_allreduce_rejects_unknown_algorithm(self):
+    def test_communicator_rejects_unknown_algorithm(self):
         with pytest.raises(ValueError, match="unknown allreduce algorithm"):
-            run_allreduce(_inputs(2, 8, seed=0), 2, algorithm="nope")
+            Cluster().communicator(2).allreduce(_inputs(2, 8, seed=0), algorithm="nope")

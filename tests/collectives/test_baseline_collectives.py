@@ -2,24 +2,17 @@
 
 Every collective is checked against the straightforward numpy equivalent
 (concatenate / sum / slice), across several rank counts including non-powers
-of two, since that is where tree/ring index arithmetic usually breaks.
+of two, since that is where tree/ring index arithmetic usually breaks.  All
+calls go through the session API (``Cluster`` -> ``Communicator``), which is
+the public surface since PR 3.
 """
 
 import numpy as np
 import pytest
 
-from repro.collectives import (
-    CollectiveContext,
-    partition_chunks,
-    run_binomial_bcast,
-    run_binomial_gather,
-    run_binomial_reduce,
-    run_binomial_scatter,
-    run_pairwise_alltoall,
-    run_ring_allgather,
-    run_ring_allreduce,
-    run_ring_reduce_scatter,
-)
+from repro.api import Cluster
+from repro.ccoll import CCollConfig
+from repro.collectives import CollectiveContext, partition_chunks
 from repro.mpisim import NetworkModel
 
 NET = NetworkModel(latency=1e-6, bandwidth=1e9, eager_threshold=1024, inflight_window=256 * 1024)
@@ -29,6 +22,11 @@ RANK_COUNTS = [2, 3, 4, 5, 8]
 def make_inputs(n_ranks, n_elements=600, seed=0):
     rng = np.random.default_rng(seed)
     return [rng.standard_normal(n_elements) for _ in range(n_ranks)]
+
+
+def comm_for(n_ranks, **cluster_kwargs):
+    cluster_kwargs.setdefault("network", NET)
+    return Cluster(**cluster_kwargs).communicator(n_ranks)
 
 
 class TestPartitionChunks:
@@ -48,7 +46,7 @@ class TestRingAllgather:
     @pytest.mark.parametrize("n_ranks", RANK_COUNTS)
     def test_every_rank_gets_all_blocks(self, n_ranks):
         blocks = make_inputs(n_ranks)
-        outcome = run_ring_allgather(blocks, n_ranks, network=NET)
+        outcome = comm_for(n_ranks).allgather(blocks)
         for rank in range(n_ranks):
             gathered = outcome.value(rank)
             assert len(gathered) == n_ranks
@@ -57,12 +55,12 @@ class TestRingAllgather:
 
     def test_single_rank(self):
         blocks = make_inputs(1)
-        outcome = run_ring_allgather(blocks, 1, network=NET)
+        outcome = comm_for(1).allgather(blocks)
         np.testing.assert_array_equal(outcome.value(0)[0], blocks[0])
 
     def test_time_is_positive_and_breakdown_labelled(self):
         blocks = make_inputs(4, n_elements=50_000)
-        outcome = run_ring_allgather(blocks, 4, network=NET)
+        outcome = comm_for(4).allgather(blocks)
         assert outcome.total_time > 0
         assert outcome.sim.category_seconds("Allgather") > 0
 
@@ -73,13 +71,13 @@ class TestRingReduceScatter:
         vectors = make_inputs(n_ranks)
         expected_sum = np.sum(vectors, axis=0)
         expected_chunks = partition_chunks(expected_sum, n_ranks)
-        outcome = run_ring_reduce_scatter(vectors, n_ranks, network=NET)
+        outcome = comm_for(n_ranks).reduce_scatter(vectors)
         for rank in range(n_ranks):
             np.testing.assert_allclose(outcome.value(rank), expected_chunks[rank], rtol=1e-12)
 
     def test_single_rank(self):
         vectors = make_inputs(1)
-        outcome = run_ring_reduce_scatter(vectors, 1, network=NET)
+        outcome = comm_for(1).reduce_scatter(vectors)
         np.testing.assert_allclose(outcome.value(0), vectors[0])
 
 
@@ -88,19 +86,19 @@ class TestRingAllreduce:
     def test_result_is_elementwise_sum(self, n_ranks):
         vectors = make_inputs(n_ranks)
         expected = np.sum(vectors, axis=0)
-        outcome = run_ring_allreduce(vectors, n_ranks, network=NET)
+        outcome = comm_for(n_ranks).allreduce(vectors, algorithm="ring")
         for rank in range(n_ranks):
             np.testing.assert_allclose(outcome.value(rank), expected, rtol=1e-12)
 
     def test_uneven_vector_length(self):
         vectors = make_inputs(4, n_elements=1001)
         expected = np.sum(vectors, axis=0)
-        outcome = run_ring_allreduce(vectors, 4, network=NET)
+        outcome = comm_for(4).allreduce(vectors, algorithm="ring")
         np.testing.assert_allclose(outcome.value(2), expected, rtol=1e-12)
 
     def test_breakdown_has_paper_categories(self):
         vectors = make_inputs(4, n_elements=100_000)
-        outcome = run_ring_allreduce(vectors, 4, network=NET)
+        outcome = comm_for(4).allreduce(vectors, algorithm="ring")
         mean = outcome.sim.breakdown_mean()
         for category in ("Wait", "Allgather", "Memcpy", "Reduction", "Others"):
             assert mean.get(category) >= 0
@@ -111,7 +109,7 @@ class TestRingAllreduce:
         """Each rank injects 2 (N-1)/N * D bytes into the network."""
         n_ranks, n_elements = 4, 100_000
         vectors = make_inputs(n_ranks, n_elements=n_elements)
-        outcome = run_ring_allreduce(vectors, n_ranks, network=NET)
+        outcome = comm_for(n_ranks).allreduce(vectors, algorithm="ring")
         vector_bytes = vectors[0].nbytes
         expected_per_rank = 2 * (n_ranks - 1) / n_ranks * vector_bytes
         per_rank = outcome.sim.total_bytes_sent / n_ranks
@@ -119,12 +117,17 @@ class TestRingAllreduce:
 
     def test_size_multiplier_scales_time_not_values(self):
         vectors = make_inputs(4, n_elements=20_000)
-        small = run_ring_allreduce(vectors, 4, network=NET, ctx=CollectiveContext())
-        big = run_ring_allreduce(
-            vectors, 4, network=NET, ctx=CollectiveContext(size_multiplier=64.0)
-        )
+        small = comm_for(4).allreduce(vectors, algorithm="ring")
+        big = comm_for(4, size_multiplier=64.0).allreduce(vectors, algorithm="ring")
         np.testing.assert_allclose(small.value(0), big.value(0))
         assert big.total_time > 10 * small.total_time
+
+    def test_cluster_binds_context_consistently(self):
+        """Cluster(size_multiplier=...) and a full CCollConfig agree."""
+        shorthand = Cluster(network=NET, size_multiplier=16.0)
+        explicit = Cluster(network=NET, config=CCollConfig(size_multiplier=16.0))
+        assert shorthand.context() == explicit.context()
+        assert isinstance(shorthand.context(), CollectiveContext)
 
 
 class TestBinomialBcast:
@@ -134,7 +137,7 @@ class TestBinomialBcast:
         if root >= n_ranks:
             pytest.skip("root outside communicator")
         data = np.linspace(0, 1, 700)
-        outcome = run_binomial_bcast(data, n_ranks, root=root, network=NET)
+        outcome = comm_for(n_ranks).bcast(data, root=root)
         for rank in range(n_ranks):
             np.testing.assert_array_equal(outcome.value(rank), data)
 
@@ -142,23 +145,27 @@ class TestBinomialBcast:
         """Doubling the rank count adds one binomial round, so the total time
         grows like log2(N) rather than linearly."""
         data = np.zeros(200_000)
-        t4 = run_binomial_bcast(data, 4, network=NET).total_time
-        t16 = run_binomial_bcast(data, 16, network=NET).total_time
+        t4 = comm_for(4).bcast(data).total_time
+        t16 = comm_for(16).bcast(data).total_time
         assert t16 < 3.0 * t4
+
+    def test_root_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="root"):
+            comm_for(4).bcast(np.zeros(8), root=4)
 
 
 class TestBinomialScatter:
     @pytest.mark.parametrize("n_ranks", RANK_COUNTS)
     def test_each_rank_gets_its_block(self, n_ranks):
         blocks = make_inputs(n_ranks)
-        outcome = run_binomial_scatter(blocks, n_ranks, network=NET)
+        outcome = comm_for(n_ranks).scatter(blocks)
         for rank in range(n_ranks):
             np.testing.assert_array_equal(outcome.value(rank), blocks[rank])
 
     def test_nonzero_root(self):
         n_ranks = 6
         blocks = make_inputs(n_ranks)
-        outcome = run_binomial_scatter(blocks, n_ranks, root=2, network=NET)
+        outcome = comm_for(n_ranks).scatter(blocks, root=2)
         for rank in range(n_ranks):
             np.testing.assert_array_equal(outcome.value(rank), blocks[rank])
 
@@ -167,7 +174,7 @@ class TestBinomialGather:
     @pytest.mark.parametrize("n_ranks", RANK_COUNTS)
     def test_root_collects_all_blocks(self, n_ranks):
         blocks = make_inputs(n_ranks)
-        outcome = run_binomial_gather(blocks, n_ranks, network=NET)
+        outcome = comm_for(n_ranks).gather(blocks)
         gathered = outcome.value(0)
         assert len(gathered) == n_ranks
         for i in range(n_ranks):
@@ -177,7 +184,7 @@ class TestBinomialGather:
 
     def test_nonzero_root(self):
         blocks = make_inputs(5)
-        outcome = run_binomial_gather(blocks, 5, root=3, network=NET)
+        outcome = comm_for(5).gather(blocks, root=3)
         gathered = outcome.value(3)
         for i in range(5):
             np.testing.assert_array_equal(gathered[i], blocks[i])
@@ -187,7 +194,7 @@ class TestBinomialReduce:
     @pytest.mark.parametrize("n_ranks", RANK_COUNTS)
     def test_root_gets_sum(self, n_ranks):
         vectors = make_inputs(n_ranks)
-        outcome = run_binomial_reduce(vectors, n_ranks, network=NET)
+        outcome = comm_for(n_ranks).reduce(vectors)
         np.testing.assert_allclose(outcome.value(0), np.sum(vectors, axis=0), rtol=1e-12)
         for rank in range(1, n_ranks):
             assert outcome.value(rank) is None
@@ -201,7 +208,7 @@ class TestPairwiseAlltoall:
             [rng.standard_normal(40) + 100 * src + dst for dst in range(n_ranks)]
             for src in range(n_ranks)
         ]
-        outcome = run_pairwise_alltoall(inputs, n_ranks, network=NET)
+        outcome = comm_for(n_ranks).alltoall(inputs)
         for dst in range(n_ranks):
             received = outcome.value(dst)
             for src in range(n_ranks):
@@ -209,4 +216,12 @@ class TestPairwiseAlltoall:
 
     def test_shape_validation(self):
         with pytest.raises(ValueError):
-            run_pairwise_alltoall([[np.zeros(4)]], 2, network=NET)
+            comm_for(2).alltoall([[np.zeros(4)]])
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 7])
+    def test_barrier_completes_with_none_values(self, n_ranks):
+        outcome = comm_for(n_ranks).barrier()
+        assert outcome.values == [None] * n_ranks
+        assert outcome.total_time >= 0.0

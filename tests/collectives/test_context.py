@@ -1,0 +1,44 @@
+"""Regression tests for the collective input normalisation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.api import Cluster
+from repro.collectives import as_rank_arrays
+
+
+class TestAsRankArraysAliasing:
+    def test_single_array_expansion_copies_per_rank(self):
+        """Regression: expanding one array as [inputs] * n_ranks aliased a
+        single ndarray object across every rank, so any in-place mutation by
+        one rank program corrupted all ranks' inputs."""
+        base = np.arange(8.0)
+        arrays = as_rank_arrays(base, 4)
+        assert len({id(a) for a in arrays}) == 4
+        for a in arrays:
+            assert not np.shares_memory(a, base)
+        arrays[0][0] = 999.0
+        np.testing.assert_array_equal(arrays[1], np.arange(8.0))
+        np.testing.assert_array_equal(base, np.arange(8.0))
+
+    def test_single_array_collective_results_unchanged(self):
+        """Semantics stay the same: every rank contributes the same values."""
+        base = np.linspace(0, 1, 64)
+        outcome = Cluster().communicator(4).allreduce(base, algorithm="ring")
+        np.testing.assert_allclose(outcome.value(0), base * 4, rtol=1e-12)
+
+    def test_in_place_mutation_through_a_rank_program_stays_local(self):
+        """End to end: a rank program mutating its own buffer in place must not
+        leak into its peers' buffers when a single array was expanded."""
+        arrays = as_rank_arrays(np.zeros(16), 3)
+        arrays[2] += 5.0  # simulates an algorithm reducing into its input
+        assert arrays[0].sum() == 0.0
+        assert arrays[1].sum() == 0.0
+
+    def test_list_input_validation_unchanged(self):
+        with pytest.raises(ValueError, match="expected 3 per-rank arrays"):
+            as_rank_arrays([np.zeros(4)] * 2, 3)
+        with pytest.raises(TypeError, match="float array"):
+            as_rank_arrays([np.zeros(4, dtype=np.int64)] * 2, 2)
+        with pytest.raises(ValueError, match="same length"):
+            as_rank_arrays([np.zeros(4), np.zeros(5)], 2)

@@ -11,13 +11,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.collectives.context import CollectiveContext
+from repro.api import Cluster
 from repro.collectives.selection import (
     ALGORITHM_RUNNERS,
     RING_MIN_BYTES,
     SHORT_MESSAGE_BYTES,
     bandwidth_scale,
-    run_allreduce,
     select_algorithm,
 )
 from repro.mpisim import (
@@ -56,10 +55,9 @@ class TestDegenerateShapes:
             algo = select_algorithm(LARGE, n_ranks)
             assert algo in ALGORITHM_RUNNERS
             inputs = [np.full(64, float(rank + 1)) for rank in range(n_ranks)]
-            outcome, used = run_allreduce(
-                inputs, n_ranks, algorithm="auto", ctx=CollectiveContext(), network=NET
-            )
-            assert used in ALGORITHM_RUNNERS
+            comm = Cluster(network=NET).communicator(n_ranks)
+            outcome = comm.allreduce(inputs)
+            assert comm.last_algorithm in ALGORITHM_RUNNERS
             expected = np.sum(inputs, axis=0)
             for rank in range(n_ranks):
                 np.testing.assert_allclose(outcome.value(rank), expected, rtol=1e-12)

@@ -17,7 +17,8 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.collectives import CollectiveContext, run_ring_allreduce
+from repro.api import Cluster
+from repro.collectives import CollectiveContext
 from repro.compression import PipelinedSZx, SZxCompressor, ZFPCompressor
 from repro.mpisim import (
     DragonflyTopology,
@@ -216,7 +217,7 @@ class TestCollectiveProperties:
     def test_ring_allreduce_equals_numpy_sum(self, n_ranks, n_elements, seed):
         rng = np.random.default_rng(seed)
         inputs = [rng.standard_normal(n_elements) for _ in range(n_ranks)]
-        outcome = run_ring_allreduce(inputs, n_ranks, ctx=CollectiveContext(), network=NET)
+        outcome = Cluster(network=NET).communicator(n_ranks).allreduce(inputs, algorithm="ring")
         expected = np.sum(inputs, axis=0)
         for rank in range(n_ranks):
             np.testing.assert_allclose(outcome.value(rank), expected, rtol=1e-10, atol=1e-12)
