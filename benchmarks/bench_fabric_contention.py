@@ -13,14 +13,27 @@ contention model exists to express:
 * striping over two NIC rails with adaptive routing claws back the bandwidth
   the taper removed;
 * every reservation placed on any :class:`SharedLink` stage during the sweep
-  respects capacity conservation (no overlap, duration == bytes/capacity).
+  respects capacity conservation (no overlap, duration == bytes/capacity);
+* on a 2:1-tapered fat tree, switching the contention discipline from the
+  serialising reservation queue to max-min fair processor sharing flips the
+  completion *order* of an asymmetric two-flow mix (the smaller flow finishes
+  first) while leaving the aggregate finish time unchanged.
 """
 
+import numpy as np
 import pytest
 
 from repro.collectives.selection import select_algorithm
 from repro.harness.experiments.fabric_contention import run_fabric_contention
-from repro.mpisim import capacity_conservation_violations, trace_reservations
+from repro.mpisim import (
+    Irecv,
+    Isend,
+    NetworkModel,
+    Wait,
+    capacity_conservation_violations,
+    run_simulation,
+    trace_reservations,
+)
 from repro.perfmodel.presets import fat_tree_topology, shared_uplink_topology
 
 
@@ -95,6 +108,68 @@ class TestFabricContention:
         assert any(kind == "reserve" for kind, *_ in events), (
             "the sweep must exercise shared stages"
         )
+        assert capacity_conservation_violations(events) == []
+
+
+class TestFairContentionSmoke:
+    """CI smoke: the fair model flips asymmetric-mix ordering on a 2:1 tree."""
+
+    @staticmethod
+    def _asymmetric_program(big: int, small: int):
+        sends = {0: (4, big), 1: (5, small)}
+        recvs = {4: 0, 5: 1}
+
+        def program(rank, size):
+            if rank in sends:
+                dest, nbytes = sends[rank]
+                req = yield Isend(dest=dest, data=np.zeros(nbytes // 8), tag=0, nbytes=nbytes)
+                yield Wait(req)
+            elif rank in recvs:
+                req = yield Irecv(source=recvs[rank], tag=0)
+                yield Wait(req)
+            return rank
+
+        return program
+
+    def test_asymmetric_mix_ordering_flips_on_tapered_tree(self):
+        """0->4 (big) and 1->5 (small) share a tapered switch stage.  The
+        reservation queue resolves the big flow first and the small one
+        finishes last; fair sharing drains the small flow strictly earlier,
+        at an identical aggregate finish time."""
+        net = NetworkModel()
+        big, small = 32 * 1024 * 1024, 8 * 1024 * 1024
+        times = {}
+        for mode in ("reservation", "fair"):
+            topo = fat_tree_topology(
+                k=4, ranks_per_node=1, oversubscription=2.0, contention=mode
+            )
+            assert topo.contention == mode
+            result = run_simulation(
+                8, self._asymmetric_program(big, small), net, topology=topo
+            )
+            # finish times of the two receivers
+            times[mode] = (result.rank_times[4], result.rank_times[5])
+        big_res, small_res = times["reservation"]
+        big_fair, small_fair = times["fair"]
+        # reservation: the small flow queues behind the big one
+        assert small_res > big_res
+        # fair: the small flow completes strictly earlier than the big one...
+        assert small_fair < big_fair
+        # ...and strictly earlier than it did under the reservation queue
+        assert small_fair < small_res
+        # the aggregate (last) finish is the same work either way
+        assert max(times["fair"]) == pytest.approx(max(times["reservation"]), rel=1e-12)
+
+    def test_fair_experiment_runs_and_conserves_capacity(self, run_experiment_once):
+        with trace_reservations() as events:
+            result = run_experiment_once(
+                run_fabric_contention,
+                scale="small",
+                sizes_mb=[28],
+                fabrics=("fat_tree_2to1",),
+                contention="fair",
+            )
+        assert result.rows, "the fair sweep must produce cells"
         assert capacity_conservation_violations(events) == []
 
 

@@ -134,11 +134,12 @@ class Cluster:
         :data:`repro.perfmodel.presets.TOPOLOGY_PRESETS` (``"flat"``,
         ``"two_level"``, ``"shared_uplink"``, ``"fat_tree"``, ``"dragonfly"``,
         ``"rail_fat_tree"``); remaining keyword arguments go to the preset
-        factory.  For the fixed-size fabrics, ``nodes=N`` picks the smallest
-        fabric with at least ``N`` host slots (e.g.
-        ``Cluster.from_preset("fat_tree", nodes=8)`` chooses the 16-host
-        ``k=4`` tree).  The calibrated network model is bound explicitly so
-        the cluster is self-describing.
+        factory — the contended presets accept ``contention="reservation"``
+        (default) or ``"fair"`` to pick the stage sharing discipline.  For
+        the fixed-size fabrics, ``nodes=N`` picks the smallest fabric with at
+        least ``N`` host slots (e.g. ``Cluster.from_preset("fat_tree",
+        nodes=8)`` chooses the 16-host ``k=4`` tree).  The calibrated network
+        model is bound explicitly so the cluster is self-describing.
         """
         key = preset.lower()
         if key not in TOPOLOGY_PRESETS:

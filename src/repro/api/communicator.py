@@ -85,6 +85,9 @@ class Communicator:
         self.cluster = cluster if cluster is not None else Cluster()
         self.n_ranks = int(n_ranks)
         self.backend = resolve_backend(backend)
+        #: compression mode applied when a call does not pass one explicitly
+        #: (overridable per session via :meth:`with_options`)
+        self.default_compression: Union[str, bool] = "off"
         #: algorithm chosen by each allreduce call, latest last ("auto" trace)
         self.algorithm_trace: List[str] = []
         #: canonical compression route of each compressed-capable call
@@ -106,6 +109,53 @@ class Communicator:
     def last_compression(self) -> Optional[str]:
         """Canonical compression route of the most recent compressible call."""
         return self.compression_trace[-1] if self.compression_trace else None
+
+    def with_options(
+        self,
+        *,
+        compression: Union[str, bool, None] = None,
+        contention: Optional[str] = None,
+        **config_updates,
+    ) -> "Communicator":
+        """A sibling session with some options shallowly overridden.
+
+        The returned communicator shares this session's rank count, backend
+        and — unless ``contention`` changes — the *same* topology object, so
+        parameter sweeps (the harness runs many) adjust ``error_bound``,
+        ``size_multiplier`` or the compression default without rebuilding the
+        fabric's stage caches or the session itself.
+
+        Parameters
+        ----------
+        compression:
+            New default compression mode for calls that do not pass one
+            (``"off"``/``"on"``/``"di"``/``"nd"``/``"auto"``/bool).
+        contention:
+            Re-time the fabric's shared stages under this discipline
+            (``"reservation"``/``"fair"``); a no-op on uncontended fabrics.
+        **config_updates:
+            Any :class:`~repro.ccoll.config.CCollConfig` field, e.g.
+            ``error_bound=1e-4`` or ``size_multiplier=64.0``.
+        """
+        cluster = self.cluster
+        if config_updates:
+            cluster = cluster.with_updates(
+                config=cluster.config.with_updates(**config_updates)
+            )
+        if contention is not None:
+            topology = cluster.topology if cluster.topology is not None else FlatTopology()
+            # preserve the preset name: the machine is the same, only the
+            # stage timing discipline changes
+            cluster = cluster.with_updates(
+                topology=topology.with_contention(contention), preset=cluster.preset
+            )
+        clone = Communicator(cluster, self.n_ranks, backend=self.backend)
+        if compression is not None:
+            clone._resolve_compression(compression)  # validate eagerly
+            clone.default_compression = compression
+        else:
+            clone.default_compression = self.default_compression
+        return clone
 
     def _common(self) -> dict:
         """Cluster bindings threaded into every runner."""
@@ -131,6 +181,10 @@ class Communicator:
         """True for the facade's on/off-style switches (vs explicit variants)."""
         return compression is True or str(compression).strip().lower() == "on"
 
+    def _effective_compression(self, compression: Union[str, bool, None]) -> Union[str, bool]:
+        """Apply the session's default when the call does not pass a mode."""
+        return self.default_compression if compression is None else compression
+
     def _configured_c_variant(self) -> str:
         """The C-Allreduce variant the cluster's config asks for."""
         return "Overlap" if self.cluster.config.use_overlap else "ND"
@@ -146,20 +200,28 @@ class Communicator:
         self,
         inputs,
         algorithm: str = "auto",
-        compression: Union[str, bool] = "off",
+        compression: Union[str, bool, None] = None,
     ):
         """Element-wise sum across all ranks; every rank gets the result.
 
         ``algorithm`` applies to the uncompressed path (``"auto"`` consults
         the tuning table; or name one of ``ring`` / ``recursive_doubling`` /
         ``rabenseifner`` / ``hierarchical``).  ``compression`` is resolved via
-        the shared Table V alias table (see the module docstring).
+        the shared Table V alias table (see the module docstring); ``None``
+        falls back to the session's ``default_compression`` (``"off"`` unless
+        overridden through :meth:`with_options`).
         """
+        explicit = compression is not None
+        compression = self._effective_compression(compression)
         mode = self._resolve_compression(compression)
         if mode == "Overlap" and self._is_framework_switch(compression):
             # "on"/True ask for the C-Coll framework *as configured*; the
             # explicit "overlap"/"nd" spellings pin the exact Table V variant
             mode = self._configured_c_variant()
+        if algorithm != "auto" and mode != "AD" and not explicit:
+            # an explicitly named schedule wins over the session's compression
+            # default: the named algorithms are uncompressed schedules
+            mode = "AD"
         if mode == "AD":
             outcome, used = _run_allreduce(
                 inputs,
@@ -246,7 +308,7 @@ class Communicator:
 
     # --------------------------------------------------- data-movement family
 
-    def allgather(self, inputs, compression: Union[str, bool] = "off") -> CollectiveOutcome:
+    def allgather(self, inputs, compression: Union[str, bool, None] = None) -> CollectiveOutcome:
         """Every rank contributes a block; every rank receives all blocks."""
         mode = self._movement_mode("allgather", compression)
         if mode == "AD":
@@ -269,7 +331,7 @@ class Communicator:
         )
 
     def bcast(
-        self, data, root: int = 0, compression: Union[str, bool] = "off"
+        self, data, root: int = 0, compression: Union[str, bool, None] = None
     ) -> CollectiveOutcome:
         """Broadcast ``data`` from ``root`` to every rank."""
         self._check_root(root)
@@ -296,7 +358,7 @@ class Communicator:
         )
 
     def scatter(
-        self, inputs, root: int = 0, compression: Union[str, bool] = "off"
+        self, inputs, root: int = 0, compression: Union[str, bool, None] = None
     ) -> CollectiveOutcome:
         """Scatter one block per rank from ``root``."""
         self._check_root(root)
@@ -325,7 +387,7 @@ class Communicator:
     def reduce_scatter(
         self,
         inputs,
-        compression: Union[str, bool] = "off",
+        compression: Union[str, bool, None] = None,
         overlap: Optional[bool] = None,
     ) -> CollectiveOutcome:
         """Reduce element-wise and scatter chunks; rank ``r`` gets chunk ``r``.
@@ -356,14 +418,16 @@ class Communicator:
         )
 
     def _movement_mode(
-        self, name: str, compression: Union[str, bool], di_available: bool = True
+        self, name: str, compression: Union[str, bool, None], di_available: bool = True
     ) -> str:
         """Resolve a compression switch for the non-allreduce collectives.
 
         Returns ``"AD"`` (baseline), ``"DI"`` (CPR-P2P) or ``"Overlap"``
         (the C-Coll framework variant); ``"auto"`` applies the break-even
-        gate.  ``ND`` has no meaning outside allreduce.
+        gate.  ``ND`` has no meaning outside allreduce.  ``None`` falls back
+        to the session's ``default_compression``.
         """
+        compression = self._effective_compression(compression)
         mode = self._resolve_compression(compression)
         if mode == "auto":
             mode = "Overlap" if self._gate_says_compress() else "AD"

@@ -26,6 +26,11 @@ with the effective (tapered) bandwidth, and the topology-aware C-Allreduce's
 ``auto`` gate starts compressing the inter-node hops that the shared-uplink
 model says should stay raw.  ``benchmarks/bench_fabric_contention.py`` pins
 both flips and the capacity-conservation invariants behind them.
+
+Every fabric accepts ``contention="reservation"`` (the serialising default)
+or ``"fair"`` (max-min fair processor sharing); the sweep itself reuses one
+session per fabric and adjusts per-size settings through
+``Communicator.with_options`` instead of rebuilding clusters per cell.
 """
 
 from __future__ import annotations
@@ -81,27 +86,36 @@ def fabric_factories(
     ranks_per_node: int,
     n_ranks: int,
     oversubscription: float = 2.0,
+    contention: str = "reservation",
 ) -> Dict[str, Callable[[], Topology]]:
     """Factories for every swept fabric, all at ``nic_bandwidth`` per node.
 
     Fabric dimensions grow with the communicator (paper scale needs 32 nodes;
     a hardcoded k=4 tree holds 16), keeping every scale runnable.
+    ``contention`` selects the stage sharing discipline for every fabric
+    (reservation queue or ``"fair"`` max-min processor sharing).
     """
     n_nodes = -(-n_ranks // ranks_per_node)
     k = _fat_tree_arity(n_nodes)
     nodes_per_router = -(-n_nodes // 4)  # dragonfly: 2 groups x 2 routers
     return {
         "shared_uplink": lambda: shared_uplink_topology(
-            ranks_per_node=ranks_per_node, inter_bandwidth=nic_bandwidth
+            ranks_per_node=ranks_per_node,
+            inter_bandwidth=nic_bandwidth,
+            contention=contention,
         ),
         "fat_tree": lambda: fat_tree_topology(
-            k=k, ranks_per_node=ranks_per_node, nic_bandwidth=nic_bandwidth
+            k=k,
+            ranks_per_node=ranks_per_node,
+            nic_bandwidth=nic_bandwidth,
+            contention=contention,
         ),
         "fat_tree_2to1": lambda: fat_tree_topology(
             k=k,
             ranks_per_node=ranks_per_node,
             nic_bandwidth=nic_bandwidth,
             oversubscription=oversubscription,
+            contention=contention,
         ),
         "dragonfly_2to1": lambda: dragonfly_topology(
             n_groups=2,
@@ -110,6 +124,7 @@ def fabric_factories(
             ranks_per_node=ranks_per_node,
             nic_bandwidth=nic_bandwidth,
             oversubscription=oversubscription,
+            contention=contention,
         ),
         "rail_fat_tree": lambda: rail_optimized_fat_tree(
             k=k,
@@ -117,6 +132,7 @@ def fabric_factories(
             nics_per_node=2,
             oversubscription=oversubscription,
             nic_bandwidth=nic_bandwidth,
+            contention=contention,
         ),
     }
 
@@ -129,13 +145,16 @@ def run_fabric_contention(
     oversubscription: float = 2.0,
     error_bound: float = 1e-3,
     fabrics=FABRIC_NAMES,
+    contention: str = "reservation",
 ) -> ExperimentResult:
     """Allreduce makespan per (fabric, message size, algorithm) cell.
 
     ``nic_gbps`` defaults to 2x the calibrated effective rate — the regime
     where the C-Allreduce compression gate sits *between* the tapered and
     untapered fabrics, so the 2:1 rows make the opposite call from the 1:1
-    rows at identical per-node bandwidth.
+    rows at identical per-node bandwidth.  ``contention`` times every
+    fabric's shared stages under the reservation queue (default) or max-min
+    fair processor sharing (``"fair"``).
     """
     settings = resolve_scale(scale)
     n_ranks = settings.ranks_large_cluster
@@ -143,13 +162,18 @@ def run_fabric_contention(
     nic_bandwidth = nic_gbps * 1e9
     sizes = list(sizes_mb) if sizes_mb is not None else [28, 278]
     factories = fabric_factories(
-        nic_bandwidth, ranks_per_node, n_ranks, oversubscription=oversubscription
+        nic_bandwidth,
+        ranks_per_node,
+        n_ranks,
+        oversubscription=oversubscription,
+        contention=contention,
     )
     result = ExperimentResult(
         experiment="fabric",
         title=(
             f"Collectives across switch-level fabrics ({n_ranks} ranks, "
-            f"{ranks_per_node} ranks/node, {nic_gbps:g} GB/s NIC everywhere)"
+            f"{ranks_per_node} ranks/node, {nic_gbps:g} GB/s NIC everywhere, "
+            f"{contention} contention)"
         ),
         paper_reference=(
             "beyond the paper: its cluster pinned one rank per Omni-Path node; "
@@ -167,20 +191,25 @@ def run_fabric_contention(
         ],
     )
     for fabric_name in fabrics:
-        factory = factories[fabric_name]
+        # one fabric, one session: the per-size loop only swaps the virtual
+        # size multiplier through with_options, so the topology's stage and
+        # path caches are built once (the engine resets contention state per
+        # run) instead of rebuilding the cluster for every cell
+        topology = factories[fabric_name]()
+        base_comm = Cluster(
+            network=network,
+            topology=topology,
+            config=default_config(error_bound=error_bound),
+        ).communicator(n_ranks)
         for size_mb in sizes:
             data, multiplier = load_rtm_message(size_mb, settings)
             inputs = per_rank_variants(data, n_ranks)
-            config = default_config(error_bound=error_bound, size_multiplier=multiplier)
+            comm = base_comm.with_options(size_multiplier=multiplier)
             virtual_nbytes = int(size_mb * MB)
             ring_time = None
             rows: List[Dict[str, object]] = []
-            choice = select_algorithm(virtual_nbytes, n_ranks, factory())
+            choice = select_algorithm(virtual_nbytes, n_ranks, topology)
             for algo in _ALGORITHMS:
-                topology = factory()
-                comm = Cluster(
-                    network=network, topology=topology, config=config
-                ).communicator(n_ranks)
                 outcome = comm.allreduce(inputs, algorithm=algo)
                 if algo == "ring":
                     ring_time = outcome.total_time
@@ -198,10 +227,6 @@ def run_fabric_contention(
                         inter_compressed=None,
                     )
                 )
-            topology = factory()
-            comm = Cluster(
-                network=network, topology=topology, config=config
-            ).communicator(n_ranks)
             outcome = comm.allreduce(inputs, compression="auto")
             rows.append(
                 dict(

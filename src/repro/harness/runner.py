@@ -98,6 +98,12 @@ def main(argv=None) -> int:
         help="experiment names (see --list); use 'all' for every experiment",
     )
     parser.add_argument("--scale", choices=("small", "paper"), default="small")
+    parser.add_argument(
+        "--contention",
+        choices=("reservation", "fair"),
+        default=None,
+        help="shared-stage sharing discipline for the fabric experiment",
+    )
     parser.add_argument("--list", action="store_true", help="list available experiments")
     args = parser.parse_args(argv)
 
@@ -108,7 +114,10 @@ def main(argv=None) -> int:
 
     names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     for name in names:
-        result = run_experiment(name, scale=args.scale)
+        kwargs = {}
+        if args.contention is not None and name.lower() == "fabric":
+            kwargs["contention"] = args.contention
+        result = run_experiment(name, scale=args.scale, **kwargs)
         print(result.to_text())
         print()
     return 0

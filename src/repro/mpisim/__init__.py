@@ -27,6 +27,13 @@ from repro.mpisim.backends import (
     resolve_backend,
 )
 from repro.mpisim.engine import Engine, RankResult, payload_nbytes
+from repro.mpisim.fairshare import (
+    CONTENTION_FAIR,
+    CONTENTION_MODES,
+    CONTENTION_RESERVATION,
+    FairFlow,
+    FairShareRegistry,
+)
 from repro.mpisim.errors import (
     DeadlockError,
     InvalidCommandError,
@@ -42,6 +49,7 @@ from repro.mpisim.topology import (
     ROUTE_ADAPTIVE,
     ROUTE_MINIMAL,
     DragonflyTopology,
+    FairShareLink,
     FatTreeTopology,
     FlatTopology,
     HierarchicalTopology,
@@ -99,6 +107,12 @@ __all__ = [
     "DragonflyTopology",
     "LinkModel",
     "SharedLink",
+    "FairShareLink",
+    "FairFlow",
+    "FairShareRegistry",
+    "CONTENTION_RESERVATION",
+    "CONTENTION_FAIR",
+    "CONTENTION_MODES",
     "reserve_path",
     "trace_reservations",
     "capacity_conservation_violations",

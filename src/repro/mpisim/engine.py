@@ -45,6 +45,7 @@ from repro.mpisim.commands import (
     Waitall,
 )
 from repro.mpisim.errors import DeadlockError, InvalidCommandError, RankProgramError
+from repro.mpisim.fairshare import CONTENTION_FAIR
 from repro.mpisim.network import NetworkModel, TransferState
 from repro.mpisim.requests import RecvRequest, Request, SendRequest
 from repro.mpisim.topology import Topology
@@ -62,6 +63,7 @@ _DONE = "done"
 _BLOCK_RECV_MATCH = "recv-match"
 _BLOCK_SEND_COMPLETION = "send-completion"
 _BLOCK_BARRIER = "barrier"
+_BLOCK_FLOW_COMPLETION = "flow-completion"
 
 
 def payload_nbytes(data: Any) -> int:
@@ -162,9 +164,20 @@ class Engine:
             raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
         self.n_ranks = int(n_ranks)
         self.network = network if network is not None else NetworkModel()
+        if (
+            topology is not None
+            and self.network.contention == CONTENTION_FAIR
+            and topology.contention != CONTENTION_FAIR
+        ):
+            # the network model requested fair sharing: upgrade the topology
+            # (a cheap clone; reservation-configured topologies are untouched)
+            topology = topology.with_contention(CONTENTION_FAIR)
         self.topology = topology
         if topology is not None:
             topology.reset()
+        # fair-share registry driving deferred flow completions (None unless
+        # the topology times its shared stages with contention="fair")
+        self._fair = topology.fair_registry if topology is not None else None
         self.max_commands = int(max_commands)
         self._states = [
             _RankState(rank=r, gen=program_factory(r, self.n_ranks)) for r in range(self.n_ranks)
@@ -214,9 +227,20 @@ class Engine:
         while True:
             state = self._pop_ready()
             if state is None:
+                # no rank can act: retire the next fair-share departure (its
+                # blocked receiver/sender becomes ready) before giving up
+                if self._commit_due_fair(float("inf")):
+                    continue
                 if all(s.status == _DONE for s in self._states):
                     break
                 raise DeadlockError(self._describe_deadlock())
+            if self._commit_due_fair(state.clock):
+                # a flow departs no later than the next rank step: commit it
+                # first (departures only move later on new arrivals, so no
+                # step below this clock can invalidate the commit), then
+                # rebuild the schedule — the commit may have readied ranks
+                self._push_ready(state)
+                continue
             token = state.ready_token
             self._step(state)
             # re-insert unless something during the step (an immediately
@@ -240,6 +264,34 @@ class Engine:
             )
             for s in self._states
         ]
+
+    # ------------------------------------------------------ fair-share flows
+
+    def _commit_due_fair(self, horizon: float) -> bool:
+        """Retire one fair-share departure due at or before ``horizon``.
+
+        Fair flows have no precomputed finish time: the registry keeps
+        re-dividing bandwidth while arrivals trickle in, and a departure
+        becomes final only once no runnable rank could still post a
+        competing flow earlier.  Returns ``True`` if a flow was committed.
+        """
+        if self._fair is None:
+            return False
+        pending = self._fair.earliest_departure()
+        if pending is None or pending[0] > horizon:
+            return False
+        finish, flow = self._fair.commit_departure()
+        message: _Message = flow.token
+        message.transfer.finish_fair(finish)
+        self._notify_send_completion(message)
+        receiver = self._states[message.dst]
+        if (
+            receiver.status == _BLOCKED
+            and receiver.block_kind == _BLOCK_FLOW_COMPLETION
+            and receiver.block_req_id == message.recv_req_id
+        ):
+            self._continue_wait(receiver)
+        return True
 
     # ----------------------------------------------------------- scheduling
 
@@ -432,6 +484,17 @@ class Engine:
             return False
         message: _Message = obj
         now = state.clock
+        if not message.transfer.completed and message.transfer.fair is not None:
+            # fair-share path: progress everything inbound, then hand the flow
+            # to the registry and block until the engine commits its departure
+            # (instead of precomputing a reservation finish time)
+            self._ack_incoming(state.rank, now, continuous=False)
+            if not message.transfer.completed:
+                if message.transfer.fair_flow is None:
+                    message.transfer.activate_fair(now, token=message)
+                state.block_kind = _BLOCK_FLOW_COMPLETION
+                state.block_req_id = request.request_id
+                return False
         if message.transfer.completed:
             completion = message.transfer.completion_time
         else:
@@ -557,6 +620,13 @@ class Engine:
                 lines.append(
                     f"  rank {s.rank}: Wait on send to rank {dst} that the receiver "
                     f"never completed"
+                )
+            elif s.block_kind == _BLOCK_FLOW_COMPLETION:
+                obj = self._req_obj.get(s.block_req_id)
+                src = getattr(obj, "src", "?")
+                lines.append(
+                    f"  rank {s.rank}: Wait on a fair-share flow from rank {src} "
+                    f"whose departure was never committed"
                 )
             else:  # pragma: no cover - defensive
                 lines.append(f"  rank {s.rank}: blocked ({s.block_kind})")

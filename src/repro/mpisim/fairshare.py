@@ -1,0 +1,355 @@
+"""Processor-sharing (max-min fair) contention for shared fabric stages.
+
+The reservation queue of :class:`~repro.mpisim.topology.SharedLink` serialises
+overlapping bulk streams: the first flow to resolve occupies the wire at full
+capacity and later flows queue behind it.  That is aggregate-exact for
+symmetric traffic, but an asymmetric mix finishes in the wrong order — the
+flow that happens to resolve first wins the whole wire, regardless of size.
+
+This module implements the alternative the fluid-flow literature calls
+*processor sharing with max-min fair rates* (progressive filling): every
+stage's active-flow set re-divides the stage capacity on each arrival and
+departure event, so a small flow sharing a stage with a large one always
+drains first.  The pieces:
+
+* :class:`FairFlow` — one registered bulk stream: the stages it crosses, its
+  backlog, and its current max-min rate.  Flows receive *rate-change
+  callbacks* instead of a precomputed finish time.
+* :class:`FairShareRegistry` — the fluid event loop.  ``open_flow`` is an
+  arrival (advance the fluid clock, re-divide), ``commit_departure`` retires
+  the earliest-draining flow (re-divide again), and the discrete-event engine
+  drives both, interleaving departures with rank steps so in-flight transfers
+  genuinely see mid-flight rate changes.
+
+Rates are assigned by progressive filling: repeatedly find the stage whose
+residual capacity divided by its unfixed flow count is smallest, fix those
+flows at that share, subtract the share from every stage they cross, and
+repeat.  The result is the unique max-min fair allocation; every flow is
+bottlenecked on at least one saturated stage (work conservation) and no
+stage's allocated rates ever exceed its capacity (bandwidth conservation).
+The property suite in ``tests/property`` pins both invariants, plus exact
+aggregate equivalence with the reservation queue for symmetric flow sets.
+
+As the fluid clock advances, each stage's carried bytes are re-expressed as
+reservations (``stage.reserve(segment_start, carried_bytes)``), so the
+trace-based capacity audit of
+:func:`~repro.mpisim.topology.capacity_conservation_violations` applies to
+fair-share runs unchanged, and windowed poll credits observe the wire time
+fluid flows actually consumed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CONTENTION_RESERVATION",
+    "CONTENTION_FAIR",
+    "CONTENTION_MODES",
+    "FairFlow",
+    "FairShareRegistry",
+]
+
+#: contention disciplines for shared fabric stages
+CONTENTION_RESERVATION = "reservation"
+CONTENTION_FAIR = "fair"
+CONTENTION_MODES = (CONTENTION_RESERVATION, CONTENTION_FAIR)
+
+#: signature of a flow rate-change callback: (flow, virtual_time, new_rate)
+RateCallback = Callable[["FairFlow", float, float], None]
+
+
+class FairFlow:
+    """One bulk stream registered with a :class:`FairShareRegistry`.
+
+    ``rate`` is the flow's current max-min share (bytes/second); it changes on
+    every arrival/departure that shifts the allocation, with
+    ``on_rate_change(flow, time, rate)`` fired for each change.  ``token`` is
+    an opaque owner handle (the engine stores its message there).
+    """
+
+    __slots__ = (
+        "flow_id",
+        "stages",
+        "nbytes",
+        "remaining",
+        "rate",
+        "start",
+        "drained",
+        "finish_time",
+        "token",
+        "on_rate_change",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        stages: Tuple[Any, ...],
+        start: float,
+        nbytes: float,
+        token: Any = None,
+        on_rate_change: Optional[RateCallback] = None,
+    ) -> None:
+        self.flow_id = flow_id
+        self.stages = stages
+        self.nbytes = float(nbytes)
+        self.remaining = float(nbytes)
+        self.rate = 0.0
+        self.start = float(start)
+        self.drained = False
+        self.finish_time: Optional[float] = None
+        self.token = token
+        self.on_rate_change = on_rate_change
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FairFlow(id={self.flow_id}, remaining={self.remaining:g}, "
+            f"rate={self.rate:g}, drained={self.drained})"
+        )
+
+
+class FairShareRegistry:
+    """Event-driven max-min fair bandwidth division over shared stages.
+
+    The registry owns a fluid clock that only moves forward.  The engine
+    drives it through two entry points:
+
+    * :meth:`open_flow` — an *arrival*: settle all active flows up to the
+      arrival time (draining any that finish en route), add the new flow, and
+      re-divide every touched stage's bandwidth.
+    * :meth:`commit_departure` — retire the earliest-draining flow.  The
+      engine calls this only once no simulated rank can act before that
+      departure, which is what makes deferred (callback-updated) finish times
+      sound: until the commit, later arrivals may still slow the flow down.
+
+    Stages are duck-typed: anything with ``capacity``, ``reserve(start,
+    nbytes)`` and a ``flows`` dict participates
+    (:class:`~repro.mpisim.topology.FairShareLink` in practice).
+    """
+
+    def __init__(self) -> None:
+        self._flows: Dict[int, FairFlow] = {}
+        self._clock = float("-inf")
+        self._next_id = 0
+
+    # -------------------------------------------------------------- protocol
+
+    def open_flow(
+        self,
+        stages: Sequence[Any],
+        start: float,
+        nbytes: float,
+        token: Any = None,
+        on_rate_change: Optional[RateCallback] = None,
+    ) -> FairFlow:
+        """Register a bulk stream of ``nbytes`` entering ``stages`` at ``start``.
+
+        Arrival event: active flows first progress to ``start`` at their
+        current rates, then bandwidth is re-divided across the enlarged flow
+        set (firing rate-change callbacks).  Returns the registered flow.
+        """
+        unique: Dict[int, Any] = {}
+        for stage in stages:
+            unique.setdefault(id(stage), stage)
+        if not unique:
+            raise ValueError("a fair-share flow must cross at least one stage")
+        start = max(float(start), self._clock)
+        self._advance(start)
+        self._next_id += 1
+        flow = FairFlow(
+            flow_id=self._next_id,
+            stages=tuple(unique.values()),
+            start=start,
+            nbytes=max(0.0, float(nbytes)),
+            token=token,
+            on_rate_change=on_rate_change,
+        )
+        self._flows[flow.flow_id] = flow
+        for stage in flow.stages:
+            stage.flows[flow.flow_id] = flow
+        self._redivide(start)
+        return flow
+
+    def earliest_departure(self) -> Optional[Tuple[float, FairFlow]]:
+        """The next flow to finish and when, at current rates (``None`` if idle).
+
+        Ties resolve to the earliest-registered flow (drained-but-uncommitted
+        flows first), so commits are deterministic.
+        """
+        best_t: Optional[float] = None
+        best_flow: Optional[FairFlow] = None
+        for flow in self._flows.values():
+            if not flow.drained:
+                continue
+            t = flow.finish_time if flow.finish_time is not None else self._clock
+            if best_t is None or t < best_t:
+                best_t, best_flow = t, flow
+        drain_t, drain_flow = self._next_drain(self._flows.values())
+        if drain_flow is not None and (best_t is None or drain_t < best_t):
+            best_t, best_flow = drain_t, drain_flow
+        if best_flow is None:
+            return None
+        return best_t, best_flow
+
+    def commit_departure(self) -> Tuple[float, FairFlow]:
+        """Retire the earliest-draining flow and return ``(finish, flow)``.
+
+        The fluid clock advances to the departure, the freed bandwidth is
+        re-divided among the surviving flows, and the flow leaves the
+        registry for good.
+        """
+        pending = self.earliest_departure()
+        if pending is None:
+            raise RuntimeError("commit_departure called with no registered flow")
+        finish, flow = pending
+        if not flow.drained:
+            self._advance(finish)
+        if not flow.drained:  # pragma: no cover - fp guard
+            self._drain(flow, finish)
+        self._flows.pop(flow.flow_id, None)
+        assert flow.finish_time is not None
+        return flow.finish_time, flow
+
+    def reset(self) -> None:
+        """Forget every flow and rewind the fluid clock (simulation reset)."""
+        for flow in self._flows.values():
+            for stage in flow.stages:
+                stage.flows.pop(flow.flow_id, None)
+        self._flows.clear()
+        self._clock = float("-inf")
+
+    # --------------------------------------------------------- introspection
+
+    @property
+    def clock(self) -> float:
+        """The fluid clock: the time progress has been settled up to."""
+        return self._clock
+
+    def active_flows(self) -> List[FairFlow]:
+        """Registered flows that still hold backlog (registration order)."""
+        return [f for f in self._flows.values() if not f.drained]
+
+    def pending_count(self) -> int:
+        """Registered flows the engine has not committed yet (incl. drained)."""
+        return len(self._flows)
+
+    # --------------------------------------------------------- fluid machinery
+
+    def _next_drain(self, flows) -> Tuple[Optional[float], Optional[FairFlow]]:
+        """Earliest drain among non-drained ``flows`` at current rates.
+
+        The single source of truth for departure selection: both the engine's
+        :meth:`earliest_departure` and the fluid loop of :meth:`_advance` use
+        it, so the commit horizon and the internal drains can never diverge.
+        """
+        best_t: Optional[float] = None
+        best_flow: Optional[FairFlow] = None
+        for flow in flows:
+            if flow.drained:
+                continue
+            if flow.remaining <= 0.0:
+                t = max(self._clock, flow.start)
+            elif flow.rate > 0.0:
+                t = self._clock + flow.remaining / flow.rate
+            else:  # pragma: no cover - zero share needs fp pathology
+                continue
+            if best_t is None or t < best_t:
+                best_t, best_flow = t, flow
+        return best_t, best_flow
+
+    def _advance(self, target: float) -> None:
+        """Progress every active flow to ``target``, draining along the way."""
+        if not self._flows or self._clock == float("-inf"):
+            self._clock = max(self._clock, target)
+            return
+        while self._clock < target:
+            streaming = [f for f in self._flows.values() if not f.drained]
+            if not streaming:
+                self._clock = target
+                return
+            dep_time, dep_flow = self._next_drain(streaming)
+            if dep_time is None or dep_time > target:
+                self._stream(self._clock, target, streaming)
+                self._clock = target
+                return
+            self._stream(self._clock, dep_time, streaming)
+            self._clock = max(self._clock, dep_time)
+            assert dep_flow is not None
+            self._drain(dep_flow, dep_time)
+
+    def _stream(self, t0: float, t1: float, streaming: List[FairFlow]) -> None:
+        """Deliver one constant-rate fluid segment and book the wire time."""
+        dt = t1 - t0
+        if dt <= 0.0:
+            return
+        carried: Dict[int, float] = {}
+        stage_of: Dict[int, Any] = {}
+        for flow in streaming:
+            if flow.rate <= 0.0:
+                continue
+            flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+            for stage in flow.stages:
+                sid = id(stage)
+                stage_of[sid] = stage
+                carried[sid] = carried.get(sid, 0.0) + flow.rate * dt
+        # re-express the segment as reservations: the trace-based capacity
+        # audit and the windowed poll credits both read stage.busy_until
+        for sid, nbytes in carried.items():
+            if nbytes > 0.0:
+                stage_of[sid].reserve(t0, nbytes)
+
+    def _drain(self, flow: FairFlow, time: float) -> None:
+        """Departure event: fix the flow's finish and free its bandwidth."""
+        flow.drained = True
+        flow.finish_time = time
+        flow.remaining = 0.0
+        flow.rate = 0.0
+        for stage in flow.stages:
+            stage.flows.pop(flow.flow_id, None)
+        self._redivide(time)
+
+    def _redivide(self, now: float) -> None:
+        """Progressive filling: recompute every active flow's max-min rate."""
+        active = [f for f in self._flows.values() if not f.drained]
+        if not active:
+            return
+        stage_of: Dict[int, Any] = {}
+        residual: Dict[int, float] = {}
+        crossing: Dict[int, List[FairFlow]] = {}
+        for flow in active:
+            for stage in flow.stages:
+                sid = id(stage)
+                if sid not in stage_of:
+                    stage_of[sid] = stage
+                    residual[sid] = float(stage.capacity)
+                    crossing[sid] = []
+                crossing[sid].append(flow)
+        unfixed = {f.flow_id: f for f in active}
+        rates: Dict[int, float] = {}
+        while unfixed:
+            best_sid: Optional[int] = None
+            best_share = 0.0
+            for sid, flows_here in crossing.items():
+                n = sum(1 for f in flows_here if f.flow_id in unfixed)
+                if n == 0:
+                    continue
+                share = residual[sid] / n
+                if best_sid is None or share < best_share:
+                    best_sid, best_share = sid, share
+            if best_sid is None:  # pragma: no cover - every flow crosses a stage
+                break
+            share = max(0.0, best_share)
+            for flow in crossing[best_sid]:
+                if flow.flow_id not in unfixed:
+                    continue
+                del unfixed[flow.flow_id]
+                rates[flow.flow_id] = share
+                for stage in flow.stages:
+                    sid = id(stage)
+                    residual[sid] = max(0.0, residual[sid] - share)
+        for flow in active:
+            rate = rates.get(flow.flow_id, 0.0)
+            if rate != flow.rate:
+                flow.rate = rate
+                if flow.on_rate_change is not None:
+                    flow.on_rate_change(flow, now, rate)

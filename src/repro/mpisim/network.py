@@ -34,8 +34,14 @@ paper's own relative results.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
+from repro.mpisim.fairshare import (
+    CONTENTION_MODES,
+    CONTENTION_RESERVATION,
+    FairFlow,
+    FairShareRegistry,
+)
 from repro.mpisim.topology import LinkModel, reserve_path
 from repro.utils.validation import ensure_in, ensure_non_negative, ensure_positive
 
@@ -62,6 +68,16 @@ class NetworkModel:
         for rendezvous messages (the pipeline depth of the interconnect).
     progress:
         ``"on-poll"`` (rendezvous semantics, default) or ``"async"``.
+    contention:
+        Contention discipline requested for shared fabric stages:
+        ``"reservation"`` (default) or ``"fair"``.  The topology is the
+        source of truth — contended topologies take their own ``contention``
+        parameter — but the engine honours ``"fair"`` here by upgrading a
+        default-reservation topology via
+        :meth:`~repro.mpisim.topology.Topology.with_contention`, so the knob
+        can be threaded through a :class:`NetworkModel` alone.  The global
+        (flat) fabric has no shared links, so the field only matters when a
+        contended topology is in play.
     """
 
     latency: float = 20e-6
@@ -69,6 +85,7 @@ class NetworkModel:
     eager_threshold: int = 64 * 1024
     inflight_window: int = 1 * 1024 * 1024
     progress: str = PROGRESS_ON_POLL
+    contention: str = CONTENTION_RESERVATION
 
     def __post_init__(self) -> None:
         ensure_non_negative(self.latency, "latency")
@@ -76,6 +93,7 @@ class NetworkModel:
         ensure_non_negative(self.eager_threshold, "eager_threshold")
         ensure_positive(self.inflight_window, "inflight_window")
         ensure_in(self.progress, (PROGRESS_ON_POLL, PROGRESS_ASYNC), "progress")
+        ensure_in(self.contention, CONTENTION_MODES, "contention")
 
     def transfer_seconds(self, nbytes: int) -> float:
         """Pure network time for a message of ``nbytes`` (latency + size/bw)."""
@@ -101,6 +119,14 @@ class TransferState:
     clock — while protocol semantics (eager threshold, in-flight window,
     progress mode) stay with the global :class:`NetworkModel`.  With
     ``link=None`` the arithmetic is exactly the seed's.
+
+    When the link carries a fair-share registry (``contention="fair"``
+    fabrics), bulk streams do not precompute a finish time: the engine calls
+    :meth:`activate_fair` when the receiver blocks, the registered flow's
+    rate is re-divided on every arrival/departure (tracked in
+    ``current_rate`` via the rate-change callback), and the engine completes
+    the transfer through :meth:`finish_fair` once the registry commits the
+    departure.
     """
 
     nbytes: int
@@ -112,6 +138,9 @@ class TransferState:
     last_ack_time: Optional[float] = None
     completed: bool = False
     completion_time: Optional[float] = None
+    # fair-share contention state (None outside contention="fair" fabrics)
+    fair_flow: Optional[FairFlow] = None
+    current_rate: Optional[float] = None
 
     @property
     def latency(self) -> float:
@@ -160,6 +189,10 @@ class TransferState:
         """
         if self.completed:
             return True
+        if self.fair_flow is not None:
+            # registered with a fair-share registry: the fluid event loop owns
+            # all further progress; the engine completes it via finish_fair
+            return False
         if not self.is_eligible or now <= self.eligible_time:
             return False
         window_start = max(self.last_ack_time, self.eligible_time)
@@ -169,7 +202,15 @@ class TransferState:
             # every stage it crosses have drained (aggregate stays within
             # each stage's capacity)
             window_start = max(window_start, max(s.busy_until for s in stages))
-        credit_bytes = max(0.0, (now - window_start)) * self.bandwidth()
+        rate = self.bandwidth()
+        if stages and self.link.fair is not None:
+            # fair stages: poll credits may only draw the capacity the fluid
+            # flows have not claimed, so the two schemes never overcommit
+            rate = min(
+                rate,
+                min(max(0.0, s.capacity - s.allocated_rate()) for s in stages),
+            )
+        credit_bytes = max(0.0, (now - window_start)) * rate
         if self.network.progress == PROGRESS_ON_POLL and not continuous and not self.eager:
             credit_bytes = min(credit_bytes, float(self.network.inflight_window))
         before = self.delivered_bytes
@@ -188,10 +229,62 @@ class TransferState:
             return True
         return False
 
+    # ------------------------------------------------- fair-share flow protocol
+
+    @property
+    def fair(self) -> Optional[FairShareRegistry]:
+        """The fair-share registry of the resolved link, if any."""
+        return self.link.fair if self.link is not None else None
+
+    def activate_fair(self, now: float, token: Any = None) -> FairFlow:
+        """Register the remaining bytes as a max-min fair fluid flow.
+
+        Called by the engine when the receiver blocks on a fair-contended
+        path (where the reservation model would precompute
+        :meth:`completion_from`).  The flow enters the registry at
+        ``max(now, stage busy_until)`` — queued poll-credit wire time drains
+        first, exactly as ``reserve_path`` would wait — and from then on its
+        rate is re-divided on every arrival/departure until the engine
+        commits the departure and calls :meth:`finish_fair`.
+        """
+        if self.fair_flow is not None:  # pragma: no cover - engine activates once
+            return self.fair_flow
+        registry = self.fair
+        if registry is None:
+            raise RuntimeError("activate_fair called on a non-fair link")
+        if not self.is_eligible:
+            raise RuntimeError("activate_fair called on an unmatched transfer")
+        stages = self.link.shared_stages
+        start = max([now, self.eligible_time] + [s.busy_until for s in stages])
+        self.fair_flow = registry.open_flow(
+            stages,
+            start,
+            self.remaining_bytes,
+            token=token,
+            on_rate_change=self._on_rate_change,
+        )
+        self.current_rate = self.fair_flow.rate
+        return self.fair_flow
+
+    def _on_rate_change(self, flow: FairFlow, time: float, rate: float) -> None:
+        self.current_rate = rate
+
+    def finish_fair(self, finish: float) -> None:
+        """Complete a fair flow at the departure time the registry committed."""
+        self.fair_flow = None
+        self.current_rate = None
+        self._mark_complete(finish)
+        self.last_ack_time = finish
+
     def completion_from(self, now: float) -> float:
         """Absolute completion time assuming the receiver blocks in MPI from ``now``."""
         if self.completed:
             return self.completion_time if self.completion_time is not None else now
+        if self.fair_flow is not None:  # pragma: no cover - engine defers instead
+            raise RuntimeError(
+                "completion_from called on a fair-share flow; the engine must "
+                "wait for the registry to commit the departure"
+            )
         if not self.is_eligible:
             raise RuntimeError("completion_from called on an unmatched transfer")
         start = max(now, self.eligible_time)

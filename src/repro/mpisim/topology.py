@@ -55,29 +55,66 @@ rail stages selected per message (hash or stripe), and routing is either
 ``minimal`` (deterministic ECMP hash over the candidate paths) or ``adaptive``
 (least-loaded candidate by reservation backlog).
 
-Contention is modelled with a reservation queue: a :class:`SharedLink`
-serialises bulk streams at full capacity (aggregate-equivalent to fair
-bandwidth splitting for symmetric flows) and gates windowed poll credits
-behind earlier reservations, so aggregate traffic never exceeds the stage
-capacity.  A multi-stage path reserves every stage it crosses from a common
-start time (see :func:`reserve_path`); per stage the occupied wire time is
-``bytes / capacity``, which keeps per-stage capacity conservation exact — the
-property-based tests in ``tests/property`` pin this invariant.  That is the
-natural fidelity level for a discrete-event model that meters progress at
-MPI-call granularity.
+Contention models
+-----------------
+
+Contended topologies time overlapping bulk streams with one of two
+disciplines, chosen by their ``contention`` parameter:
+
+``contention="reservation"`` (default)
+    A :class:`SharedLink` serialises bulk streams at full capacity and gates
+    windowed poll credits behind earlier reservations, so aggregate traffic
+    never exceeds the stage capacity.  A multi-stage path reserves every
+    stage it crosses from a common start time (see :func:`reserve_path`); per
+    stage the occupied wire time is ``bytes / capacity``, which keeps
+    per-stage capacity conservation exact — the property-based tests in
+    ``tests/property`` pin this invariant.  Serialising is *aggregate-exact*
+    for symmetric flows: the last of ``k`` equal streams finishes exactly when
+    fair splitting would finish all of them.  For asymmetric mixes it is
+    biased — whichever flow resolves first occupies the whole wire, so a
+    small flow queued behind a large one finishes late.
+
+``contention="fair"``
+    A :class:`FairShareLink` stage applies processor sharing with max-min
+    fair rates (progressive filling, see :mod:`repro.mpisim.fairshare`): the
+    active-flow set re-divides the stage capacity on every arrival and
+    departure, flows receive rate-change callbacks instead of a precomputed
+    finish time, and the engine commits a departure only once no rank can act
+    before it.  Symmetric flow sets reproduce the reservation model's
+    aggregate finish times exactly; in an asymmetric mix the smaller flow
+    completes strictly earlier — the physically faithful order.  This is the
+    model to use when flow *ordering* matters (e.g. topology-aware
+    C-Allreduce compresses only inter-node hops, making the residual flows
+    asymmetric).
+
+Both disciplines conserve capacity exactly; ``reservation`` stays the
+bit-for-bit default everywhere (golden makespan pins in ``tests/property``
+freeze it).  Uncontended topologies (flat, hierarchical) have no shared
+stages, so the knob does not apply to them.
 """
 
 from __future__ import annotations
 
+import copy
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.mpisim.fairshare import (
+    CONTENTION_FAIR,
+    CONTENTION_MODES,
+    CONTENTION_RESERVATION,
+    FairFlow,
+    FairShareRegistry,
+)
 from repro.utils.validation import ensure_in, ensure_non_negative, ensure_positive
 
 __all__ = [
     "SharedLink",
+    "FairShareLink",
+    "CONTENTION_RESERVATION",
+    "CONTENTION_FAIR",
     "LinkModel",
     "reserve_path",
     "trace_reservations",
@@ -183,6 +220,38 @@ class SharedLink:
         self.assigned = 0
 
 
+@dataclass
+class FairShareLink(SharedLink):
+    """Processor-sharing stage: active flows re-divide capacity max-min fairly.
+
+    Drop-in for :class:`SharedLink` wherever a topology wires a contended
+    stage, selected by ``contention="fair"``.  ``flows`` holds the
+    :class:`~repro.mpisim.fairshare.FairFlow` entries currently streaming
+    across this stage; a :class:`~repro.mpisim.fairshare.FairShareRegistry`
+    re-divides the capacity among them on every arrival/departure event and
+    re-expresses the carried bytes as reservations, so ``busy_until`` (and
+    the trace-based capacity audit) stay meaningful.  Windowed poll credits
+    inherit the reservation mechanics but are capped at the stage's
+    *residual* rate — capacity not allocated to fluid flows — so the two
+    accounting schemes never overcommit the wire.
+    """
+
+    flows: Dict[int, FairFlow] = field(default_factory=dict)
+
+    def allocated_rate(self) -> float:
+        """Bandwidth currently allocated to fluid flows crossing this stage."""
+        return sum(flow.rate for flow in self.flows.values())
+
+    @property
+    def backlogged(self) -> bool:
+        """Whether any fluid flow currently holds backlog on this stage."""
+        return any(flow.remaining > 0.0 for flow in self.flows.values())
+
+    def clear(self) -> None:
+        super().clear()
+        self.flows.clear()
+
+
 @contextmanager
 def trace_reservations():
     """Record every :class:`SharedLink` reservation made while the context is open.
@@ -264,12 +333,20 @@ class LinkModel:
     listed :class:`SharedLink` is a switch stage the transfer crosses, and
     ``bandwidth`` must be the bottleneck (minimum) stage capacity.  At most
     one of ``shared`` / ``stages`` should be set.
+
+    ``fair`` switches the contention discipline: when a
+    :class:`~repro.mpisim.fairshare.FairShareRegistry` is attached (and the
+    stages are :class:`FairShareLink` instances), bulk streams register with
+    the registry as max-min fair fluid flows instead of reserving the wire
+    serially; the engine defers their completion until the registry commits
+    the departure.
     """
 
     latency: float
     bandwidth: float
     shared: Optional[SharedLink] = None
     stages: Tuple[SharedLink, ...] = ()
+    fair: Optional[FairShareRegistry] = None
 
     def __post_init__(self) -> None:
         ensure_non_negative(self.latency, "latency")
@@ -297,6 +374,27 @@ class LinkModel:
         """Deregister a completed transfer (no-op on dedicated links)."""
         for stage in self._shared_stages:
             stage.release()
+
+
+def _contention_variant(topology, contention: str):
+    """Memoized re-timed sibling of a contended topology.
+
+    Repeated requests for the same discipline return one cached clone (the
+    engine re-resolves per run when ``NetworkModel.contention`` upgrades a
+    topology, and rebuilding stage caches each time would defeat their
+    reuse); the clone's cache points back, so round-tripping returns the
+    original object.
+    """
+    ensure_in(contention, CONTENTION_MODES, "contention")
+    if contention == topology._contention:
+        return topology
+    cached = topology._contention_clones.get(contention)
+    if cached is None:
+        cached = copy.copy(topology)
+        cached._init_contention(contention)
+        cached._contention_clones[topology._contention] = topology
+        topology._contention_clones[contention] = cached
+    return cached
 
 
 class Topology(ABC):
@@ -357,6 +455,32 @@ class Topology(ABC):
     def shares_uplinks(self) -> bool:
         """Whether concurrent inter-node transfers contend for bandwidth."""
         return False
+
+    @property
+    def contention(self) -> str:
+        """Contention discipline of this fabric's shared stages.
+
+        ``"reservation"`` (the bit-for-bit default) or ``"fair"``; see the
+        module docstring's "Contention models" section.  Uncontended
+        topologies report ``"reservation"`` — they have no shared stages, so
+        both disciplines are identical.
+        """
+        return CONTENTION_RESERVATION
+
+    @property
+    def fair_registry(self) -> Optional[FairShareRegistry]:
+        """The fair-share registry driving this fabric (``None`` unless fair)."""
+        return None
+
+    def with_contention(self, contention: str) -> "Topology":
+        """A topology timing its shared stages under ``contention``.
+
+        Returns ``self`` when nothing changes (including for uncontended
+        topologies, where the disciplines coincide); contended topologies
+        return a cheap clone with fresh stage state.
+        """
+        ensure_in(contention, CONTENTION_MODES, "contention")
+        return self
 
     @property
     def oversubscription_ratio(self) -> float:
@@ -484,12 +608,22 @@ class SharedUplinkTopology(HierarchicalTopology):
     """Two-level fabric where each node has one uplink shared by its egress.
 
     Every inter-node transfer is charged against the *source* node's uplink
-    :class:`SharedLink`; concurrent transfers leaving the same node split the
-    uplink capacity evenly.  Intra-node links stay dedicated.
+    stage; under the default ``contention="reservation"`` concurrent egress
+    serialises through the :class:`SharedLink` queue, under
+    ``contention="fair"`` it splits the uplink max-min fairly (see the module
+    docstring).  Intra-node links stay dedicated.
     """
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args, contention: str = CONTENTION_RESERVATION, **kwargs) -> None:
         super().__init__(*args, **kwargs)
+        self._init_contention(contention)
+
+    def _init_contention(self, contention: str) -> None:
+        """(Re)configure the contention discipline with fresh stage state."""
+        ensure_in(contention, CONTENTION_MODES, "contention")
+        self._contention = contention
+        self._fair = FairShareRegistry() if contention == CONTENTION_FAIR else None
+        self._contention_clones: Dict[str, "SharedUplinkTopology"] = {}
         self._uplinks: Dict[int, SharedLink] = {}
         self._uplink_links: Dict[int, LinkModel] = {}
 
@@ -497,15 +631,28 @@ class SharedUplinkTopology(HierarchicalTopology):
     def shares_uplinks(self) -> bool:
         return True
 
+    @property
+    def contention(self) -> str:
+        return self._contention
+
+    @property
+    def fair_registry(self) -> Optional[FairShareRegistry]:
+        return self._fair
+
+    def with_contention(self, contention: str) -> "SharedUplinkTopology":
+        return _contention_variant(self, contention)
+
     def _uplink(self, node: int) -> LinkModel:
         cached = self._uplink_links.get(node)
         if cached is None:
-            shared = SharedLink(capacity=self._inter.bandwidth)
+            stage_cls = FairShareLink if self._fair is not None else SharedLink
+            shared = stage_cls(capacity=self._inter.bandwidth)
             self._uplinks[node] = shared
             cached = LinkModel(
                 latency=self._inter.latency,
                 bandwidth=self._inter.bandwidth,
                 shared=shared,
+                fair=self._fair,
             )
             self._uplink_links[node] = cached
         return cached
@@ -526,11 +673,14 @@ class SharedUplinkTopology(HierarchicalTopology):
         # LinkModel instances instead of growing fresh ones each run.
         for shared in self._uplinks.values():
             shared.clear()
+        if self._fair is not None:
+            self._fair.reset()
 
     def describe(self) -> str:
         return (
             f"shared-uplink ({self.ranks_per_node} ranks/node, "
-            f"uplink {self._inter.bandwidth / 1e9:.2f} GB/s split across egress)"
+            f"uplink {self._inter.bandwidth / 1e9:.2f} GB/s split across egress, "
+            f"{self._contention} contention)"
         )
 
 
@@ -576,6 +726,11 @@ class SwitchFabricTopology(_PlacedTopology):
         capacity ``nic_bandwidth / oversubscription``.
     hop_latency:
         Extra latency per switch-to-switch hop.
+    contention:
+        ``"reservation"`` (default) — stages serialise bulk streams through
+        the :class:`SharedLink` queue; ``"fair"`` — stages are
+        :class:`FairShareLink` instances whose active flows re-divide
+        bandwidth max-min fairly (see the module docstring).
     """
 
     def __init__(
@@ -591,6 +746,7 @@ class SwitchFabricTopology(_PlacedTopology):
         routing: str = ROUTE_MINIMAL,
         oversubscription: float = 1.0,
         hop_latency: float = DEFAULT_HOP_LATENCY,
+        contention: str = CONTENTION_RESERVATION,
     ) -> None:
         super().__init__(ranks_per_node=ranks_per_node, placement=placement)
         ensure_non_negative(nic_latency, "nic_latency")
@@ -611,10 +767,20 @@ class SwitchFabricTopology(_PlacedTopology):
         self._oversubscription = float(oversubscription)
         #: capacity of every ordinary inter-switch stage
         self.switch_bandwidth = self.nic_bandwidth / self._oversubscription
+        # route specs are contention-independent pure structure; the cache
+        # survives with_contention clones (and is shared between them)
+        self._route_cache: Dict[Tuple[int, int], Tuple[Tuple[StageSpec, ...], ...]] = {}
+        self._init_contention(contention)
+
+    def _init_contention(self, contention: str) -> None:
+        """(Re)configure the contention discipline with fresh stage state."""
+        ensure_in(contention, CONTENTION_MODES, "contention")
+        self._contention = contention
+        self._fair = FairShareRegistry() if contention == CONTENTION_FAIR else None
+        self._contention_clones: Dict[str, "SwitchFabricTopology"] = {}
         # lazily built, reused across simulations (reset() clears state in place)
         self._stages: Dict[StageKey, SharedLink] = {}
         self._path_links: Dict[Tuple[StageKey, ...], LinkModel] = {}
-        self._route_cache: Dict[Tuple[int, int], Tuple[Tuple[StageSpec, ...], ...]] = {}
         self._stripe_counters: Dict[int, int] = {}
 
     # ------------------------------------------------- fabric structure hooks
@@ -640,6 +806,17 @@ class SwitchFabricTopology(_PlacedTopology):
     @property
     def shares_uplinks(self) -> bool:
         return True
+
+    @property
+    def contention(self) -> str:
+        return self._contention
+
+    @property
+    def fair_registry(self) -> Optional[FairShareRegistry]:
+        return self._fair
+
+    def with_contention(self, contention: str) -> "SwitchFabricTopology":
+        return _contention_variant(self, contention)
 
     @property
     def oversubscription_ratio(self) -> float:
@@ -688,7 +865,8 @@ class SwitchFabricTopology(_PlacedTopology):
     def _stage_link(self, key: StageKey, capacity: float) -> SharedLink:
         stage = self._stages.get(key)
         if stage is None:
-            stage = SharedLink(capacity=capacity)
+            stage_cls = FairShareLink if self._fair is not None else SharedLink
+            stage = stage_cls(capacity=capacity)
             self._stages[key] = stage
         return stage
 
@@ -756,6 +934,7 @@ class SwitchFabricTopology(_PlacedTopology):
                 latency=self.nic_latency + self.hop_latency * (len(spec) - 2),
                 bandwidth=min(capacity for _, capacity in spec),
                 stages=tuple(self._stage_link(key, capacity) for key, capacity in spec),
+                fair=self._fair,
             )
             self._path_links[signature] = cached
         if commit:
@@ -784,6 +963,11 @@ class SwitchFabricTopology(_PlacedTopology):
         for stage in self._stages.values():
             stage.clear()
         self._stripe_counters.clear()
+        if self._fair is not None:
+            self._fair.reset()
+
+    def _contention_suffix(self) -> str:
+        return ", fair-share contention" if self._contention == CONTENTION_FAIR else ""
 
 
 class FatTreeTopology(SwitchFabricTopology):
@@ -848,7 +1032,8 @@ class FatTreeTopology(SwitchFabricTopology):
         return (
             f"fat-tree (k={self.k}, {self.n_fabric_nodes} hosts, "
             f"{self.ranks_per_node} ranks/node, {self._nics_per_node} NIC rail(s), "
-            f"{self._oversubscription:g}:1 oversubscribed, {self.routing} routing)"
+            f"{self._oversubscription:g}:1 oversubscribed, {self.routing} routing"
+            f"{self._contention_suffix()})"
         )
 
 
@@ -960,5 +1145,6 @@ class DragonflyTopology(SwitchFabricTopology):
             f"dragonfly ({self.n_groups} groups x {self.routers_per_group} routers x "
             f"{self.nodes_per_router} nodes, {self.ranks_per_node} ranks/node, "
             f"{self._nics_per_node} NIC rail(s), global "
-            f"{self.global_bandwidth / 1e9:.2f} GB/s, {self.routing} routing)"
+            f"{self.global_bandwidth / 1e9:.2f} GB/s, {self.routing} routing"
+            f"{self._contention_suffix()})"
         )

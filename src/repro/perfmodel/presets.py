@@ -116,13 +116,17 @@ def shared_uplink_topology(
     ranks_per_node: int = 4,
     placement: Optional[Sequence[int]] = None,
     inter_bandwidth: Optional[float] = None,
+    contention: str = "reservation",
 ) -> SharedUplinkTopology:
     """Two-level cluster whose per-node uplink is split by concurrent egress.
 
     Same link parameters as :func:`two_level_topology` (``inter_bandwidth``
     overrides the calibrated uplink rate, e.g. to compare against a fabric
     preset at equal per-node bandwidth), but all inter-node transfers leaving
-    one node share that node's single uplink evenly.  This is the
+    one node share that node's single uplink.  ``contention`` picks the
+    sharing discipline: the serialising reservation queue (default,
+    aggregate-exact for symmetric egress) or max-min fair processor sharing
+    (``"fair"``, order-exact for asymmetric mixes).  This is the
     oversubscribed regime where hierarchical / topology-aware collectives
     beat the flat ring.
     """
@@ -132,6 +136,7 @@ def shared_uplink_topology(
         placement=placement,
         inter_latency=net.latency,
         inter_bandwidth=inter_bandwidth if inter_bandwidth is not None else net.bandwidth,
+        contention=contention,
     )
 
 
@@ -144,13 +149,16 @@ def fat_tree_topology(
     rail_policy: str = "hash",
     nic_bandwidth: Optional[float] = None,
     placement: Optional[Sequence[int]] = None,
+    contention: str = "reservation",
 ) -> FatTreeTopology:
     """Three-level k-ary fat tree with the calibrated NIC as host injection.
 
     ``oversubscription`` tapers every inter-switch stage to
     ``nic_bandwidth / oversubscription`` (2.0 gives the classic 2:1 tree where
     overlapping paths between *different* node pairs contend well before the
-    NICs saturate); ``nics_per_node``/``rail_policy`` enable multi-rail hosts.
+    NICs saturate); ``nics_per_node``/``rail_policy`` enable multi-rail hosts;
+    ``contention`` picks the stage sharing discipline (reservation queue or
+    ``"fair"`` max-min processor sharing).
     """
     net = default_network()
     return FatTreeTopology(
@@ -163,6 +171,7 @@ def fat_tree_topology(
         rail_policy=rail_policy,
         nic_latency=net.latency,
         nic_bandwidth=nic_bandwidth if nic_bandwidth is not None else net.bandwidth,
+        contention=contention,
     )
 
 
@@ -177,12 +186,14 @@ def dragonfly_topology(
     rail_policy: str = "hash",
     nic_bandwidth: Optional[float] = None,
     placement: Optional[Sequence[int]] = None,
+    contention: str = "reservation",
 ) -> DragonflyTopology:
     """Dragonfly with all-to-all groups and the calibrated NIC as injection.
 
     Global links taper to ``nic_bandwidth / oversubscription``; pair with
     ``routing="adaptive"`` to let Valiant detours route around a saturated
-    global link.
+    global link.  ``contention`` picks the stage sharing discipline
+    (reservation queue or ``"fair"`` max-min processor sharing).
     """
     net = default_network()
     return DragonflyTopology(
@@ -197,6 +208,7 @@ def dragonfly_topology(
         rail_policy=rail_policy,
         nic_latency=net.latency,
         nic_bandwidth=nic_bandwidth if nic_bandwidth is not None else net.bandwidth,
+        contention=contention,
     )
 
 
@@ -206,6 +218,7 @@ def rail_optimized_fat_tree(
     nics_per_node: int = 2,
     oversubscription: float = 2.0,
     nic_bandwidth: Optional[float] = None,
+    contention: str = "reservation",
 ) -> FatTreeTopology:
     """Multi-rail placement preset: co-located ranks stripe over ``nics_per_node`` rails.
 
@@ -221,6 +234,7 @@ def rail_optimized_fat_tree(
         rail_policy="stripe",
         routing="adaptive",
         nic_bandwidth=nic_bandwidth,
+        contention=contention,
     )
 
 

@@ -8,9 +8,14 @@ These cover the properties the rest of the system leans on:
 * chunk partitioning covers the index space exactly once;
 * the simulated ring allreduce equals the numpy sum for arbitrary inputs;
 * every :class:`SharedLink` stage of every contended topology conserves
-  capacity (reservations never overlap, each occupies ``bytes / capacity``);
+  capacity (reservations never overlap, each occupies ``bytes / capacity``)
+  — under both contention disciplines: the fair-share fluid model re-expresses
+  its segments as reservations, so the same audit applies verbatim;
 * fabric routing is deterministic: identically configured topologies resolve
   identical stage paths for identical traffic.
+
+The fair-model-specific invariants (max-min rates, work conservation, exact
+symmetric aggregate-equivalence) live in ``test_fair_contention.py``.
 """
 
 import numpy as np
@@ -132,17 +137,21 @@ def shift_traffic_program(n_ranks, shifts, nbytes):
 
 
 #: identically parameterised factories used by both fabric properties; every
-#: preset family with contended stages is represented
-def _topology_factories(ranks_per_node, nics_per_node, routing, oversubscription):
+#: preset family with contended stages is represented, under both contention
+#: disciplines (the reservation queue and max-min fair processor sharing)
+def _topology_factories(ranks_per_node, nics_per_node, routing, oversubscription, contention):
     common = dict(
         ranks_per_node=ranks_per_node,
         nics_per_node=nics_per_node,
         routing=routing,
         rail_policy="stripe" if nics_per_node > 1 else "hash",
         oversubscription=oversubscription,
+        contention=contention,
     )
     return {
-        "shared_uplink": lambda: SharedUplinkTopology(ranks_per_node=ranks_per_node),
+        "shared_uplink": lambda: SharedUplinkTopology(
+            ranks_per_node=ranks_per_node, contention=contention
+        ),
         "fat_tree": lambda: FatTreeTopology(k=4, **common),
         "dragonfly": lambda: DragonflyTopology(
             n_groups=3, routers_per_group=2, nodes_per_router=2, **common
@@ -156,6 +165,7 @@ fabric_params = st.fixed_dictionaries(
         nics_per_node=st.sampled_from([1, 2]),
         routing=st.sampled_from(["minimal", "adaptive"]),
         oversubscription=st.sampled_from([1.0, 2.0]),
+        contention=st.sampled_from(["reservation", "fair"]),
     )
 )
 
