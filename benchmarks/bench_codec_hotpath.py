@@ -1,0 +1,152 @@
+"""Component micro-benchmarks: the vectorised codec data plane.
+
+Tracks the throughput of the two hottest codec paths — SZx and ZFP on a
+4M-value, mostly-non-constant field at the paper's block sizes — plus the
+width-class batched bit-packing primitives underneath them.  The headline
+test also re-runs SZx through a *scalar reference* encoder (one
+``pack_uint_bits`` call per block, the pre-vectorisation code shape) so the
+batched data plane's speedup is measured inside the suite rather than against
+git archaeology.
+
+Regenerate the committed ``BENCH_codec.json`` baseline with
+``python benchmarks/perf_report.py`` (see ``benchmarks/README.md``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression.pipelined import PipelinedSZx
+from repro.compression.szx import SZxCompressor
+from repro.compression.zfp import ZFPCompressor
+from repro.utils.bitpack import (
+    pack_uint_bits,
+    pack_uint_bits_rows,
+    unpack_uint_bits,
+    unpack_uint_bits_rows,
+)
+
+#: the acceptance scenario: 4M values, mostly non-constant at eb=1e-3
+HOTPATH_N = 4_000_000
+HOTPATH_EB = 1e-3
+
+
+def hotpath_field(n: int = HOTPATH_N, seed: int = 7) -> np.ndarray:
+    """Sine carrier plus noise: >95% of SZx blocks are non-constant at 1e-3."""
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0.0, 64.0 * np.pi, n)
+    return (np.sin(t) + 0.05 * rng.standard_normal(n)).astype(np.float32)
+
+
+def scalar_reference_pack(codec: SZxCompressor, data: np.ndarray) -> bytes:
+    """The pre-vectorisation SZx shape: one pack_uint_bits call per block.
+
+    Only the per-block payload loop is reproduced (classification and
+    quantisation were always vectorised); this is the loop the width-class
+    batching removed.
+    """
+    from repro.utils.bitpack import bit_length_u64, zigzag_encode
+
+    eb = codec.effective_error_bound(data)
+    block = codec.block_size
+    n_blocks = (data.size + block - 1) // block
+    padded = np.empty(n_blocks * block, dtype=np.float64)
+    padded[: data.size] = data
+    if padded.size > data.size:
+        padded[data.size :] = data[-1]
+    blocks = padded.reshape(n_blocks, block)
+    medium = ((blocks.min(axis=1) + blocks.max(axis=1)) * 0.5).astype(np.float32)
+    offsets = blocks - medium.astype(np.float64)[:, None]
+    const_mask = np.max(np.abs(offsets), axis=1) <= eb
+    encoded = zigzag_encode(np.rint(offsets[~const_mask] / (2.0 * eb)).astype(np.int64))
+    widths = bit_length_u64(encoded.max(axis=1))
+    pieces = [pack_uint_bits(row, int(w)) for row, w in zip(encoded, widths)]
+    return b"".join(pieces)
+
+
+class TestSZxHotPath:
+    def test_compress_4m(self, benchmark):
+        data = hotpath_field()
+        codec = SZxCompressor(error_bound=HOTPATH_EB)
+        payload = benchmark.pedantic(codec.compress_bytes, args=(data,), rounds=3, iterations=1)
+        assert len(payload) < data.nbytes
+
+    def test_decompress_4m(self, benchmark):
+        data = hotpath_field()
+        codec = SZxCompressor(error_bound=HOTPATH_EB)
+        payload = codec.compress_bytes(data)
+        out = benchmark.pedantic(codec.decompress_bytes, args=(payload,), rounds=3, iterations=1)
+        assert np.max(np.abs(out.astype(np.float64) - data.astype(np.float64))) <= 2 * HOTPATH_EB
+
+    def test_batched_beats_scalar_reference(self):
+        """The width-class data plane must stay well ahead of the per-block loop."""
+        import time
+
+        data = hotpath_field(n=1_000_000)
+        codec = SZxCompressor(error_bound=HOTPATH_EB)
+        codec.compress_bytes(data)  # warm
+        t0 = time.perf_counter()
+        codec.compress_bytes(data)
+        vectorised = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        scalar_reference_pack(codec, data)
+        scalar = time.perf_counter() - t0
+        ratio = scalar / vectorised
+        print(f"\nSZx compress 1M values: vectorised {vectorised:.3f}s, "
+              f"scalar reference {scalar:.3f}s, speedup {ratio:.1f}x")
+        # conservative floor for noisy CI runners; locally this is ~8-10x
+        assert ratio > 2.0
+
+
+class TestZFPHotPath:
+    def test_abs_roundtrip_1m(self, benchmark):
+        data = hotpath_field(n=1_000_000)
+        codec = ZFPCompressor(mode="abs", error_bound=HOTPATH_EB)
+
+        def roundtrip():
+            return codec.decompress_bytes(codec.compress_bytes(data))
+
+        out = benchmark.pedantic(roundtrip, rounds=3, iterations=1)
+        assert out.size == data.size
+
+    def test_fxr_roundtrip_1m(self, benchmark):
+        data = hotpath_field(n=1_000_000)
+        codec = ZFPCompressor(mode="fxr", rate=8)
+
+        def roundtrip():
+            return codec.decompress_bytes(codec.compress_bytes(data))
+
+        out = benchmark.pedantic(roundtrip, rounds=3, iterations=1)
+        assert out.size == data.size
+
+
+class TestPipelinedHotPath:
+    def test_pipe_szx_roundtrip_1m(self, benchmark):
+        data = hotpath_field(n=1_000_000)
+        codec = PipelinedSZx(error_bound=HOTPATH_EB)
+
+        def roundtrip():
+            return codec.decompress_bytes(codec.compress_bytes(data))
+
+        out = benchmark.pedantic(roundtrip, rounds=3, iterations=1)
+        assert out.size == data.size
+
+
+class TestBitpackPrimitives:
+    def test_pack_rows_1m(self, benchmark):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 1 << 10, size=(8192, 128), dtype=np.uint64)
+        blob = benchmark.pedantic(pack_uint_bits_rows, args=(values, 10), rounds=3, iterations=1)
+        assert len(blob) == 8192 * ((128 * 10 + 7) // 8)
+
+    def test_unpack_rows_1m(self, benchmark):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 1 << 10, size=(8192, 128), dtype=np.uint64)
+        blob = pack_uint_bits_rows(values, 10)
+        out = benchmark.pedantic(
+            unpack_uint_bits_rows, args=(blob, 8192, 128, 10), rounds=3, iterations=1
+        )
+        np.testing.assert_array_equal(out, values)
+
+    def test_single_row_api_unchanged(self):
+        values = np.arange(100, dtype=np.uint64)
+        assert unpack_uint_bits(pack_uint_bits(values, 7), 100, 7).tolist() == values.tolist()

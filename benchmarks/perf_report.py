@@ -1,0 +1,297 @@
+#!/usr/bin/env python
+"""Perf-trajectory runner: measure the codec and engine hot paths, write baselines.
+
+Runs deterministic wall-clock measurements of the two hottest subsystems —
+the vectorised compression data plane and the discrete-event engine — and
+writes ``BENCH_codec.json`` / ``BENCH_engine.json`` at the repo root.  The
+committed files are the *perf trajectory*: every PR that touches a hot path
+regenerates them, so regressions are a diff, not an anecdote.
+
+Usage::
+
+    python benchmarks/perf_report.py            # full run, rewrite baselines
+    python benchmarks/perf_report.py --quick    # best of 2 repetitions (CI smoke)
+    python benchmarks/perf_report.py --quick --check
+        # do not rewrite: compare against the committed baselines and exit
+        # non-zero if any throughput regressed by more than the tolerance
+
+Scenario sizes are identical in quick and full mode (only the repetition
+count differs), so quick CI runs are comparable with committed full runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.compression.pipelined import PipelinedSZx  # noqa: E402
+from repro.compression.szx import SZxCompressor  # noqa: E402
+from repro.compression.zfp import ZFPCompressor  # noqa: E402
+from repro.mpisim import (  # noqa: E402
+    Compute,
+    Irecv,
+    Isend,
+    NetworkModel,
+    Waitall,
+    run_simulation,
+)
+from repro.utils.bitpack import pack_uint_bits_rows, unpack_uint_bits_rows  # noqa: E402
+
+CODEC_BASELINE = REPO_ROOT / "BENCH_codec.json"
+ENGINE_BASELINE = REPO_ROOT / "BENCH_engine.json"
+
+#: a quick/CI run must not be more than this factor slower than the baseline
+DEFAULT_TOLERANCE = 1.5
+
+HOTPATH_N = 4_000_000
+HOTPATH_EB = 1e-3
+
+
+def hotpath_field(n: int, seed: int = 7) -> np.ndarray:
+    """Mostly-non-constant field (same construction as bench_codec_hotpath)."""
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0.0, 64.0 * np.pi, n)
+    return (np.sin(t) + 0.05 * rng.standard_normal(n)).astype(np.float32)
+
+
+def best_of(func, reps: int) -> float:
+    """Best wall-clock seconds over ``reps`` runs (after one warm-up call)."""
+    func()
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def machine_calibration() -> float:
+    """Seconds for a fixed reference workload — a speed fingerprint of this host.
+
+    The baselines are committed from a development machine; CI runners (and a
+    loaded dev box) are simply slower overall.  ``--check`` measures this same
+    workload locally and rescales the baseline throughputs by the ratio, so
+    the gate compares *code* speed, not *machine* speed.  The workload mixes
+    the two profiles the suites stress: numpy memory passes and Python-level
+    object churn.
+    """
+
+    def workload() -> None:
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal(1_000_000)
+        for _ in range(3):
+            b = a * 1.000001
+            b += a
+            np.rint(b, out=b)
+            b.astype(np.int32).astype(np.uint8)
+        acc = {}
+        for i in range(200_000):
+            acc[i & 1023] = acc.get(i & 1023, 0) + i
+        np.packbits((a[:800_000] > 0).astype(np.uint8))
+
+    return best_of(workload, 3)
+
+
+# ------------------------------------------------------------------- codec
+
+
+def codec_suite(reps: int) -> dict:
+    data = hotpath_field(HOTPATH_N)
+    mb = data.nbytes / 1e6
+    results = {}
+
+    szx = SZxCompressor(error_bound=HOTPATH_EB)
+    payload = szx.compress_bytes(data)
+    compress_s = best_of(lambda: szx.compress_bytes(data), reps)
+    decompress_s = best_of(lambda: szx.decompress_bytes(payload), reps)
+    results["szx_compress_4m"] = {"seconds": compress_s, "mb_per_s": mb / compress_s}
+    results["szx_decompress_4m"] = {"seconds": decompress_s, "mb_per_s": mb / decompress_s}
+    results["szx_roundtrip_4m"] = {
+        "seconds": compress_s + decompress_s,
+        "mb_per_s": mb / (compress_s + decompress_s),
+    }
+
+    pipe = PipelinedSZx(error_bound=HOTPATH_EB)
+    payload = pipe.compress_bytes(data)
+    compress_s = best_of(lambda: pipe.compress_bytes(data), reps)
+    decompress_s = best_of(lambda: pipe.decompress_bytes(payload), reps)
+    results["pipe_szx_compress_4m"] = {"seconds": compress_s, "mb_per_s": mb / compress_s}
+    results["pipe_szx_decompress_4m"] = {"seconds": decompress_s, "mb_per_s": mb / decompress_s}
+
+    for name, codec in (
+        ("zfp_abs", ZFPCompressor(mode="abs", error_bound=HOTPATH_EB)),
+        ("zfp_fxr", ZFPCompressor(mode="fxr", rate=8)),
+    ):
+        payload = codec.compress_bytes(data)
+        compress_s = best_of(lambda: codec.compress_bytes(data), reps)
+        decompress_s = best_of(lambda: codec.decompress_bytes(payload), reps)
+        results[f"{name}_compress_4m"] = {"seconds": compress_s, "mb_per_s": mb / compress_s}
+        results[f"{name}_decompress_4m"] = {"seconds": decompress_s, "mb_per_s": mb / decompress_s}
+
+    rng = np.random.default_rng(0)
+    values = rng.integers(0, 1 << 10, size=(31250, 128), dtype=np.uint64)
+    blob = pack_uint_bits_rows(values, 10)
+    vmb = values.size * 8 / 1e6
+    pack_s = best_of(lambda: pack_uint_bits_rows(values, 10), reps)
+    unpack_s = best_of(lambda: unpack_uint_bits_rows(blob, 31250, 128, 10), reps)
+    results["bitpack_rows_pack_4m_w10"] = {"seconds": pack_s, "mb_per_s": vmb / pack_s}
+    results["bitpack_rows_unpack_4m_w10"] = {"seconds": unpack_s, "mb_per_s": vmb / unpack_s}
+    return results
+
+
+# ------------------------------------------------------------------ engine
+
+
+def ring_exchange_program(rounds: int):
+    def program(rank, size):
+        left = (rank - 1) % size
+        right = (rank + 1) % size
+        payload = np.zeros(2048)
+        for step in range(rounds):
+            recv_req = yield Irecv(source=left, tag=step)
+            send_req = yield Isend(dest=right, data=payload, nbytes=payload.nbytes, tag=step)
+            yield Waitall([recv_req, send_req])
+            yield Compute(1e-6, category="Others")
+        return rank
+
+    return program
+
+
+def engine_suite(reps: int) -> dict:
+    net = NetworkModel(
+        latency=1e-6, bandwidth=1e9, eager_threshold=1024, inflight_window=1024**2
+    )
+    results = {}
+    for ranks, rounds in ((64, 64), (256, 16)):
+        commands = ranks * rounds * 4  # Irecv + Isend + Waitall + Compute per round
+        seconds = best_of(lambda: run_simulation(ranks, ring_exchange_program(rounds), net), reps)
+        results[f"ring_exchange_{ranks}_ranks"] = {
+            "seconds": seconds,
+            "commands_per_s": commands / seconds,
+        }
+
+    from repro.api import Cluster
+
+    rng = np.random.default_rng(0)
+    inputs = [rng.standard_normal(20_000) for _ in range(32)]
+    comm = Cluster(network=net).communicator(32)
+    seconds = best_of(lambda: comm.allreduce(inputs, algorithm="ring"), reps)
+    results["ring_allreduce_32_ranks"] = {"seconds": seconds, "runs_per_s": 1.0 / seconds}
+    return results
+
+
+# ------------------------------------------------------------------- report
+
+
+def throughput_of(entry: dict) -> float:
+    for key in ("mb_per_s", "commands_per_s", "runs_per_s"):
+        if key in entry:
+            return float(entry[key])
+    return 1.0 / float(entry["seconds"])
+
+
+def check(baseline_path: Path, fresh: dict, tolerance: float, speed_ratio: float) -> list:
+    """Return a list of human-readable regression descriptions.
+
+    ``speed_ratio`` is ``local_calibration / baseline_calibration`` (> 1 means
+    this host is slower than the one that produced the baseline); baseline
+    throughputs are divided by it before applying the tolerance.
+    """
+    if not baseline_path.exists():
+        return [f"{baseline_path.name} is missing; run perf_report.py to create it"]
+    doc = json.loads(baseline_path.read_text())
+    baseline = doc["results"]
+    problems = []
+    for name, entry in fresh.items():
+        if name not in baseline:
+            continue
+        old = throughput_of(baseline[name]) / speed_ratio
+        new = throughput_of(entry)
+        if new * tolerance < old:
+            problems.append(
+                f"{baseline_path.name}:{name}: throughput {new:,.1f} is more than "
+                f"{tolerance}x below the committed baseline {old:,.1f} "
+                f"(machine-normalised, speed ratio {speed_ratio:.2f})"
+            )
+    return problems
+
+
+def write_report(path: Path, results: dict, reps: int, quick: bool, calibration: float) -> None:
+    doc = {
+        "schema": 2,
+        "generated_by": "python benchmarks/perf_report.py" + (" --quick" if quick else ""),
+        "repetitions": reps,
+        "calibration_seconds": calibration,
+        "results": results,
+    }
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="best of 2 repetitions (CI smoke)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against committed baselines instead of rewriting them",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=f"allowed slowdown factor for --check (default {DEFAULT_TOLERANCE})",
+    )
+    args = parser.parse_args(argv)
+    reps = 2 if args.quick else 5
+
+    calibration = machine_calibration()
+    print(f"machine calibration: {calibration:.4f}s")
+    print(f"codec suite ({reps} rep{'s' if reps > 1 else ''}) ...")
+    codec = codec_suite(reps)
+    print(f"engine suite ({reps} rep{'s' if reps > 1 else ''}) ...")
+    engine = engine_suite(reps)
+
+    for name, entry in {**codec, **engine}.items():
+        print(f"  {name:32s} {entry['seconds']:.4f}s  ({throughput_of(entry):,.1f})")
+
+    if args.check:
+        def ratio_for(path: Path) -> float:
+            if path.exists():
+                base_cal = json.loads(path.read_text()).get("calibration_seconds")
+                if base_cal:
+                    return calibration / float(base_cal)
+            return 1.0
+
+        # the codec gate is hard (vectorised data plane is this PR's contract);
+        # the engine numbers are Python-object-heavy and noisier on shared
+        # runners, so engine regressions only warn
+        codec_problems = check(CODEC_BASELINE, codec, args.tolerance, ratio_for(CODEC_BASELINE))
+        engine_problems = check(ENGINE_BASELINE, engine, args.tolerance, ratio_for(ENGINE_BASELINE))
+        for p in engine_problems:
+            print(f"\nWARNING (advisory): {p}", file=sys.stderr)
+        if codec_problems:
+            print("\nPERF REGRESSION:", file=sys.stderr)
+            for p in codec_problems:
+                print(f"  {p}", file=sys.stderr)
+            return 1
+        print(f"\nall codec throughputs within {args.tolerance}x of the committed baselines")
+        return 0
+
+    write_report(CODEC_BASELINE, codec, reps, args.quick, calibration)
+    write_report(ENGINE_BASELINE, engine, reps, args.quick, calibration)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

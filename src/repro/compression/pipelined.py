@@ -213,11 +213,14 @@ class PipelinedSZx(Compressor):
             )
         sizes = np.frombuffer(payload, dtype=np.uint32, count=n_chunks, offset=offset)
         offset += 4 * n_chunks
-        pieces: List[bytes] = []
-        for size in sizes:
-            piece = payload[offset : offset + int(size)]
-            if len(piece) < int(size):
-                raise DecompressionError("truncated PIPE-SZx payload (missing chunk data)")
-            pieces.append(piece)
-            offset += int(size)
+        # vectorised cursor precomputation over the front-of-buffer index: one
+        # cumsum gives every chunk's byte range, and a single total-length
+        # check replaces the per-chunk truncation test
+        ends = offset + np.cumsum(sizes, dtype=np.int64)
+        if n_chunks and len(payload) < int(ends[-1]):
+            raise DecompressionError("truncated PIPE-SZx payload (missing chunk data)")
+        starts = ends - sizes
+        pieces: List[bytes] = [
+            payload[int(start) : int(end)] for start, end in zip(starts, ends)
+        ]
         return header, pieces

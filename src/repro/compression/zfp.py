@@ -15,6 +15,15 @@ bit-exact reimplementation of ZFP: data is processed in 1-D blocks (16 values),
 each block is decorrelated with a multi-level Haar transform (DC + 15 detail
 coefficients), and the coefficients are uniformly quantised.
 
+Like the SZx codec, both modes run a width-class batched data plane (see the
+"Width-class batched layout" section of :mod:`repro.compression.szx`): ABS
+groups the DC and detail fields of non-zero blocks by bit width and encodes
+each class with one :func:`~repro.utils.bitpack.pack_uint_bits_rows` pass,
+scattering rows at cursors precomputed from the width metadata; FXR — whose
+blocks all share one width — is a single batched call.  The emitted bytes are
+bit-for-bit those of the historical per-block loop (pinned by
+``tests/compression/test_golden_payloads.py``).
+
 * In ABS mode the quantisation step is derived from the error bound with a
   margin that accounts for the inverse-transform error gain, so the point-wise
   reconstruction error stays within the bound; per-block bit widths adapt to
@@ -37,7 +46,17 @@ import numpy as np
 from repro.compression.base import Compressor
 from repro.compression.errors import CompressionError, DecompressionError
 from repro.compression.header import PayloadHeader
-from repro.utils.bitpack import pack_uint_bits, unpack_uint_bits
+from repro.utils.bitpack import (
+    bit_length_u64,
+    narrow_signed_dtype,
+    pack_uint_bits_rows,
+    pack_width_classes,
+    row_nbytes,
+    unpack_uint_bits_rows,
+    unpack_width_classes,
+    zigzag_decode,
+    zigzag_encode,
+)
 from repro.utils.validation import ensure_in, ensure_positive
 
 __all__ = ["ZFPCompressor", "MODE_ABS", "MODE_FXR", "DEFAULT_ZFP_BLOCK"]
@@ -93,15 +112,24 @@ def _haar_inverse(coeffs: np.ndarray) -> np.ndarray:
     return a
 
 
-def _zigzag_encode(q: np.ndarray) -> np.ndarray:
-    q = q.astype(np.int64)
-    return np.where(q >= 0, 2 * q, -2 * q - 1).astype(np.uint64)
+def _ceil_log2(values: np.ndarray) -> np.ndarray:
+    """Vectorised ``math.ceil(math.log2(x))`` for positive floats.
 
-
-def _zigzag_decode(u: np.ndarray) -> np.ndarray:
-    u = u.astype(np.uint64)
-    half = (u >> np.uint64(1)).astype(np.int64)
-    return np.where(u & np.uint64(1), -half - 1, half)
+    ``frexp`` gives the exact answer (``x = m * 2**e`` with ``m in [0.5, 1)``
+    means ``ceil(log2(x))`` is ``e - 1`` for ``m == 0.5`` and ``e`` otherwise).
+    Mantissas within rounding distance of 0.5 are re-evaluated with the scalar
+    ``math.log2`` the per-block loop historically used, whose round-to-nearest
+    result can land exactly on the lower integer — keeping the emitted
+    exponents (and therefore the payload bytes) identical.
+    """
+    mant, exp = np.frexp(values)
+    out = np.where(mant == 0.5, exp - 1, exp).astype(np.int64)
+    suspect = (mant > 0.5) & (mant <= 0.5 * (1.0 + 1e-13))
+    if suspect.any():
+        idx = np.nonzero(suspect)[0]
+        for i in idx:
+            out[i] = math.ceil(math.log2(float(values[i])))
+    return out
 
 
 class ZFPCompressor(Compressor):
@@ -198,56 +226,85 @@ class ZFPCompressor(Compressor):
 
     def _compress_abs(self, coeffs: np.ndarray) -> bytes:
         step = self.error_bound / _ABS_MARGIN
-        quants = np.rint(coeffs / step).astype(np.int64)
-        encoded = _zigzag_encode(quants)
+        max_abs = float(np.max(np.abs(coeffs))) if coeffs.size else 0.0
+        qdt = narrow_signed_dtype(2.0 * (max_abs / step + 1.0) + 1.0)
+        scaled = coeffs / step
+        np.rint(scaled, out=scaled)
+        encoded = zigzag_encode(scaled.astype(qdt))
         zero_mask = encoded.max(axis=1) == 0
 
         out = bytearray()
         out += np.packbits(zero_mask.astype(np.uint8)).tobytes()
         nonzero_idx = np.nonzero(~zero_mask)[0]
-        meta = bytearray()
-        payload = bytearray()
-        for idx in nonzero_idx:
-            row = encoded[idx]
-            nbits_dc = int(row[0]).bit_length()
-            nbits_det = int(row[1:].max()).bit_length()
-            if max(nbits_dc, nbits_det) > _MAX_QUANT_BITS:
-                raise CompressionError(
-                    "quantised coefficients exceed the supported width; the error bound "
-                    f"({self.error_bound!r}) is too small relative to the data range"
-                )
-            meta.append(nbits_dc)
-            meta.append(nbits_det)
-            payload += pack_uint_bits(row[:1], nbits_dc)
-            payload += pack_uint_bits(row[1:], nbits_det)
-        out += bytes(meta)
-        out += bytes(payload)
+        if not nonzero_idx.size:
+            return bytes(out)
+        enc = encoded[nonzero_idx] if nonzero_idx.size != len(encoded) else encoded
+        # per-block widths of the DC field (1 value) and the detail field
+        # (block-1 values); both are width-class batched below
+        nbits_dc = bit_length_u64(enc[:, 0])
+        nbits_det = bit_length_u64(enc[:, 1:].max(axis=1))
+        if max(int(nbits_dc.max()), int(nbits_det.max())) > _MAX_QUANT_BITS:
+            raise CompressionError(
+                "quantised coefficients exceed the supported width; the error bound "
+                f"({self.error_bound!r}) is too small relative to the data range"
+            )
+        meta = np.empty((nonzero_idx.size, 2), dtype=np.uint8)
+        meta[:, 0] = nbits_dc
+        meta[:, 1] = nbits_det
+        out += meta.tobytes()
+        dc_sizes = row_nbytes(1, nbits_dc)
+        det_sizes = row_nbytes(enc.shape[1] - 1, nbits_det)
+        piece_sizes = dc_sizes + det_sizes
+        piece_starts = np.cumsum(piece_sizes) - piece_sizes
+        total = int(piece_sizes.sum())
+        region = np.zeros(total, dtype=np.uint8)
+        pack_width_classes(enc[:, :1], nbits_dc, piece_starts, total, out=region)
+        pack_width_classes(enc[:, 1:], nbits_det, piece_starts + dc_sizes, total, out=region)
+        out += region.tobytes()
         return bytes(out)
 
     def _compress_fxr(self, coeffs: np.ndarray) -> bytes:
         block = self.block_size
         coef_bits = self._coef_bits
         block_bytes = self._block_bytes
+        n_blocks = coeffs.shape[0]
         max_abs = np.abs(coeffs).max(axis=1)
-        out = bytearray()
-        for row, cmax in zip(coeffs, max_abs):
-            chunk = bytearray(block_bytes)
-            if cmax == 0.0:
-                chunk[0] = _FXR_ZERO_EXPONENT & 0xFF
-                out += chunk
-                continue
-            emax = int(math.ceil(math.log2(cmax))) if cmax > 0 else 0
-            emax = max(-127, min(127, emax))
-            chunk[0] = emax & 0xFF
+        zero_mask = max_abs == 0.0
+        nonzero_idx = np.nonzero(~zero_mask)[0]
+
+        chunks = np.zeros((n_blocks, block_bytes), dtype=np.uint8)
+        chunks[zero_mask, 0] = _FXR_ZERO_EXPONENT & 0xFF
+        if nonzero_idx.size:
+            if not np.isfinite(max_abs[nonzero_idx]).all():
+                # the scalar loop failed loudly on int(ceil(log2(inf/nan)));
+                # keep non-finite input an error, not a corrupt payload
+                raise CompressionError(
+                    "non-finite values cannot be fixed-rate encoded; ZFP FXR "
+                    "requires finite input data"
+                )
+            emax = np.clip(_ceil_log2(max_abs[nonzero_idx]), -127, 127)
+            chunks[nonzero_idx, 0] = (emax & 0xFF).astype(np.uint8)
             # step chosen so the largest coefficient fits in coef_bits signed bits
-            step = (2.0 ** emax) / (2 ** (coef_bits - 1) - 1) if coef_bits > 1 else 2.0 ** emax
-            q = np.rint(row / step).astype(np.int64)
+            denom = float(2 ** (coef_bits - 1) - 1) if coef_bits > 1 else 1.0
+            steps = np.ldexp(1.0, emax.astype(np.int32)) / denom
             limit = 2 ** (coef_bits - 1) - 1 if coef_bits > 1 else 0
-            np.clip(q, -limit, limit, out=q)
-            packed = pack_uint_bits(_zigzag_encode(q), coef_bits)
-            chunk[1 : 1 + len(packed)] = packed
-            out += chunk
-        return bytes(out)
+            scaled = coeffs[nonzero_idx] / steps[:, None]
+            np.rint(scaled, out=scaled)
+            if coef_bits <= 48 and float(max_abs.max()) < 2.0**127:
+                # emax was not clipped, so |scaled| <= limit + rounding and the
+                # quants provably fit a narrow dtype; clipping the integral
+                # floats first gives the same values the historical int64
+                # cast-then-clip produced
+                np.clip(scaled, float(-limit), float(limit), out=scaled)
+                q = scaled.astype(narrow_signed_dtype(2.0 * limit + 1.0))
+            else:  # huge rates or emax-saturated magnitudes: historical path
+                q = scaled.astype(np.int64)
+                np.clip(q, -limit, limit, out=q)
+            blob = pack_uint_bits_rows(zigzag_encode(q), coef_bits)
+            per_row = int(row_nbytes(block, coef_bits))
+            packed = np.frombuffer(blob, dtype=np.uint8).reshape(nonzero_idx.size, per_row)
+            chunks[nonzero_idx, 1 : 1 + per_row] = packed
+        return chunks.tobytes()
 
     # --------------------------------------------------------- decompression
 
@@ -292,22 +349,24 @@ class ZFPCompressor(Compressor):
         offset += 2 * n_nonzero
 
         coeffs = np.zeros((n_blocks, block), dtype=np.float64)
-        cursor = offset
-        for pos, idx in enumerate(nonzero_idx):
-            nbits_dc = int(meta[2 * pos])
-            nbits_det = int(meta[2 * pos + 1])
-            dc_bytes = (nbits_dc + 7) // 8
-            det_bytes = ((block - 1) * nbits_det + 7) // 8
-            piece = payload[cursor : cursor + dc_bytes + det_bytes]
-            if len(piece) < dc_bytes + det_bytes:
-                raise DecompressionError("truncated ZFP payload (missing block data)")
-            cursor += dc_bytes + det_bytes
-            dc_q = _zigzag_decode(unpack_uint_bits(piece[:dc_bytes], 1, nbits_dc))
-            det_q = _zigzag_decode(
-                unpack_uint_bits(piece[dc_bytes:], block - 1, nbits_det)
-            )
-            coeffs[idx, 0] = float(dc_q[0]) * step
-            coeffs[idx, 1:] = det_q.astype(np.float64) * step
+        if not n_nonzero:
+            return coeffs
+        nbits_dc = meta[0::2].astype(np.int64)
+        nbits_det = meta[1::2].astype(np.int64)
+        dc_sizes = row_nbytes(1, nbits_dc)
+        det_sizes = row_nbytes(block - 1, nbits_det)
+        piece_sizes = dc_sizes + det_sizes
+        piece_starts = np.cumsum(piece_sizes) - piece_sizes
+        total = int(piece_sizes.sum())
+        if len(payload) < offset + total:
+            raise DecompressionError("truncated ZFP payload (missing block data)")
+        region = np.frombuffer(payload, dtype=np.uint8, count=total, offset=offset)
+        dc_q = zigzag_decode(unpack_width_classes(region, nbits_dc, piece_starts, 1, dtype=None))
+        det_q = zigzag_decode(
+            unpack_width_classes(region, nbits_det, piece_starts + dc_sizes, block - 1, dtype=None)
+        )
+        coeffs[nonzero_idx, 0] = dc_q[:, 0].astype(np.float64) * step
+        coeffs[nonzero_idx, 1:] = det_q.astype(np.float64) * step
         return coeffs
 
     def _decompress_fxr(
@@ -318,13 +377,20 @@ class ZFPCompressor(Compressor):
         block_bytes = (budget_bits + 7) // 8
         if len(payload) < offset + n_blocks * block_bytes:
             raise DecompressionError("truncated ZFP payload (missing fixed-rate blocks)")
+        chunks = np.frombuffer(
+            payload, dtype=np.uint8, count=n_blocks * block_bytes, offset=offset
+        ).reshape(n_blocks, block_bytes)
+        emax = chunks[:, 0].view(np.int8).astype(np.int64)
+        nonzero_idx = np.nonzero(emax != _FXR_ZERO_EXPONENT)[0]
         coeffs = np.zeros((n_blocks, block), dtype=np.float64)
-        for idx in range(n_blocks):
-            chunk = payload[offset + idx * block_bytes : offset + (idx + 1) * block_bytes]
-            emax = struct.unpack_from("<b", chunk, 0)[0]
-            if emax == _FXR_ZERO_EXPONENT:
-                continue
-            step = (2.0 ** emax) / (2 ** (coef_bits - 1) - 1) if coef_bits > 1 else 2.0 ** emax
-            q = _zigzag_decode(unpack_uint_bits(chunk[1:], block, coef_bits))
-            coeffs[idx] = q.astype(np.float64) * step
+        if not nonzero_idx.size:
+            return coeffs
+        denom = float(2 ** (coef_bits - 1) - 1) if coef_bits > 1 else 1.0
+        steps = np.ldexp(1.0, emax[nonzero_idx].astype(np.int32)) / denom
+        per_row = int(row_nbytes(block, coef_bits))
+        body = np.ascontiguousarray(chunks[nonzero_idx, 1 : 1 + per_row])
+        q = zigzag_decode(
+            unpack_uint_bits_rows(body, nonzero_idx.size, block, coef_bits, dtype=None)
+        )
+        coeffs[nonzero_idx] = q.astype(np.float64) * steps[:, None]
         return coeffs

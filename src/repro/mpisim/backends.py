@@ -248,7 +248,13 @@ class MPI4PyBackend:
                 outcome = _MPIRequestHandle(
                     comm.isend(command.data, dest=command.dest, tag=command.tag), "send"
                 )
-                bytes_sent += payload_nbytes(command.data)
+                # honour the explicit size like the simulator engine does —
+                # sizing e.g. a size-exchange tuple would pickle it per message
+                bytes_sent += (
+                    int(command.nbytes)
+                    if command.nbytes is not None
+                    else payload_nbytes(command.data)
+                )
                 messages += 1
             elif isinstance(command, Irecv):
                 outcome = _MPIRequestHandle(

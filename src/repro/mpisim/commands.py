@@ -49,7 +49,7 @@ class Command:
     __slots__ = ()
 
 
-@dataclass
+@dataclass(slots=True)
 class Compute(Command):
     """Advance the rank's virtual clock by ``seconds`` of local computation.
 
@@ -65,7 +65,7 @@ class Compute(Command):
             raise ValueError(f"Compute.seconds must be >= 0, got {self.seconds}")
 
 
-@dataclass
+@dataclass(slots=True)
 class Isend(Command):
     """Post a non-blocking send.  The yield result is a :class:`SendRequest`.
 
@@ -82,7 +82,7 @@ class Isend(Command):
     nbytes: Optional[int] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Irecv(Command):
     """Post a non-blocking receive.  The yield result is a :class:`RecvRequest`."""
 
@@ -90,7 +90,7 @@ class Irecv(Command):
     tag: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Wait(Command):
     """Block until ``request`` completes.
 
@@ -102,7 +102,7 @@ class Wait(Command):
     category: str = "Wait"
 
 
-@dataclass
+@dataclass(slots=True)
 class Waitall(Command):
     """Block until every request in ``requests`` completes.
 
@@ -114,7 +114,7 @@ class Waitall(Command):
     category: str = "Wait"
 
 
-@dataclass
+@dataclass(slots=True)
 class Test(Command):
     """Poll the progress engine (MPI_Test).
 
@@ -127,7 +127,7 @@ class Test(Command):
     request: Request
 
 
-@dataclass
+@dataclass(slots=True)
 class Probe(Command):
     """Non-destructively ask whether a matching message has been posted.
 
@@ -139,7 +139,7 @@ class Probe(Command):
     tag: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Barrier(Command):
     """Synchronise all ranks: every rank resumes at the same virtual time
     (the maximum arrival time), with the blocked span attributed to ``category``."""

@@ -31,7 +31,7 @@ import heapq
 import pickle
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.mpisim.commands import (
     Barrier,
@@ -66,8 +66,22 @@ _BLOCK_BARRIER = "barrier"
 _BLOCK_FLOW_COMPLETION = "flow-completion"
 
 
+#: number of times :func:`payload_nbytes` had to fall back to ``pickle.dumps``
+#: to size a payload.  Hot collective paths thread explicit ``nbytes=`` through
+#: every ``Isend`` precisely so this stays flat; the regression test
+#: ``tests/mpisim/test_engine.py::TestPayloadNbytesFallback`` pins that.
+PICKLE_FALLBACK_COUNT = 0
+
+
 def payload_nbytes(data: Any) -> int:
-    """Best-effort size in bytes of a message payload."""
+    """Best-effort size in bytes of a message payload.
+
+    Sizing objects without an ``nbytes`` attribute or a buffer length costs a
+    full ``pickle.dumps`` of the payload; callers on hot paths should pass
+    explicit ``nbytes=`` to ``Isend`` instead (tracked by
+    :data:`PICKLE_FALLBACK_COUNT`).
+    """
+    global PICKLE_FALLBACK_COUNT
     if data is None:
         return 0
     nbytes = getattr(data, "nbytes", None)
@@ -75,10 +89,11 @@ def payload_nbytes(data: Any) -> int:
         return int(nbytes)
     if isinstance(data, (bytes, bytearray, memoryview)):
         return len(data)
+    PICKLE_FALLBACK_COUNT += 1
     return len(pickle.dumps(data))
 
 
-@dataclass
+@dataclass(slots=True)
 class _RecvPosting:
     """A posted receive that has not been matched to a send yet."""
 
@@ -89,7 +104,7 @@ class _RecvPosting:
     post_time: float
 
 
-@dataclass
+@dataclass(slots=True)
 class _Message:
     """A posted send and, once matched, the transfer it drives."""
 
@@ -110,7 +125,7 @@ class _Message:
         return self.recv_req_id is not None
 
 
-@dataclass
+@dataclass(slots=True)
 class _RankState:
     """Execution state of one simulated rank."""
 
@@ -124,8 +139,10 @@ class _RankState:
     bytes_sent: int = 0
     messages_sent: int = 0
     commands_executed: int = 0
-    # wait continuation (shared by Wait and Waitall)
-    wait_pending: Deque[Request] = field(default_factory=deque)
+    # wait continuation (shared by Wait and Waitall); wait_pos is the cursor
+    # into wait_pending so resuming a blocked wait never mutates the list
+    wait_pending: List[Request] = field(default_factory=list)
+    wait_pos: int = 0
     wait_results: List[Any] = field(default_factory=list)
     wait_category: str = "Wait"
     wait_single: bool = True
@@ -189,9 +206,11 @@ class Engine:
         # (dst, src, tag) -> FIFO of unmatched sends / receives
         self._unmatched_sends: Dict[Tuple[int, int, int], deque] = {}
         self._unmatched_recvs: Dict[Tuple[int, int, int], deque] = {}
-        # receiver rank -> msg_id -> matched, not-yet-consumed incoming message
-        # (insertion-ordered, so progress order matches the seed's append order)
-        self._incoming: Dict[int, Dict[int, _Message]] = {r: {} for r in range(self.n_ranks)}
+        # receiver rank -> msg_id -> matched inbound message whose transfer is
+        # still *in flight* (insertion-ordered, so progress order matches the
+        # historical append order).  Completed transfers are removed as they
+        # finish, so the per-wait progress sweep touches only live transfers.
+        self._inflight: Dict[int, Dict[int, _Message]] = {r: {} for r in range(self.n_ranks)}
         self._barrier_waiting: List[Tuple[int, float]] = []
         self._commands_total = 0
         # min-heap of (clock, rank, token) over ready ranks; stale entries are
@@ -200,6 +219,18 @@ class Engine:
         self._ready_tokens = 0
         for state in self._states:
             self._push_ready(state)
+        # type-keyed command dispatch (replaces the isinstance chain on the
+        # hottest path; subclasses of command types are memoised on first use)
+        self._handlers: Dict[type, Callable[[_RankState, Command], None]] = {
+            Compute: self._handle_compute,
+            Isend: self._handle_isend,
+            Irecv: self._handle_irecv,
+            Wait: self._handle_wait,
+            Waitall: self._handle_waitall,
+            Test: self._handle_test,
+            Probe: self._handle_probe,
+            Barrier: self._handle_barrier,
+        }
 
     # ------------------------------------------------------------------ run
 
@@ -224,6 +255,11 @@ class Engine:
 
     def run(self) -> List[RankResult]:
         """Execute every rank program to completion and return per-rank results."""
+        heap = self._ready_heap
+        states = self._states
+        # the inline fast-path below assumes departures never need committing
+        # between steps, which only holds outside contention="fair"
+        fair_mode = self._fair is not None
         while True:
             state = self._pop_ready()
             if state is None:
@@ -234,25 +270,50 @@ class Engine:
                 if all(s.status == _DONE for s in self._states):
                     break
                 raise DeadlockError(self._describe_deadlock())
-            if self._commit_due_fair(state.clock):
+            if fair_mode and self._commit_due_fair(state.clock):
                 # a flow departs no later than the next rank step: commit it
                 # first (departures only move later on new arrivals, so no
                 # step below this clock can invalidate the commit), then
                 # rebuild the schedule — the commit may have readied ranks
                 self._push_ready(state)
                 continue
-            token = state.ready_token
-            self._step(state)
-            # re-insert unless something during the step (an immediately
-            # satisfied wait, a barrier release) already pushed a fresh entry
-            if state.status == _READY and state.ready_token == token:
-                self._push_ready(state)
-            self._commands_total += 1
-            if self._commands_total > self.max_commands:
-                raise RuntimeError(
-                    f"simulation exceeded max_commands={self.max_commands}; "
-                    "a rank program is probably looping forever"
-                )
+            while True:
+                token = state.ready_token
+                tokens_before = self._ready_tokens
+                self._step(state)
+                self._commands_total += 1
+                if self._commands_total > self.max_commands:
+                    raise RuntimeError(
+                        f"simulation exceeded max_commands={self.max_commands}; "
+                        "a rank program is probably looping forever"
+                    )
+                if state.status != _READY or state.ready_token != token:
+                    # done, blocked, or a completed wait/barrier already pushed
+                    # a fresh heap entry for this rank
+                    break
+                if fair_mode or self._ready_tokens != tokens_before:
+                    # another rank became ready during the step (or a fair
+                    # departure may be due): fall back to the heap to decide
+                    # who acts next — exactly the push-then-pop order
+                    self._push_ready(state)
+                    break
+                # nothing else was scheduled during the step, so this rank is
+                # still the (clock, rank) minimum unless a live heap entry
+                # precedes it; skim stale entries while peeking
+                key = (state.clock, state.rank)
+                keep_going = True
+                while heap:
+                    top_clock, top_rank, top_token = heap[0]
+                    other = states[top_rank]
+                    if other.status != _READY or top_token != other.ready_token:
+                        heapq.heappop(heap)  # stale entry from a superseded push
+                        continue
+                    keep_going = (top_clock, top_rank) >= key
+                    break
+                if not keep_going:
+                    self._push_ready(state)
+                    break
+                # keep driving the same rank without touching the heap
         return [
             RankResult(
                 rank=s.rank,
@@ -283,6 +344,7 @@ class Engine:
         finish, flow = self._fair.commit_departure()
         message: _Message = flow.token
         message.transfer.finish_fair(finish)
+        self._inflight[message.dst].pop(message.msg_id, None)
         self._notify_send_completion(message)
         receiver = self._states[message.dst]
         if (
@@ -307,66 +369,65 @@ class Engine:
         except Exception as exc:  # surfaces bugs in rank programs with context
             raise RankProgramError(f"rank {state.rank} raised {exc!r}") from exc
         state.commands_executed += 1
-        self._dispatch(state, command)
+        handler = self._handlers.get(type(command))
+        if handler is None:
+            handler = self._resolve_handler(state, command)
+        handler(state, command)
 
-    def _dispatch(self, state: _RankState, command: Command) -> None:
-        if isinstance(command, Compute):
-            self._handle_compute(state, command)
-        elif isinstance(command, Isend):
-            self._handle_isend(state, command)
-        elif isinstance(command, Irecv):
-            self._handle_irecv(state, command)
-        elif isinstance(command, Wait):
-            self._start_wait(state, [command.request], command.category, single=True)
-        elif isinstance(command, Waitall):
-            self._start_wait(state, list(command.requests), command.category, single=False)
-        elif isinstance(command, Test):
-            self._handle_test(state, command)
-        elif isinstance(command, Probe):
-            self._handle_probe(state, command)
-        elif isinstance(command, Barrier):
-            self._handle_barrier(state, command)
-        else:
-            raise InvalidCommandError(
-                f"rank {state.rank} yielded {command!r}, which is not a simulator command"
-            )
+    def _resolve_handler(self, state: _RankState, command: Command):
+        """Slow path: match subclasses of the command types and memoise them."""
+        for command_type, handler in list(self._handlers.items()):
+            if isinstance(command, command_type):
+                self._handlers[type(command)] = handler
+                return handler
+        raise InvalidCommandError(
+            f"rank {state.rank} yielded {command!r}, which is not a simulator command"
+        )
+
+    def _handle_wait(self, state: _RankState, cmd: Wait) -> None:
+        self._start_wait(state, [cmd.request], cmd.category, single=True)
+
+    def _handle_waitall(self, state: _RankState, cmd: Waitall) -> None:
+        self._start_wait(state, list(cmd.requests), cmd.category, single=False)
 
     # ------------------------------------------------------------- commands
 
     def _handle_compute(self, state: _RankState, cmd: Compute) -> None:
-        state.clock += cmd.seconds
-        state.breakdown.add(cmd.category, cmd.seconds)
+        seconds = cmd.seconds
+        state.clock += seconds
+        # inlined TimeBreakdown.add (Compute is the single hottest command)
+        acc = state.breakdown.seconds
+        category = cmd.category
+        acc[category] = acc.get(category, 0.0) + seconds
         state.resume_value = None
 
-    def _new_request_id(self) -> int:
-        self._next_request_id += 1
-        return self._next_request_id
-
     def _handle_isend(self, state: _RankState, cmd: Isend) -> None:
-        if not (0 <= cmd.dest < self.n_ranks):
+        dest = cmd.dest
+        if not (0 <= dest < self.n_ranks):
             raise InvalidCommandError(
-                f"rank {state.rank} sent to invalid destination {cmd.dest}"
+                f"rank {state.rank} sent to invalid destination {dest}"
             )
         nbytes = int(cmd.nbytes) if cmd.nbytes is not None else payload_nbytes(cmd.data)
-        req_id = self._new_request_id()
-        self._next_message_id += 1
+        req_id = self._next_request_id = self._next_request_id + 1
+        msg_id = self._next_message_id = self._next_message_id + 1
         # resolve_link (not link) so stateful fabrics can stripe rails and
         # route adaptively per posted send
         link = (
-            self.topology.resolve_link(state.rank, cmd.dest)
+            self.topology.resolve_link(state.rank, dest)
             if self.topology is not None
             else None
         )
+        network = self.network
         transfer = TransferState(
             nbytes=nbytes,
-            network=self.network,
-            eager=self.network.is_eager(nbytes),
+            network=network,
+            eager=network.is_eager(nbytes),
             link=link,
         )
         message = _Message(
-            msg_id=self._next_message_id,
+            msg_id=msg_id,
             src=state.rank,
-            dst=cmd.dest,
+            dst=dest,
             tag=cmd.tag,
             data=cmd.data,
             nbytes=nbytes,
@@ -378,7 +439,7 @@ class Engine:
         state.bytes_sent += nbytes
         state.messages_sent += 1
 
-        key = (cmd.dest, state.rank, cmd.tag)
+        key = (dest, state.rank, cmd.tag)
         postings = self._unmatched_recvs.get(key)
         if postings:
             posting = postings.popleft()
@@ -386,7 +447,7 @@ class Engine:
         else:
             self._unmatched_sends.setdefault(key, deque()).append(message)
         state.resume_value = SendRequest(
-            request_id=req_id, rank=state.rank, dest=cmd.dest, tag=cmd.tag
+            request_id=req_id, rank=state.rank, dest=dest, tag=cmd.tag
         )
 
     def _handle_irecv(self, state: _RankState, cmd: Irecv) -> None:
@@ -394,7 +455,7 @@ class Engine:
             raise InvalidCommandError(
                 f"rank {state.rank} posted a receive from invalid source {cmd.source}"
             )
-        req_id = self._new_request_id()
+        req_id = self._next_request_id = self._next_request_id + 1
         posting = _RecvPosting(
             req_id=req_id,
             rank=state.rank,
@@ -421,7 +482,7 @@ class Engine:
         self._req_obj[posting.req_id] = message
         match_time = max(message.send_post_time, posting.post_time)
         message.transfer.set_eligible(match_time)
-        self._incoming[message.dst][message.msg_id] = message
+        self._inflight[message.dst][message.msg_id] = message
         # If the receiver is already blocked waiting for exactly this request,
         # it can now make progress.
         receiver = self._states[message.dst]
@@ -442,7 +503,8 @@ class Engine:
                 raise InvalidCommandError(
                     f"rank {state.rank} waited on {req!r}, which is not a request handle"
                 )
-        state.wait_pending = deque(requests)
+        state.wait_pending = requests
+        state.wait_pos = 0
         state.wait_results = []
         state.wait_category = category
         state.wait_single = single
@@ -450,17 +512,21 @@ class Engine:
 
     def _continue_wait(self, state: _RankState) -> None:
         """Advance the rank's pending wait list as far as currently possible."""
-        while state.wait_pending:
-            request = state.wait_pending[0]
+        pending = state.wait_pending
+        pos = state.wait_pos
+        while pos < len(pending):
+            request = pending[pos]
             if isinstance(request, RecvRequest):
                 done = self._complete_recv(state, request)
             else:
                 done = self._complete_send(state, request)
             if not done:
+                state.wait_pos = pos
                 state.status = _BLOCKED
                 return
-            state.wait_pending.popleft()
+            pos += 1
         # every request completed
+        state.wait_pos = pos
         state.status = _READY
         state.block_kind = None
         state.block_req_id = None
@@ -477,37 +543,41 @@ class Engine:
             raise InvalidCommandError(
                 f"rank {state.rank} waited on unknown request {request.request_id}"
             )
-        if isinstance(obj, _RecvPosting):
+        if type(obj) is _RecvPosting:
             # not matched yet: block until the sender posts
             state.block_kind = _BLOCK_RECV_MATCH
             state.block_req_id = request.request_id
             return False
         message: _Message = obj
+        transfer = message.transfer
         now = state.clock
-        if not message.transfer.completed and message.transfer.fair is not None:
+        if not transfer.completed and transfer.link is not None and transfer.link.fair is not None:
             # fair-share path: progress everything inbound, then hand the flow
             # to the registry and block until the engine commits its departure
             # (instead of precomputing a reservation finish time)
             self._ack_incoming(state.rank, now, continuous=False)
-            if not message.transfer.completed:
-                if message.transfer.fair_flow is None:
-                    message.transfer.activate_fair(now, token=message)
+            if not transfer.completed:
+                if transfer.fair_flow is None:
+                    transfer.activate_fair(now, token=message)
                 state.block_kind = _BLOCK_FLOW_COMPLETION
                 state.block_req_id = request.request_id
                 return False
-        if message.transfer.completed:
-            completion = message.transfer.completion_time
+        inflight = self._inflight[state.rank]
+        if transfer.completed:
+            completion = transfer.completion_time
         else:
             # entering the progress engine: everything inbound advances first
-            self._ack_incoming(state.rank, now, continuous=False)
-            completion = message.transfer.completion_from(now)
+            if inflight:
+                self._ack_incoming(state.rank, now, continuous=False)
+            completion = transfer.completion_from(now)
+            inflight.pop(message.msg_id, None)
             self._notify_send_completion(message)
-        effective = max(now, completion)
+        effective = completion if completion > now else now
         # other inbound transfers keep flowing while this rank sits in MPI_Wait
-        self._ack_incoming(state.rank, effective, continuous=True, skip=message)
+        if inflight:
+            self._ack_incoming(state.rank, effective, continuous=True, skip=message)
         state.breakdown.add(state.wait_category, effective - now)
         state.clock = effective
-        self._incoming[state.rank].pop(message.msg_id, None)
         state.wait_results.append(message.data)
         return True
 
@@ -553,12 +623,26 @@ class Engine:
         continuous: bool,
         skip: Optional[_Message] = None,
     ) -> None:
-        """Let every matched inbound transfer of ``rank`` progress up to ``now``."""
-        for message in list(self._incoming[rank].values()):
-            if message is skip or message.transfer.completed:
+        """Let every in-flight inbound transfer of ``rank`` progress up to ``now``.
+
+        ``self._inflight[rank]`` holds only matched, incomplete transfers, so
+        the sweep neither copies the dict nor re-visits completed messages.
+        Completions are collected and removed after the iteration; the
+        immediate sender notifications cannot mutate this rank's in-flight set
+        (the rank is the one currently stepping, so no wait continuation of a
+        *blocked* rank can post or consume messages on its behalf).
+        """
+        completed: List[_Message] = []
+        for message in self._inflight[rank].values():
+            if message is skip:
                 continue
             if message.transfer.ack(now, continuous=continuous):
+                completed.append(message)
                 self._notify_send_completion(message)
+        if completed:
+            inflight = self._inflight[rank]
+            for message in completed:
+                inflight.pop(message.msg_id, None)
 
     # ---------------------------------------------------------------- polling
 

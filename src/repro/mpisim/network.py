@@ -104,7 +104,7 @@ class NetworkModel:
         return nbytes <= self.eager_threshold
 
 
-@dataclass
+@dataclass(slots=True)
 class TransferState:
     """Progress accounting for one in-flight (matched) message.
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 __all__ = ["Request", "SendRequest", "RecvRequest"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Request:
     """Base request handle (identified by a unique id within one simulation)."""
 
@@ -26,7 +26,7 @@ class Request:
         return "request"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SendRequest(Request):
     """Handle for a posted non-blocking send."""
 
@@ -38,7 +38,7 @@ class SendRequest(Request):
         return "send"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RecvRequest(Request):
     """Handle for a posted non-blocking receive."""
 

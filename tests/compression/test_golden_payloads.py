@@ -1,0 +1,173 @@
+"""Golden compressed-payload pins for the codec data plane.
+
+The SHA-256 digests below were generated from the scalar (pre-vectorization)
+SZx / ZFP / PIPE-SZx implementations on fixed seeded fields.  The width-class
+batched data plane must keep the on-wire format **bit-for-bit identical**, so
+any change to these digests is a format break, not a refactor.
+
+If a change legitimately revises the payload format (bump the magic when you
+do), regenerate with::
+
+    PYTHONPATH=src python - <<'EOF'
+    from tests.compression.test_golden_payloads import regenerate
+    regenerate()
+    EOF
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.compression.pipelined import PipelinedSZx
+from repro.compression.szx import SZxCompressor
+from repro.compression.zfp import ZFPCompressor
+
+FIELD_SEED = 20240711
+FIELD_N = 10_000
+PIPE_FIELD_N = 30_000
+
+
+def field(kind: str, n: int, dtype: str, seed: int = FIELD_SEED) -> np.ndarray:
+    """Deterministic test fields spanning the codec's block classes."""
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0.0, 8.0 * np.pi, n)
+    if kind == "smooth":
+        data = np.sin(t) + 0.1 * np.cos(7.0 * t)
+    elif kind == "rough":
+        data = rng.standard_normal(n)
+    elif kind == "mixed":
+        data = np.sin(t) + 0.02 * rng.standard_normal(n)
+        data[n // 3 : n // 2] = data[n // 3]  # constant stretch
+    elif kind == "sparse":
+        data = np.zeros(n)
+        idx = rng.integers(0, n, size=n // 50)
+        data[idx] = rng.standard_normal(idx.size) * 5.0
+    else:  # pragma: no cover - guarded by the parametrisation
+        raise ValueError(kind)
+    return data.astype(dtype)
+
+
+def digest(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+#: (field kind, dtype, error bound) -> sha256(compress_bytes(...))
+GOLDEN_SZX = {
+    ("smooth", "float32", 0.01): "d1deba84f2972ee4e73d89e35ca3c9240112d64e07fa1cc3bf88989560c05da9",
+    ("smooth", "float32", 0.0001): "07ba21d9d9edfdb77c8d2b514f60eb154168dda3443aab850b75bac39ee8f084",
+    ("smooth", "float64", 0.01): "25b31740da4e41ec5b7ba42d19b7f02b14424aedc463da0ef9f1731ebb1a7959",
+    ("smooth", "float64", 0.0001): "24989989a5839d2c9f7929f7ccaf87c8d25d09779e4ef7e7bc30cca9aefdfda8",
+    ("rough", "float32", 0.01): "6b2996e03357df9508a0e99c1765c0fa42aa1b3fb2e85885cd42b310103858c8",
+    ("rough", "float32", 0.0001): "b66ace10d4031fd882a625eebf00fdca3cc984cb0855c53d7cd0dcb34c3836a8",
+    ("rough", "float64", 0.01): "245deac3c92706f7b343b2141d5e18a3e43e26a1e3e857ae4ed91080aeb95d0a",
+    ("rough", "float64", 0.0001): "9d3d4f146c9b1ff288adbf5320aa0c55af97875ff7c35173dd67aa2148e3ada2",
+    ("mixed", "float32", 0.01): "ec31837d8a9b414e947e2565a1a46c843a6b43b435047f0f25a3bbda3e16d917",
+    ("mixed", "float32", 0.0001): "b6b4db3e143e1b543f075dda388763021e3711403ea50dc57c79cbfe129b2522",
+    ("mixed", "float64", 0.01): "8ab240306777c8cad84d4af11edbdb1873a8076ced62964df18ff647e9f05f5a",
+    ("mixed", "float64", 0.0001): "44089ca7517c4ca62dea7005e0947cdceb6b9d9a63072cf0a7eeb4012bf59efb",
+    ("sparse", "float32", 0.01): "be2e0270ac4e5d01c20a53eb4ea3b983a22d0767bdc18e539d4f6a8e4c0beba0",
+    ("sparse", "float32", 0.0001): "f521eaa14a71b1b167330be7ff78f6eb726e15aa033f08fb19497e0bb41c6e0b",
+    ("sparse", "float64", 0.01): "00083d155f4bdf3c4dfce65de5830b619758fe5cdf8a118c5ddbb212244df93a",
+    ("sparse", "float64", 0.0001): "d986d7f620f0d18e75f1cfe48640641d3e9c730204df191e0bac89c68b5eb0e9",
+}
+
+GOLDEN_ZFP_ABS = {
+    ("smooth", "float32", 0.01): "26ea7bdd1d103c7ecdc80751b89d837750bb2387036bfaa4e5b8ddfed62ded60",
+    ("smooth", "float32", 0.0001): "dae1380236ed887a8728701cdd856202c5f02813e69f31f2c35a7795735a3dee",
+    ("smooth", "float64", 0.01): "badb94193bc669743a27fdc5c3a21333a2b8a7d1e46c4ecdad69843262eee1b5",
+    ("smooth", "float64", 0.0001): "c470a96497fab319c5fb2ebaaaf4412cf70ffd0fc5dc3417471fe52ba8ee7f71",
+    ("rough", "float32", 0.01): "c8dd08e7d256b9b9cac90730e6b2fffc6a41b33d7abfa7b88666b756edee6acd",
+    ("rough", "float32", 0.0001): "c22f4a280567f23bb2e3dca701ff708d35e50a56ebe6d051c3e049ff804c61ce",
+    ("rough", "float64", 0.01): "638175c1f2f79916a351566afb43da1b4e305c48fadf20d3d205f4d33b049c52",
+    ("rough", "float64", 0.0001): "46f4ac8662d74be5b1b00b8560109b5cbc4ed71fcd6c7f7685ea7620935e83e1",
+    ("mixed", "float32", 0.01): "2e22d612ffd85ed6bb44a5b099acbc11f4683509b051db76819144f7978bd3ab",
+    ("mixed", "float32", 0.0001): "2bbe16706a76910c55c74b7a24270bd81de175227dc52b343d23f0562b737c2d",
+    ("mixed", "float64", 0.01): "0650fe8f2710a9e43d66a2a5ee4a66147f2a24a1da569a880808669f01dc2509",
+    ("mixed", "float64", 0.0001): "a2809672e42161d49740b858c77a9de8ae6fa73f41ec942abe25eecf64ffac69",
+    ("sparse", "float32", 0.01): "65242aaededa92e1585d0fad287f2286f2131ac119446dd5a340b82af3d8736d",
+    ("sparse", "float32", 0.0001): "78ae5bb805c1043a3a4d51b2d9bead5c1610776fce228bca334731aeea989379",
+    ("sparse", "float64", 0.01): "9cbb77610e1052300e692a1ad15c194460cf056f3a0dd094d843f2496936847a",
+    ("sparse", "float64", 0.0001): "6612ce5c1533cef13122ea7f4a716d89b1e6dced7de13355f748ad6738a598c8",
+}
+
+#: (field kind, dtype, rate) -> sha256(compress_bytes(...))
+GOLDEN_ZFP_FXR = {
+    ("smooth", "float32", 4.0): "21b4d79635599da595a3181692a2cd529a0ab87cb43236ea3b273387d1c28647",
+    ("smooth", "float32", 8.0): "0e6b72c72abd1e36fa00e2dc1b348e10c74d618ee5730b817b0df5860d6feb03",
+    ("smooth", "float32", 16.0): "85c61f485a99438f4a6a511483c335e4165bbfea4ca828bb65e725ba050eb78e",
+    ("smooth", "float64", 4.0): "3882ed9bbc0ba991670a0629a59b878d66178ef03b7e674c0fde6893de6d9a37",
+    ("smooth", "float64", 8.0): "407615c3c7fb1c76172678238c03519fe10aee6e36fde572c19e47fbecf420ea",
+    ("smooth", "float64", 16.0): "9952a0b483824a2520d4d42c3cb9132cc79e1c81a60977540443b6ffe42b752a",
+    ("rough", "float32", 4.0): "79ce376483ef796853cedd9c203e646a222210eb161c5e3dbf331146acc1c1e8",
+    ("rough", "float32", 8.0): "f15b11c47cce2e6cc43ee2279b59da7be38b066fe6db3cb36d3fde88219613a9",
+    ("rough", "float32", 16.0): "92a092d9d4763b35bb4bdea7eafe473bb40a3defd467a99bf44d4bd94b96525a",
+    ("rough", "float64", 4.0): "22ec522dc39bb651a209972a9d021e0f9bf4fe7133a7fb4ae3f3342837bcd8dc",
+    ("rough", "float64", 8.0): "b76543051c121ca495ee3d0a60922b32919100512b2ea747fd6497036b401d9d",
+    ("rough", "float64", 16.0): "0fffdd3aa4a3f810120544c005c75598c78fccc42cf968e47b32d7457e450ab4",
+    ("mixed", "float64", 4.0): "7e721fbfdedc6be8127f0ae08b477f5ed60b4b25277b03d0ff7d1ab6ed8102e0",
+    ("mixed", "float64", 8.0): "61d6be054a69df54061ee3ac16b89ddcbe731ace632694e6ed237e0623ce46bc",
+    ("mixed", "float64", 16.0): "1dca712aafee3e5ec8ec68b2d6961bbabc73565278b59baf99c454d12411e50e",
+    ("sparse", "float64", 4.0): "572f6784a3f18e4acbc15ddbcbbf5d71bcb26bb5633aa8e5afa95ee8776e930c",
+    ("sparse", "float64", 8.0): "278b1a79603941a52058ca09cdc65cef34774241c7f12a410ecd06297e519b2a",
+    ("sparse", "float64", 16.0): "f0723d80af64f234783ca9826d1256aa80d34064b92c8e57897e256bbbd18f75",
+}
+
+GOLDEN_PIPE_SZX = {
+    ("smooth", "float32", 0.01): "16ac9c060d77f510eb873b51f4b349d2f26570b6c887bdfe43c9a20bf1f8a33b",
+    ("smooth", "float32", 0.0001): "dcb45a9576d0d303c6bd6668617aaded7b44c71aa3c0e431371301a73e5febef",
+    ("smooth", "float64", 0.01): "9309806316d9fb3a80298e85327b56f4b62c9b62a4a3f248c1ab5cd348f19253",
+    ("smooth", "float64", 0.0001): "f5a55d49f1ad41597f204a6bb8cde6a781253f99693c6ed4325929e0a84ebde9",
+    ("rough", "float32", 0.01): "6f30e8b2972c766fde764b28c2d8c0afb3d353bf3247628d911ef563064d9934",
+    ("rough", "float32", 0.0001): "fa1defa440cc2345abd47e029a1a45e37b2831f94e1c31e0b9e852ae995c4812",
+    ("rough", "float64", 0.01): "5cc1b3d57f16ec920ef64e053d2f5ee2c6ce510d28008b65bb5a3be027673af2",
+    ("rough", "float64", 0.0001): "1852a92a1077fe9e76efa76bc64f21037e118ce3c95243dba4638b61dfdb7584",
+}
+
+
+class TestGoldenSZx:
+    @pytest.mark.parametrize("kind,dtype,eb", sorted(GOLDEN_SZX))
+    def test_payload_digest(self, kind, dtype, eb):
+        data = field(kind, FIELD_N, dtype)
+        payload = SZxCompressor(error_bound=eb).compress_bytes(data)
+        assert digest(payload) == GOLDEN_SZX[(kind, dtype, eb)]
+
+
+class TestGoldenZFPAbs:
+    @pytest.mark.parametrize("kind,dtype,eb", sorted(GOLDEN_ZFP_ABS))
+    def test_payload_digest(self, kind, dtype, eb):
+        data = field(kind, FIELD_N, dtype)
+        payload = ZFPCompressor(mode="abs", error_bound=eb).compress_bytes(data)
+        assert digest(payload) == GOLDEN_ZFP_ABS[(kind, dtype, eb)]
+
+
+class TestGoldenZFPFxr:
+    @pytest.mark.parametrize("kind,dtype,rate", sorted(GOLDEN_ZFP_FXR))
+    def test_payload_digest(self, kind, dtype, rate):
+        data = field(kind, FIELD_N, dtype)
+        payload = ZFPCompressor(mode="fxr", rate=rate).compress_bytes(data)
+        assert digest(payload) == GOLDEN_ZFP_FXR[(kind, dtype, rate)]
+
+
+class TestGoldenPipelinedSZx:
+    @pytest.mark.parametrize("kind,dtype,eb", sorted(GOLDEN_PIPE_SZX))
+    def test_payload_digest(self, kind, dtype, eb):
+        data = field(kind, PIPE_FIELD_N, dtype)
+        payload = PipelinedSZx(error_bound=eb).compress_bytes(data)
+        assert digest(payload) == GOLDEN_PIPE_SZX[(kind, dtype, eb)]
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance helper
+    """Print fresh digest tables (format-revision aid; see module docstring)."""
+    for name, table, codec in (
+        ("GOLDEN_SZX", GOLDEN_SZX, lambda p: SZxCompressor(error_bound=p)),
+        ("GOLDEN_ZFP_ABS", GOLDEN_ZFP_ABS, lambda p: ZFPCompressor(mode="abs", error_bound=p)),
+        ("GOLDEN_ZFP_FXR", GOLDEN_ZFP_FXR, lambda p: ZFPCompressor(mode="fxr", rate=p)),
+        ("GOLDEN_PIPE_SZX", GOLDEN_PIPE_SZX, lambda p: PipelinedSZx(error_bound=p)),
+    ):
+        print(f"{name} = {{")
+        n = PIPE_FIELD_N if name == "GOLDEN_PIPE_SZX" else FIELD_N
+        for kind, dtype, param in sorted(table):
+            payload = codec(param).compress_bytes(field(kind, n, dtype))
+            print(f'    ("{kind}", "{dtype}", {param!r}): "{digest(payload)}",')
+        print("}")

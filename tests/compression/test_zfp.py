@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.compression import DecompressionError, ZFPCompressor
+from repro.compression import CompressionError, DecompressionError, ZFPCompressor
 from repro.compression.zfp import _haar_forward, _haar_inverse
 
 
@@ -147,3 +147,15 @@ class TestValidation:
     def test_empty_round_trip(self):
         codec = ZFPCompressor(mode="abs", error_bound=1e-3)
         assert codec.roundtrip(np.zeros(0)).size == 0
+
+
+class TestFxrNonFinite:
+    def test_inf_input_raises_instead_of_corrupt_payload(self):
+        data = np.array([1.0, np.inf] + [0.5] * 30)
+        with pytest.raises(CompressionError, match="non-finite"):
+            ZFPCompressor(mode="fxr", rate=8).compress_bytes(data)
+
+    def test_nan_input_raises(self):
+        data = np.array([1.0, np.nan] + [0.5] * 30)
+        with pytest.raises(CompressionError, match="non-finite"):
+            ZFPCompressor(mode="fxr", rate=8).compress_bytes(data)

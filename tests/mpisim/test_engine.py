@@ -39,6 +39,49 @@ class TestPayloadNbytes:
         assert payload_nbytes([1, 2, 3]) > 0
 
 
+class TestPayloadNbytesFallback:
+    """Hot collective paths must never size payloads via ``pickle.dumps``."""
+
+    def test_counter_tracks_pickle_fallbacks(self):
+        import repro.mpisim.engine as eng
+
+        before = eng.PICKLE_FALLBACK_COUNT
+        payload_nbytes((3, 1415))  # tuples have no nbytes: must pickle
+        assert eng.PICKLE_FALLBACK_COUNT == before + 1
+        payload_nbytes(np.zeros(4))  # arrays expose nbytes: no pickle
+        payload_nbytes(b"abc")
+        assert eng.PICKLE_FALLBACK_COUNT == before + 1
+
+    def test_full_c_allgather_never_pickles(self):
+        """Every Isend in the C-Allgather pipeline (size-exchange tuples
+        included) passes explicit ``nbytes=``, so a full run never enters the
+        pickle fallback of ``payload_nbytes``."""
+        import repro.mpisim.engine as eng
+        from repro.api import Cluster
+
+        rng = np.random.default_rng(42)
+        comm = Cluster.from_preset("two_level", ranks_per_node=4).communicator(8)
+        inputs = [rng.standard_normal(2048) for _ in range(8)]
+        before = eng.PICKLE_FALLBACK_COUNT
+        outcome = comm.allgather(inputs, compression="on")
+        assert eng.PICKLE_FALLBACK_COUNT == before
+        np.testing.assert_allclose(
+            np.concatenate(outcome.value(0)), np.concatenate(inputs), atol=1e-2
+        )
+
+    def test_compressed_allreduce_never_pickles(self):
+        import repro.mpisim.engine as eng
+        from repro.api import Cluster
+
+        rng = np.random.default_rng(43)
+        comm = Cluster.from_preset("two_level", ranks_per_node=4).communicator(8)
+        inputs = [rng.standard_normal(4096) for _ in range(8)]
+        before = eng.PICKLE_FALLBACK_COUNT
+        comm.allreduce(inputs, compression="on")
+        comm.allreduce(inputs, compression="auto")
+        assert eng.PICKLE_FALLBACK_COUNT == before
+
+
 class TestComputeOnly:
     def test_single_rank_compute(self):
         def program(rank, size):

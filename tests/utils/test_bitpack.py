@@ -2,8 +2,23 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
-from repro.utils.bitpack import pack_uint_bits, required_bits_unsigned, unpack_uint_bits
+from repro.utils.bitpack import (
+    bit_length_u64,
+    narrow_signed_dtype,
+    narrow_uint_dtype,
+    pack_uint_bits,
+    pack_uint_bits_rows,
+    pack_width_classes,
+    required_bits_unsigned,
+    row_nbytes,
+    unpack_uint_bits,
+    unpack_uint_bits_rows,
+    unpack_width_classes,
+    zigzag_decode,
+    zigzag_encode,
+)
 
 
 class TestRequiredBits:
@@ -63,3 +78,205 @@ class TestPackUnpack:
             pack_uint_bits(np.array([1], dtype=np.uint64), 65)
         with pytest.raises(ValueError):
             unpack_uint_bits(b"\x00", 1, -1)
+
+
+class TestBitLength:
+    def test_matches_int_bit_length(self):
+        values = np.array([0, 1, 2, 3, 7, 8, 255, 256, 2**31, 2**48 - 1, 2**63], dtype=np.uint64)
+        expected = [int(v).bit_length() for v in values]
+        np.testing.assert_array_equal(bit_length_u64(values), expected)
+
+    def test_powers_of_two_boundaries(self):
+        """Values adjacent to powers of two — exactly where a float round-trip lies."""
+        exps = np.arange(1, 64, dtype=np.uint64)
+        powers = np.uint64(1) << exps
+        np.testing.assert_array_equal(bit_length_u64(powers), exps + 1)
+        np.testing.assert_array_equal(bit_length_u64(powers - np.uint64(1)), exps)
+
+
+class TestZigzag:
+    def test_known_mapping(self):
+        q = np.array([0, -1, 1, -2, 2, -3], dtype=np.int64)
+        np.testing.assert_array_equal(zigzag_encode(q), [0, 1, 2, 3, 4, 5])
+        np.testing.assert_array_equal(zigzag_decode(np.arange(6, dtype=np.uint64)), q)
+
+    @pytest.mark.parametrize("dtype", [np.int16, np.int32, np.int64])
+    def test_round_trip_preserves_width(self, dtype):
+        info = np.iinfo(dtype)
+        q = np.array([0, 1, -1, info.max // 2, -(info.max // 2) - 1], dtype=dtype)
+        encoded = zigzag_encode(q)
+        assert encoded.dtype == np.dtype(f"u{np.dtype(dtype).itemsize}")
+        decoded = zigzag_decode(encoded)
+        assert decoded.dtype == np.dtype(dtype)
+        np.testing.assert_array_equal(decoded, q)
+
+    def test_narrow_and_wide_agree(self):
+        """The codec hot paths rely on zigzag being width-independent."""
+        rng = np.random.default_rng(5)
+        q = rng.integers(-(2**14), 2**14, size=1000)
+        np.testing.assert_array_equal(
+            zigzag_encode(q.astype(np.int16)).astype(np.uint64),
+            zigzag_encode(q.astype(np.int64)),
+        )
+        u = zigzag_encode(q.astype(np.int64))
+        np.testing.assert_array_equal(
+            zigzag_decode(u.astype(np.uint16)).astype(np.int64), zigzag_decode(u)
+        )
+
+    def test_python_list_input(self):
+        np.testing.assert_array_equal(zigzag_encode([2, -2]), [4, 3])
+        np.testing.assert_array_equal(zigzag_decode([4, 3]), [2, -2])
+
+
+class TestNarrowDtypes:
+    def test_uint_widths(self):
+        assert narrow_uint_dtype(0) == np.uint8
+        assert narrow_uint_dtype(8) == np.uint8
+        assert narrow_uint_dtype(9) == np.uint16
+        assert narrow_uint_dtype(17) == np.uint32
+        assert narrow_uint_dtype(48) == np.uint64
+
+    def test_signed_bounds(self):
+        assert narrow_signed_dtype(100.0) == np.int16
+        assert narrow_signed_dtype(2.0**20) == np.int32
+        assert narrow_signed_dtype(2.0**40) == np.int64
+        assert narrow_signed_dtype(float("nan")) == np.int64
+        assert narrow_signed_dtype(float("inf")) == np.int64
+
+
+class TestPackRows:
+    def _reference(self, values, nbits):
+        return b"".join(pack_uint_bits(row, nbits) for row in values)
+
+    @pytest.mark.parametrize("nbits", [1, 3, 7, 8, 9, 15, 16, 17, 24, 31, 33, 48])
+    def test_matches_per_row_packing(self, nbits):
+        rng = np.random.default_rng(nbits)
+        values = rng.integers(0, 2**min(nbits, 48), size=(13, 29), dtype=np.uint64)
+        batched = pack_uint_bits_rows(values, nbits)
+        assert batched == self._reference(values, nbits)
+        np.testing.assert_array_equal(
+            unpack_uint_bits_rows(batched, 13, 29, nbits), values
+        )
+
+    def test_narrow_result_dtype(self):
+        values = np.array([[1, 2, 3]], dtype=np.uint64)
+        out = unpack_uint_bits_rows(pack_uint_bits_rows(values, 5), 1, 3, 5, dtype=None)
+        assert out.dtype == np.uint8
+        np.testing.assert_array_equal(out, values)
+
+    def test_zero_width_and_empty(self):
+        assert pack_uint_bits_rows(np.zeros((4, 8), dtype=np.uint64), 0) == b""
+        assert pack_uint_bits_rows(np.zeros((0, 8), dtype=np.uint64), 5) == b""
+        assert unpack_uint_bits_rows(b"", 4, 8, 0).shape == (4, 8)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            pack_uint_bits_rows(np.zeros(4, dtype=np.uint64), 3)
+
+    def test_truncated_buffer_rejected(self):
+        values = np.ones((5, 10), dtype=np.uint64)
+        packed = pack_uint_bits_rows(values, 6)
+        with pytest.raises(ValueError, match="too small"):
+            unpack_uint_bits_rows(packed[:-1], 5, 10, 6)
+
+    @given(
+        n_rows=st.integers(0, 9),
+        count=st.integers(0, 40),
+        nbits=st.integers(0, 48),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_property_round_trip(self, n_rows, count, nbits, seed):
+        rng = np.random.default_rng(seed)
+        high = 2**nbits if nbits else 1
+        values = rng.integers(0, high, size=(n_rows, count), dtype=np.uint64)
+        packed = pack_uint_bits_rows(values, nbits)
+        assert len(packed) == (n_rows * int(row_nbytes(count, nbits)) if count else 0)
+        out = unpack_uint_bits_rows(packed, n_rows, count, nbits)
+        if nbits == 0:
+            np.testing.assert_array_equal(out, np.zeros((n_rows, count), dtype=np.uint64))
+        else:
+            np.testing.assert_array_equal(out, values)
+
+
+class TestWidthClasses:
+    def _layout(self, nbits, count):
+        sizes = row_nbytes(count, nbits)
+        starts = np.cumsum(sizes) - sizes
+        return sizes, starts, int(sizes.sum())
+
+    def test_matches_sequential_packing(self):
+        rng = np.random.default_rng(1)
+        count = 17
+        nbits = np.array([3, 0, 7, 3, 12, 0, 7, 7], dtype=np.int64)
+        values = np.zeros((len(nbits), count), dtype=np.uint64)
+        for i, w in enumerate(nbits):
+            if w:
+                values[i] = rng.integers(0, 2 ** int(w), size=count)
+        _, starts, total = self._layout(nbits, count)
+        region = pack_width_classes(values, nbits, starts, total)
+        assert region == b"".join(pack_uint_bits(row, int(w)) for row, w in zip(values, nbits))
+        decoded = unpack_width_classes(
+            np.frombuffer(region, dtype=np.uint8), nbits, starts, count
+        )
+        np.testing.assert_array_equal(decoded, values)
+
+    def test_single_class_and_empty(self):
+        values = np.full((3, 5), 6, dtype=np.uint64)
+        nbits = np.full(3, 3, dtype=np.int64)
+        _, starts, total = self._layout(nbits, 5)
+        region = pack_width_classes(values, nbits, starts, total)
+        np.testing.assert_array_equal(
+            unpack_width_classes(np.frombuffer(region, np.uint8), nbits, starts, 5), values
+        )
+        empty = pack_width_classes(
+            np.zeros((0, 5), dtype=np.uint64), np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64), 0,
+        )
+        assert empty == b""
+
+    def test_scatter_into_provided_region(self):
+        """The out= form interleaves several fields in one region (ZFP layout)."""
+        values = np.array([[5], [2]], dtype=np.uint64)
+        nbits = np.array([3, 2], dtype=np.int64)
+        sizes, starts, total = self._layout(nbits, 1)
+        region = np.zeros(total, dtype=np.uint8)
+        returned = pack_width_classes(values, nbits, starts, total, out=region)
+        assert returned is region
+        assert region.tobytes() == pack_width_classes(values, nbits, starts, total)
+
+    @given(
+        widths=st.lists(st.integers(0, 48), min_size=0, max_size=12),
+        count=st.integers(1, 24),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_property_ragged_classes_round_trip(self, widths, count, seed):
+        """Ragged width mixes (duplicate, empty, and zero-width classes) round-trip
+        and match per-row sequential packing byte for byte."""
+        rng = np.random.default_rng(seed)
+        nbits = np.asarray(widths, dtype=np.int64)
+        values = np.zeros((len(widths), count), dtype=np.uint64)
+        for i, w in enumerate(widths):
+            if w:
+                values[i] = rng.integers(0, 2**w, size=count, dtype=np.uint64)
+        sizes = row_nbytes(count, nbits)
+        starts = np.cumsum(sizes) - sizes
+        total = int(sizes.sum())
+        region = pack_width_classes(values, nbits, starts, total)
+        assert region == b"".join(
+            pack_uint_bits(row, int(w)) for row, w in zip(values, nbits)
+        )
+        decoded = unpack_width_classes(
+            np.frombuffer(region, dtype=np.uint8), nbits, starts, count, dtype=None
+        )
+        np.testing.assert_array_equal(decoded.astype(np.uint64), values)
+
+    def test_overwide_values_raise_not_truncate(self):
+        """Narrowing to the widest class must never silently truncate a value
+        that the documented per-row equivalent would reject."""
+        values = np.array([[257]], dtype=np.uint64)
+        nbits = np.array([8], dtype=np.int64)
+        starts = np.array([0], dtype=np.int64)
+        with pytest.raises(ValueError, match="do not fit"):
+            pack_width_classes(values, nbits, starts, 1)
