@@ -14,9 +14,17 @@ Usage::
     python benchmarks/perf_report.py --quick --check
         # do not rewrite: compare against the committed baselines and exit
         # non-zero if any throughput regressed by more than the tolerance
+    python benchmarks/perf_report.py --quick --check --suite scaling
+        # scaling smoke: only the 1k-rank ring-exchange entries (both
+        # contention modes), gated hard against the committed baseline
+    python benchmarks/perf_report.py --full
+        # additionally measure the 16k-rank scenario before rewriting
 
 Scenario sizes are identical in quick and full mode (only the repetition
 count differs), so quick CI runs are comparable with committed full runs.
+The 16k-rank entry is the one exception: it takes tens of seconds per run,
+so it is only measured under ``--full`` and skipped by ``--check``
+comparisons when absent from the fresh run.
 """
 
 from __future__ import annotations
@@ -149,12 +157,17 @@ def codec_suite(reps: int) -> dict:
 
 # ------------------------------------------------------------------ engine
 
+#: one payload shared by every simulated rank — allocating a fresh array per
+#: rank inside the program factory dominates wall-clock at 1k+ ranks and
+#: turns the measurement into an allocator benchmark
+_RING_PAYLOAD = np.zeros(2048)
+
 
 def ring_exchange_program(rounds: int):
     def program(rank, size):
         left = (rank - 1) % size
         right = (rank + 1) % size
-        payload = np.zeros(2048)
+        payload = _RING_PAYLOAD
         for step in range(rounds):
             recv_req = yield Irecv(source=left, tag=step)
             send_req = yield Isend(dest=right, data=payload, nbytes=payload.nbytes, tag=step)
@@ -165,10 +178,14 @@ def ring_exchange_program(rounds: int):
     return program
 
 
-def engine_suite(reps: int) -> dict:
-    net = NetworkModel(
+def _bench_net() -> NetworkModel:
+    return NetworkModel(
         latency=1e-6, bandwidth=1e9, eager_threshold=1024, inflight_window=1024**2
     )
+
+
+def engine_suite(reps: int) -> dict:
+    net = _bench_net()
     results = {}
     for ranks, rounds in ((64, 64), (256, 16)):
         commands = ranks * rounds * 4  # Irecv + Isend + Waitall + Compute per round
@@ -185,6 +202,54 @@ def engine_suite(reps: int) -> dict:
     comm = Cluster(network=net).communicator(32)
     seconds = best_of(lambda: comm.allreduce(inputs, algorithm="ring"), reps)
     results["ring_allreduce_32_ranks"] = {"seconds": seconds, "runs_per_s": 1.0 / seconds}
+    return results
+
+
+def scaling_suite(reps: int, full: bool) -> dict:
+    """Event-heap scaling entries: 1k/4k (and, under ``--full``, 16k) ranks.
+
+    The 1k-rank scenario is also run over a shared-uplink topology in both
+    contention modes — fair mode is where the event heap pays off (the
+    scan-loop engine managed ~3.8k commands/s there; see
+    ``scanloop_reference`` in the committed baseline).
+    """
+    from repro.mpisim.topology import SharedUplinkTopology
+
+    net = _bench_net()
+    rounds = 8
+    results = {}
+
+    def measure(name, ranks, topology=None, network=net):
+        commands = ranks * rounds * 4
+        seconds = best_of(
+            lambda: run_simulation(
+                ranks, ring_exchange_program(rounds), network, topology=topology
+            ),
+            reps,
+        )
+        results[name] = {"seconds": seconds, "commands_per_s": commands / seconds}
+
+    measure("ring_exchange_1k_ranks", 1024)
+    measure(
+        "ring_exchange_1k_ranks_uplink",
+        1024,
+        topology=SharedUplinkTopology(ranks_per_node=8),
+    )
+    measure(
+        "ring_exchange_1k_ranks_fair",
+        1024,
+        topology=SharedUplinkTopology(ranks_per_node=8, contention="fair"),
+        network=NetworkModel(
+            latency=1e-6,
+            bandwidth=1e9,
+            eager_threshold=1024,
+            inflight_window=1024**2,
+            contention="fair",
+        ),
+    )
+    measure("ring_exchange_4k_ranks", 4096)
+    if full:
+        measure("ring_exchange_16k_ranks", 16384)
     return results
 
 
@@ -224,7 +289,26 @@ def check(baseline_path: Path, fresh: dict, tolerance: float, speed_ratio: float
     return problems
 
 
-def write_report(path: Path, results: dict, reps: int, quick: bool, calibration: float) -> None:
+#: scan-loop engine throughputs measured immediately before the event-heap
+#: refactor (PR 6), on the machine that regenerated the baselines — the
+#: reference point for the heap's speedup claims.  Embedded verbatim in
+#: ``BENCH_engine.json`` so the trajectory survives future regenerations.
+SCANLOOP_REFERENCE = {
+    "ring_exchange_1k_ranks": {"commands_per_s": 136097.2},
+    "ring_exchange_1k_ranks_uplink": {"commands_per_s": 124838.1},
+    "ring_exchange_1k_ranks_fair": {"commands_per_s": 3817.0},
+    "ring_exchange_4k_ranks": {"commands_per_s": 77000.3},
+}
+
+
+def write_report(
+    path: Path,
+    results: dict,
+    reps: int,
+    quick: bool,
+    calibration: float,
+    extra: dict | None = None,
+) -> None:
     doc = {
         "schema": 2,
         "generated_by": "python benchmarks/perf_report.py" + (" --quick" if quick else ""),
@@ -232,6 +316,8 @@ def write_report(path: Path, results: dict, reps: int, quick: bool, calibration:
         "calibration_seconds": calibration,
         "results": results,
     }
+    if extra:
+        doc.update(extra)
     path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     print(f"wrote {path}")
 
@@ -252,17 +338,34 @@ def main(argv=None) -> int:
         default=DEFAULT_TOLERANCE,
         help=f"allowed slowdown factor for --check (default {DEFAULT_TOLERANCE})",
     )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="also measure the 16k-rank scaling scenario (slow; baseline runs)",
+    )
+    parser.add_argument(
+        "--suite",
+        choices=("all", "scaling"),
+        default="all",
+        help="'scaling' measures only the event-heap scaling entries "
+        "(the CI scaling smoke); default runs everything",
+    )
     args = parser.parse_args(argv)
     reps = 2 if args.quick else 5
 
     calibration = machine_calibration()
     print(f"machine calibration: {calibration:.4f}s")
-    print(f"codec suite ({reps} rep{'s' if reps > 1 else ''}) ...")
-    codec = codec_suite(reps)
-    print(f"engine suite ({reps} rep{'s' if reps > 1 else ''}) ...")
-    engine = engine_suite(reps)
+    codec = {}
+    engine = {}
+    if args.suite == "all":
+        print(f"codec suite ({reps} rep{'s' if reps > 1 else ''}) ...")
+        codec = codec_suite(reps)
+        print(f"engine suite ({reps} rep{'s' if reps > 1 else ''}) ...")
+        engine = engine_suite(reps)
+    print(f"scaling suite ({reps} rep{'s' if reps > 1 else ''}) ...")
+    scaling = scaling_suite(reps, full=args.full)
 
-    for name, entry in {**codec, **engine}.items():
+    for name, entry in {**codec, **engine, **scaling}.items():
         print(f"  {name:32s} {entry['seconds']:.4f}s  ({throughput_of(entry):,.1f})")
 
     if args.check:
@@ -273,23 +376,44 @@ def main(argv=None) -> int:
                     return calibration / float(base_cal)
             return 1.0
 
-        # the codec gate is hard (vectorised data plane is this PR's contract);
-        # the engine numbers are Python-object-heavy and noisier on shared
-        # runners, so engine regressions only warn
-        codec_problems = check(CODEC_BASELINE, codec, args.tolerance, ratio_for(CODEC_BASELINE))
-        engine_problems = check(ENGINE_BASELINE, engine, args.tolerance, ratio_for(ENGINE_BASELINE))
+        engine_ratio = ratio_for(ENGINE_BASELINE)
+        # hard gates: the codec data plane (PR 5's contract) and the scaling
+        # entries (the event-heap contract — superlinear scheduling cost would
+        # show up here first).  The small fixed-size engine numbers are
+        # Python-object-heavy and noisier on shared runners, so they only warn.
+        codec_problems = (
+            check(CODEC_BASELINE, codec, args.tolerance, ratio_for(CODEC_BASELINE))
+            if codec
+            else []
+        )
+        scaling_problems = check(ENGINE_BASELINE, scaling, args.tolerance, engine_ratio)
+        engine_problems = (
+            check(ENGINE_BASELINE, engine, args.tolerance, engine_ratio) if engine else []
+        )
         for p in engine_problems:
             print(f"\nWARNING (advisory): {p}", file=sys.stderr)
-        if codec_problems:
+        hard_problems = codec_problems + scaling_problems
+        if hard_problems:
             print("\nPERF REGRESSION:", file=sys.stderr)
-            for p in codec_problems:
+            for p in hard_problems:
                 print(f"  {p}", file=sys.stderr)
             return 1
-        print(f"\nall codec throughputs within {args.tolerance}x of the committed baselines")
+        gated = "codec and scaling" if codec else "scaling"
+        print(f"\nall {gated} throughputs within {args.tolerance}x of the committed baselines")
         return 0
 
+    if args.suite != "all":
+        print("refusing to rewrite baselines from a partial suite; use --check", file=sys.stderr)
+        return 2
     write_report(CODEC_BASELINE, codec, reps, args.quick, calibration)
-    write_report(ENGINE_BASELINE, engine, reps, args.quick, calibration)
+    write_report(
+        ENGINE_BASELINE,
+        {**engine, **scaling},
+        reps,
+        args.quick,
+        calibration,
+        extra={"scanloop_reference": SCANLOOP_REFERENCE},
+    )
     return 0
 
 

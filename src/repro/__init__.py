@@ -22,15 +22,10 @@ from repro._version import __version__
 
 # Convenience re-exports of the most common entry points.  The subpackages stay
 # the canonical import locations; these aliases only cover what a quickstart or
-# notebook typically needs.  The run_* aliases are the deprecated legacy shims,
-# kept importable for scripts that have not migrated to the session API yet.
+# notebook typically needs.
 from repro.api import Cluster, Communicator, MPI4PyBackend, SimBackend
 from repro.apps.image_stacking import run_image_stacking
-from repro.ccoll.allreduce import run_c_allreduce
 from repro.ccoll.config import CCollConfig
-from repro.ccoll.movement import run_c_allgather, run_c_bcast, run_c_scatter
-from repro.ccoll.variants import run_allreduce_variant
-from repro.collectives.allreduce import run_ring_allreduce
 from repro.compression.registry import make_compressor
 from repro.compression.szx import SZxCompressor
 from repro.datasets.registry import load_field
@@ -49,12 +44,6 @@ __all__ = [
     "SZxCompressor",
     "make_compressor",
     "load_field",
-    "run_c_allreduce",
-    "run_c_allgather",
-    "run_c_bcast",
-    "run_c_scatter",
-    "run_allreduce_variant",
-    "run_ring_allreduce",
     "run_image_stacking",
     "run_experiment",
     "default_network",

@@ -1,22 +1,21 @@
 """C-Coll: the compression-facilitated MPI collective framework (the paper's core).
 
-Public entry points:
+Public entry points (rank programs composed by the session API):
 
-* :func:`run_c_allreduce` / :func:`c_allreduce_program` — C-Allreduce
-* :func:`run_c_allgather`, :func:`run_c_bcast`, :func:`run_c_scatter` — the
-  data-movement-framework collectives
-* :func:`run_c_reduce_scatter` — the computation-framework collective
-* :func:`run_cpr_allreduce` (and friends) — the CPR-P2P baselines
-* :func:`run_allreduce_variant` — the AD / DI / ND / Overlap step-wise
-  variants of Table V
+* :func:`c_allreduce_program` — C-Allreduce
+* :func:`c_allgather_program`, :func:`c_bcast_program`,
+  :func:`c_scatter_program` — the data-movement-framework collectives
+* :func:`c_reduce_scatter_program` — the computation-framework collective
+* :func:`cpr_allreduce_program` (and friends) — the CPR-P2P baselines
+* :data:`ALLREDUCE_VARIANTS` — the AD / DI / ND / Overlap step-wise
+  variants of Table V (``Communicator.allreduce(compression=<variant>)``)
 * :class:`CCollConfig` — codec, error bound, pipelining and scaling settings
 """
 
 from repro.ccoll.adapter import CompressedMessage, CompressionAdapter, make_adapter
-from repro.ccoll.allreduce import c_allreduce_program, run_c_allreduce
+from repro.ccoll.allreduce import c_allreduce_program
 from repro.ccoll.computation import (
     c_reduce_scatter_program,
-    run_c_reduce_scatter,
     segment_count,
     split_payload,
 )
@@ -26,10 +25,6 @@ from repro.ccoll.cpr_p2p import (
     cpr_allreduce_program,
     cpr_bcast_program,
     cpr_scatter_program,
-    run_cpr_allgather,
-    run_cpr_allreduce,
-    run_cpr_bcast,
-    run_cpr_scatter,
 )
 from repro.ccoll.movement import (
     CCollOutcome,
@@ -37,19 +32,14 @@ from repro.ccoll.movement import (
     c_bcast_program,
     c_scatter_program,
     exchange_sizes_program,
-    run_c_allgather,
-    run_c_bcast,
-    run_c_scatter,
 )
 from repro.ccoll.topology_aware import (
-    run_topology_aware_c_allreduce,
     topology_aware_c_allreduce_program,
 )
 from repro.ccoll.variants import (
     ALLREDUCE_VARIANTS,
     VARIANT_ALIASES,
     canonical_variant,
-    run_allreduce_variant,
 )
 
 __all__ = [
@@ -59,30 +49,19 @@ __all__ = [
     "CompressedMessage",
     "make_adapter",
     "c_allreduce_program",
-    "run_c_allreduce",
     "c_allgather_program",
-    "run_c_allgather",
     "c_bcast_program",
-    "run_c_bcast",
     "c_scatter_program",
-    "run_c_scatter",
     "exchange_sizes_program",
     "c_reduce_scatter_program",
-    "run_c_reduce_scatter",
     "segment_count",
     "split_payload",
     "cpr_allreduce_program",
-    "run_cpr_allreduce",
     "cpr_allgather_program",
-    "run_cpr_allgather",
     "cpr_bcast_program",
-    "run_cpr_bcast",
     "cpr_scatter_program",
-    "run_cpr_scatter",
     "topology_aware_c_allreduce_program",
-    "run_topology_aware_c_allreduce",
     "ALLREDUCE_VARIANTS",
     "VARIANT_ALIASES",
     "canonical_variant",
-    "run_allreduce_variant",
 ]

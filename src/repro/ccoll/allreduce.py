@@ -32,9 +32,8 @@ from repro.collectives.context import CollectiveContext, as_rank_arrays
 from repro.mpisim.backends import Backend, execute as _execute
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.topology import Topology
-from repro.utils.deprecation import warn_legacy_runner
 
-__all__ = ["c_allreduce_program", "run_c_allreduce"]
+__all__ = ["c_allreduce_program"]
 
 #: tag offset separating the allgather stage from the reduce-scatter stage
 _AG_TAG_OFFSET = 1_000_000
@@ -113,25 +112,3 @@ def _run_c_allreduce(
 
     sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return _finish(sim.rank_values, sim, rs_adapters + ag_adapters)
-
-
-def run_c_allreduce(
-    inputs,
-    n_ranks: int,
-    config: Optional[CCollConfig] = None,
-    network: Optional[NetworkModel] = None,
-    overlap: Optional[bool] = None,
-    topology: Optional[Topology] = None,
-    backend: Optional[Backend] = None,
-) -> CCollOutcome:
-    """Deprecated shim — use ``Communicator.allreduce(compression="on")``."""
-    warn_legacy_runner("run_c_allreduce", "Communicator.allreduce(compression='on')")
-    return _run_c_allreduce(
-        inputs,
-        n_ranks,
-        config=config,
-        network=network,
-        overlap=overlap,
-        topology=topology,
-        backend=backend,
-    )

@@ -38,13 +38,11 @@ from repro.mpisim.commands import Compute, Irecv, Isend, Test, Wait, Waitall
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.timeline import CAT_COMDECOM, CAT_MEMCPY, CAT_OTHERS, CAT_REDUCTION, CAT_WAIT
 from repro.mpisim.topology import Topology
-from repro.utils.deprecation import warn_legacy_runner
 
 __all__ = [
     "segment_count",
     "split_payload",
     "c_reduce_scatter_program",
-    "run_c_reduce_scatter",
 ]
 
 #: uncompressed bytes represented by one pipeline segment (virtual)
@@ -199,25 +197,3 @@ def _run_c_reduce_scatter(
 
     sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return CollectiveOutcome(values=sim.rank_values, sim=sim)
-
-
-def run_c_reduce_scatter(
-    inputs,
-    n_ranks: int,
-    config: Optional[CCollConfig] = None,
-    network: Optional[NetworkModel] = None,
-    overlap: Optional[bool] = None,
-    topology: Optional[Topology] = None,
-    backend: Optional[Backend] = None,
-) -> CollectiveOutcome:
-    """Deprecated shim — use ``Communicator.reduce_scatter(compression="on")``."""
-    warn_legacy_runner("run_c_reduce_scatter", "Communicator.reduce_scatter(compression='on')")
-    return _run_c_reduce_scatter(
-        inputs,
-        n_ranks,
-        config=config,
-        network=network,
-        overlap=overlap,
-        topology=topology,
-        backend=backend,
-    )

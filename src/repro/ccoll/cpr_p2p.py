@@ -42,17 +42,12 @@ from repro.mpisim.timeline import (
     CAT_WAIT,
 )
 from repro.mpisim.topology import Topology
-from repro.utils.deprecation import warn_legacy_runner
 
 __all__ = [
     "cpr_allreduce_program",
-    "run_cpr_allreduce",
     "cpr_allgather_program",
-    "run_cpr_allgather",
     "cpr_bcast_program",
-    "run_cpr_bcast",
     "cpr_scatter_program",
-    "run_cpr_scatter",
 ]
 
 
@@ -155,21 +150,6 @@ def _run_cpr_allreduce(
     return _finish(sim.rank_values, sim, adapters)
 
 
-def run_cpr_allreduce(
-    inputs,
-    n_ranks: int,
-    config: Optional[CCollConfig] = None,
-    network: Optional[NetworkModel] = None,
-    topology: Optional[Topology] = None,
-    backend: Optional[Backend] = None,
-) -> CCollOutcome:
-    """Deprecated shim — use ``Communicator.allreduce(compression="di")``."""
-    warn_legacy_runner("run_cpr_allreduce", "Communicator.allreduce(compression='di')")
-    return _run_cpr_allreduce(
-        inputs, n_ranks, config=config, network=network, topology=topology, backend=backend
-    )
-
-
 # -------------------------------------------------------------------------- allgather
 
 
@@ -221,21 +201,6 @@ def _run_cpr_allgather(
 
     sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return _finish(sim.rank_values, sim, adapters)
-
-
-def run_cpr_allgather(
-    inputs,
-    n_ranks: int,
-    config: Optional[CCollConfig] = None,
-    network: Optional[NetworkModel] = None,
-    topology: Optional[Topology] = None,
-    backend: Optional[Backend] = None,
-) -> CCollOutcome:
-    """Deprecated shim — use ``Communicator.allgather(compression="di")``."""
-    warn_legacy_runner("run_cpr_allgather", "Communicator.allgather(compression='di')")
-    return _run_cpr_allgather(
-        inputs, n_ranks, config=config, network=network, topology=topology, backend=backend
-    )
 
 
 # ------------------------------------------------------------------------------ bcast
@@ -300,23 +265,6 @@ def _run_cpr_bcast(
 
     sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return _finish(sim.rank_values, sim, adapters)
-
-
-def run_cpr_bcast(
-    data: np.ndarray,
-    n_ranks: int,
-    root: int = 0,
-    config: Optional[CCollConfig] = None,
-    network: Optional[NetworkModel] = None,
-    topology: Optional[Topology] = None,
-    backend: Optional[Backend] = None,
-) -> CCollOutcome:
-    """Deprecated shim — use ``Communicator.bcast(compression="di")``."""
-    warn_legacy_runner("run_cpr_bcast", "Communicator.bcast(compression='di')")
-    return _run_cpr_bcast(
-        data, n_ranks, root=root, config=config, network=network, topology=topology,
-        backend=backend,
-    )
 
 
 # ---------------------------------------------------------------------------- scatter
@@ -393,20 +341,3 @@ def _run_cpr_scatter(
 
     sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return _finish(sim.rank_values, sim, adapters)
-
-
-def run_cpr_scatter(
-    inputs,
-    n_ranks: int,
-    root: int = 0,
-    config: Optional[CCollConfig] = None,
-    network: Optional[NetworkModel] = None,
-    topology: Optional[Topology] = None,
-    backend: Optional[Backend] = None,
-) -> CCollOutcome:
-    """Deprecated shim — use ``Communicator.scatter(compression="di")``."""
-    warn_legacy_runner("run_cpr_scatter", "Communicator.scatter(compression='di')")
-    return _run_cpr_scatter(
-        inputs, n_ranks, root=root, config=config, network=network, topology=topology,
-        backend=backend,
-    )

@@ -35,17 +35,13 @@ from repro.mpisim.commands import Compute, Irecv, Isend, Wait, Waitall
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.timeline import CAT_ALLGATHER, CAT_COMDECOM, CAT_OTHERS, CAT_WAIT
 from repro.mpisim.topology import Topology
-from repro.utils.deprecation import warn_legacy_runner
 
 __all__ = [
     "CCollOutcome",
     "exchange_sizes_program",
     "c_allgather_program",
-    "run_c_allgather",
     "c_bcast_program",
-    "run_c_bcast",
     "c_scatter_program",
-    "run_c_scatter",
 ]
 
 #: tag offset separating the size-exchange round from the payload rounds
@@ -191,21 +187,6 @@ def _run_c_allgather(
     return _finish(sim.rank_values, sim, adapters)
 
 
-def run_c_allgather(
-    inputs,
-    n_ranks: int,
-    config: Optional[CCollConfig] = None,
-    network: Optional[NetworkModel] = None,
-    topology: Optional[Topology] = None,
-    backend: Optional[Backend] = None,
-) -> CCollOutcome:
-    """Deprecated shim — use ``Communicator.allgather(compression="on")``."""
-    warn_legacy_runner("run_c_allgather", "Communicator.allgather(compression='on')")
-    return _run_c_allgather(
-        inputs, n_ranks, config=config, network=network, topology=topology, backend=backend
-    )
-
-
 # ----------------------------------------------------------------------------- bcast
 
 
@@ -277,23 +258,6 @@ def _run_c_bcast(
 
     sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return _finish(sim.rank_values, sim, adapters)
-
-
-def run_c_bcast(
-    data: np.ndarray,
-    n_ranks: int,
-    root: int = 0,
-    config: Optional[CCollConfig] = None,
-    network: Optional[NetworkModel] = None,
-    topology: Optional[Topology] = None,
-    backend: Optional[Backend] = None,
-) -> CCollOutcome:
-    """Deprecated shim — use ``Communicator.bcast(compression="on")``."""
-    warn_legacy_runner("run_c_bcast", "Communicator.bcast(compression='on')")
-    return _run_c_bcast(
-        data, n_ranks, root=root, config=config, network=network, topology=topology,
-        backend=backend,
-    )
 
 
 # --------------------------------------------------------------------------- scatter
@@ -377,20 +341,3 @@ def _run_c_scatter(
 
     sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return _finish(sim.rank_values, sim, adapters)
-
-
-def run_c_scatter(
-    inputs,
-    n_ranks: int,
-    root: int = 0,
-    config: Optional[CCollConfig] = None,
-    network: Optional[NetworkModel] = None,
-    topology: Optional[Topology] = None,
-    backend: Optional[Backend] = None,
-) -> CCollOutcome:
-    """Deprecated shim — use ``Communicator.scatter(compression="on")``."""
-    warn_legacy_runner("run_c_scatter", "Communicator.scatter(compression='on')")
-    return _run_c_scatter(
-        inputs, n_ranks, root=root, config=config, network=network, topology=topology,
-        backend=backend,
-    )

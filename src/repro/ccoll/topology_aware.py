@@ -56,11 +56,9 @@ from repro.mpisim.commands import Compute, Irecv, Isend, Waitall
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.topology import FlatTopology, Topology
 from repro.mpisim.timeline import CAT_COMDECOM, CAT_OTHERS, CAT_REDUCTION, CAT_WAIT
-from repro.utils.deprecation import warn_legacy_runner
 
 __all__ = [
     "topology_aware_c_allreduce_program",
-    "run_topology_aware_c_allreduce",
     "select_inter_compression",
 ]
 
@@ -239,27 +237,3 @@ def _run_topology_aware_c_allreduce(
     outcome = _finish(sim.rank_values, sim, adapters)
     outcome.inter_compressed = True
     return outcome
-
-
-def run_topology_aware_c_allreduce(
-    inputs,
-    n_ranks: int,
-    topology: Optional[Topology] = None,
-    config: Optional[CCollConfig] = None,
-    network: Optional[NetworkModel] = None,
-    compress_inter: Union[str, bool] = "auto",
-    backend: Optional[Backend] = None,
-) -> CCollOutcome:
-    """Deprecated shim — use ``Communicator.allreduce(compression="auto")``."""
-    warn_legacy_runner(
-        "run_topology_aware_c_allreduce", "Communicator.allreduce(compression='auto')"
-    )
-    return _run_topology_aware_c_allreduce(
-        inputs,
-        n_ranks,
-        topology=topology,
-        config=config,
-        network=network,
-        compress_inter=compress_inter,
-        backend=backend,
-    )

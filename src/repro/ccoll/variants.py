@@ -32,13 +32,11 @@ from repro.collectives.allreduce import _run_ring_allreduce
 from repro.mpisim.backends import Backend
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.topology import Topology
-from repro.utils.deprecation import warn_legacy_runner
 
 __all__ = [
     "ALLREDUCE_VARIANTS",
     "VARIANT_ALIASES",
     "canonical_variant",
-    "run_allreduce_variant",
 ]
 
 ALLREDUCE_VARIANTS = ("AD", "DI", "ND", "Overlap")
@@ -126,29 +124,3 @@ def _run_allreduce_variant(
     config = config or CCollConfig()
     runner = _VARIANT_RUNNERS[canonical_variant(variant)]
     return runner(inputs, n_ranks, config, network, topology, backend)
-
-
-def run_allreduce_variant(
-    variant: str,
-    inputs,
-    n_ranks: int,
-    config: Optional[CCollConfig] = None,
-    network: Optional[NetworkModel] = None,
-    topology: Optional[Topology] = None,
-    backend: Optional[Backend] = None,
-) -> CCollOutcome:
-    """Deprecated shim — use ``Communicator.allreduce(compression=<variant>)``.
-
-    ``variant`` is one of ``"AD"``, ``"DI"``, ``"ND"``, ``"Overlap"``
-    (case-insensitive; see :data:`VARIANT_ALIASES` for accepted aliases).
-    """
-    warn_legacy_runner("run_allreduce_variant", "Communicator.allreduce(compression=<variant>)")
-    return _run_allreduce_variant(
-        variant,
-        inputs,
-        n_ranks,
-        config=config,
-        network=network,
-        topology=topology,
-        backend=backend,
-    )

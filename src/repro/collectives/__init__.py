@@ -9,35 +9,30 @@ size, rank count and topology.  The C-Coll variants in :mod:`repro.ccoll`
 reuse the same communication structures with compression integrated.
 """
 
-from repro.collectives.allgather import ring_allgather_program, run_ring_allgather
-from repro.collectives.allreduce import ring_allreduce_program, run_ring_allreduce
-from repro.collectives.alltoall import pairwise_alltoall_program, run_pairwise_alltoall
+from repro.collectives.allgather import ring_allgather_program
+from repro.collectives.allreduce import ring_allreduce_program
+from repro.collectives.alltoall import pairwise_alltoall_program
 from repro.collectives.barrier import barrier_program
-from repro.collectives.bcast import binomial_bcast_program, run_binomial_bcast
+from repro.collectives.bcast import binomial_bcast_program
 from repro.collectives.context import CollectiveContext, CollectiveOutcome, as_rank_arrays
-from repro.collectives.gather import binomial_gather_program, run_binomial_gather
+from repro.collectives.gather import binomial_gather_program
 from repro.collectives.hierarchical import (
     hierarchical_allreduce_program,
-    run_hierarchical_allreduce,
 )
 from repro.collectives.rabenseifner import (
     rabenseifner_allreduce_program,
-    run_rabenseifner_allreduce,
 )
 from repro.collectives.recursive_doubling import (
     recursive_doubling_allreduce_program,
-    run_recursive_doubling_allreduce,
 )
-from repro.collectives.reduce import binomial_reduce_program, run_binomial_reduce
+from repro.collectives.reduce import binomial_reduce_program
 from repro.collectives.reduce_scatter import (
     partition_chunks,
     ring_reduce_scatter_program,
-    run_ring_reduce_scatter,
 )
-from repro.collectives.scatter import binomial_scatter_program, run_binomial_scatter
+from repro.collectives.scatter import binomial_scatter_program
 from repro.collectives.selection import (
     ALGORITHM_RUNNERS,
-    run_allreduce,
     select_algorithm,
 )
 
@@ -48,28 +43,16 @@ __all__ = [
     "barrier_program",
     "partition_chunks",
     "ring_allgather_program",
-    "run_ring_allgather",
     "ring_reduce_scatter_program",
-    "run_ring_reduce_scatter",
     "ring_allreduce_program",
-    "run_ring_allreduce",
     "recursive_doubling_allreduce_program",
-    "run_recursive_doubling_allreduce",
     "rabenseifner_allreduce_program",
-    "run_rabenseifner_allreduce",
     "hierarchical_allreduce_program",
-    "run_hierarchical_allreduce",
     "ALGORITHM_RUNNERS",
     "select_algorithm",
-    "run_allreduce",
     "binomial_bcast_program",
-    "run_binomial_bcast",
     "binomial_scatter_program",
-    "run_binomial_scatter",
     "binomial_gather_program",
-    "run_binomial_gather",
     "binomial_reduce_program",
-    "run_binomial_reduce",
     "pairwise_alltoall_program",
-    "run_pairwise_alltoall",
 ]

@@ -18,9 +18,8 @@ from repro.mpisim.commands import Compute, Irecv, Isend, Waitall
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.timeline import CAT_ALLGATHER
 from repro.mpisim.topology import Topology
-from repro.utils.deprecation import warn_legacy_runner
 
-__all__ = ["ring_allgather_program", "run_ring_allgather"]
+__all__ = ["ring_allgather_program"]
 
 
 def ring_allgather_program(
@@ -78,18 +77,3 @@ def _run_ring_allgather(
 
     sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return CollectiveOutcome(values=sim.rank_values, sim=sim)
-
-
-def run_ring_allgather(
-    inputs,
-    n_ranks: int,
-    ctx: Optional[CollectiveContext] = None,
-    network: Optional[NetworkModel] = None,
-    topology: Optional[Topology] = None,
-    backend: Optional[Backend] = None,
-) -> CollectiveOutcome:
-    """Deprecated shim — use ``Communicator.allgather()``."""
-    warn_legacy_runner("run_ring_allgather", "Communicator.allgather()")
-    return _run_ring_allgather(
-        inputs, n_ranks, ctx=ctx, network=network, topology=topology, backend=backend
-    )

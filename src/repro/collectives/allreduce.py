@@ -21,9 +21,8 @@ from repro.mpisim.commands import Compute, Irecv, Isend, Waitall
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.timeline import CAT_ALLGATHER, CAT_MEMCPY, CAT_OTHERS, CAT_REDUCTION, CAT_WAIT
 from repro.mpisim.topology import Topology
-from repro.utils.deprecation import warn_legacy_runner
 
-__all__ = ["ring_allreduce_over_group", "ring_allreduce_program", "run_ring_allreduce"]
+__all__ = ["ring_allreduce_over_group", "ring_allreduce_program"]
 
 
 def ring_allreduce_over_group(
@@ -115,18 +114,3 @@ def _run_ring_allreduce(
 
     sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return CollectiveOutcome(values=sim.rank_values, sim=sim)
-
-
-def run_ring_allreduce(
-    inputs,
-    n_ranks: int,
-    ctx: Optional[CollectiveContext] = None,
-    network: Optional[NetworkModel] = None,
-    topology: Optional[Topology] = None,
-    backend: Optional[Backend] = None,
-) -> CollectiveOutcome:
-    """Deprecated shim — use ``Communicator.allreduce(..., algorithm="ring")``."""
-    warn_legacy_runner("run_ring_allreduce", "Communicator.allreduce(algorithm='ring')")
-    return _run_ring_allreduce(
-        inputs, n_ranks, ctx=ctx, network=network, topology=topology, backend=backend
-    )

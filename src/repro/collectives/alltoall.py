@@ -18,9 +18,8 @@ from repro.mpisim.commands import Compute, Irecv, Isend, Waitall
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.timeline import CAT_MEMCPY, CAT_WAIT
 from repro.mpisim.topology import Topology
-from repro.utils.deprecation import warn_legacy_runner
 
-__all__ = ["pairwise_alltoall_program", "run_pairwise_alltoall"]
+__all__ = ["pairwise_alltoall_program"]
 
 
 def pairwise_alltoall_program(
@@ -75,18 +74,3 @@ def _run_pairwise_alltoall(
 
     sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return CollectiveOutcome(values=sim.rank_values, sim=sim)
-
-
-def run_pairwise_alltoall(
-    inputs: List[List[np.ndarray]],
-    n_ranks: int,
-    ctx: Optional[CollectiveContext] = None,
-    network: Optional[NetworkModel] = None,
-    topology: Optional[Topology] = None,
-    backend: Optional[Backend] = None,
-) -> CollectiveOutcome:
-    """Deprecated shim — use ``Communicator.alltoall()``."""
-    warn_legacy_runner("run_pairwise_alltoall", "Communicator.alltoall()")
-    return _run_pairwise_alltoall(
-        inputs, n_ranks, ctx=ctx, network=network, topology=topology, backend=backend
-    )

@@ -16,9 +16,8 @@ from repro.mpisim.commands import Compute, Irecv, Isend, Wait
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.timeline import CAT_MEMCPY, CAT_WAIT
 from repro.mpisim.topology import Topology
-from repro.utils.deprecation import warn_legacy_runner
 
-__all__ = ["binomial_bcast_program", "run_binomial_bcast"]
+__all__ = ["binomial_bcast_program"]
 
 
 def binomial_bcast_program(
@@ -79,19 +78,3 @@ def _run_binomial_bcast(
 
     sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return CollectiveOutcome(values=sim.rank_values, sim=sim)
-
-
-def run_binomial_bcast(
-    data: np.ndarray,
-    n_ranks: int,
-    root: int = 0,
-    ctx: Optional[CollectiveContext] = None,
-    network: Optional[NetworkModel] = None,
-    topology: Optional[Topology] = None,
-    backend: Optional[Backend] = None,
-) -> CollectiveOutcome:
-    """Deprecated shim — use ``Communicator.bcast()``."""
-    warn_legacy_runner("run_binomial_bcast", "Communicator.bcast()")
-    return _run_binomial_bcast(
-        data, n_ranks, root=root, ctx=ctx, network=network, topology=topology, backend=backend
-    )

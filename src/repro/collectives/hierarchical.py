@@ -34,9 +34,8 @@ from repro.mpisim.commands import Compute, Irecv, Isend, Wait
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.topology import FlatTopology, Topology
 from repro.mpisim.timeline import CAT_MEMCPY, CAT_OTHERS, CAT_REDUCTION, CAT_WAIT
-from repro.utils.deprecation import warn_legacy_runner
 
-__all__ = ["hierarchical_allreduce_program", "run_hierarchical_allreduce", "node_groups"]
+__all__ = ["hierarchical_allreduce_program", "node_groups"]
 
 #: tag blocks separating the three stages
 _TAG_REDUCE = 0
@@ -181,20 +180,3 @@ def _run_hierarchical_allreduce(
 
     sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return CollectiveOutcome(values=sim.rank_values, sim=sim)
-
-
-def run_hierarchical_allreduce(
-    inputs,
-    n_ranks: int,
-    topology: Optional[Topology] = None,
-    ctx: Optional[CollectiveContext] = None,
-    network: Optional[NetworkModel] = None,
-    backend: Optional[Backend] = None,
-) -> CollectiveOutcome:
-    """Deprecated shim — use ``Communicator.allreduce(algorithm="hierarchical")``."""
-    warn_legacy_runner(
-        "run_hierarchical_allreduce", "Communicator.allreduce(algorithm='hierarchical')"
-    )
-    return _run_hierarchical_allreduce(
-        inputs, n_ranks, topology=topology, ctx=ctx, network=network, backend=backend
-    )

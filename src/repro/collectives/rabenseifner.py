@@ -31,9 +31,8 @@ from repro.mpisim.timeline import (
     CAT_WAIT,
 )
 from repro.utils.chunking import split_counts, split_displacements
-from repro.utils.deprecation import warn_legacy_runner
 
-__all__ = ["rabenseifner_allreduce_program", "run_rabenseifner_allreduce"]
+__all__ = ["rabenseifner_allreduce_program"]
 
 
 def rabenseifner_allreduce_program(
@@ -171,20 +170,3 @@ def _run_rabenseifner_allreduce(
 
     sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return CollectiveOutcome(values=sim.rank_values, sim=sim)
-
-
-def run_rabenseifner_allreduce(
-    inputs,
-    n_ranks: int,
-    ctx: Optional[CollectiveContext] = None,
-    network: Optional[NetworkModel] = None,
-    topology: Optional[Topology] = None,
-    backend: Optional[Backend] = None,
-) -> CollectiveOutcome:
-    """Deprecated shim — use ``Communicator.allreduce(algorithm="rabenseifner")``."""
-    warn_legacy_runner(
-        "run_rabenseifner_allreduce", "Communicator.allreduce(algorithm='rabenseifner')"
-    )
-    return _run_rabenseifner_allreduce(
-        inputs, n_ranks, ctx=ctx, network=network, topology=topology, backend=backend
-    )

@@ -25,9 +25,8 @@ from repro.mpisim.commands import Compute, Irecv, Isend, Wait, Waitall
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.topology import Topology
 from repro.mpisim.timeline import CAT_MEMCPY, CAT_OTHERS, CAT_REDUCTION, CAT_WAIT
-from repro.utils.deprecation import warn_legacy_runner
 
-__all__ = ["recursive_doubling_allreduce_program", "run_recursive_doubling_allreduce"]
+__all__ = ["recursive_doubling_allreduce_program"]
 
 
 def largest_power_of_two_below(n: int) -> int:
@@ -114,21 +113,3 @@ def _run_recursive_doubling_allreduce(
 
     sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return CollectiveOutcome(values=sim.rank_values, sim=sim)
-
-
-def run_recursive_doubling_allreduce(
-    inputs,
-    n_ranks: int,
-    ctx: Optional[CollectiveContext] = None,
-    network: Optional[NetworkModel] = None,
-    topology: Optional[Topology] = None,
-    backend: Optional[Backend] = None,
-) -> CollectiveOutcome:
-    """Deprecated shim — use ``Communicator.allreduce(algorithm="recursive_doubling")``."""
-    warn_legacy_runner(
-        "run_recursive_doubling_allreduce",
-        "Communicator.allreduce(algorithm='recursive_doubling')",
-    )
-    return _run_recursive_doubling_allreduce(
-        inputs, n_ranks, ctx=ctx, network=network, topology=topology, backend=backend
-    )

@@ -17,9 +17,8 @@ from repro.mpisim.commands import Compute, Irecv, Isend, Wait
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.timeline import CAT_REDUCTION, CAT_WAIT
 from repro.mpisim.topology import Topology
-from repro.utils.deprecation import warn_legacy_runner
 
-__all__ = ["binomial_reduce_program", "run_binomial_reduce"]
+__all__ = ["binomial_reduce_program"]
 
 
 def binomial_reduce_program(
@@ -74,19 +73,3 @@ def _run_binomial_reduce(
 
     sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return CollectiveOutcome(values=sim.rank_values, sim=sim)
-
-
-def run_binomial_reduce(
-    inputs,
-    n_ranks: int,
-    root: int = 0,
-    ctx: Optional[CollectiveContext] = None,
-    network: Optional[NetworkModel] = None,
-    topology: Optional[Topology] = None,
-    backend: Optional[Backend] = None,
-) -> CollectiveOutcome:
-    """Deprecated shim — use ``Communicator.reduce()``."""
-    warn_legacy_runner("run_binomial_reduce", "Communicator.reduce()")
-    return _run_binomial_reduce(
-        inputs, n_ranks, root=root, ctx=ctx, network=network, topology=topology, backend=backend
-    )

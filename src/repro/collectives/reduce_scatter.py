@@ -20,9 +20,8 @@ from repro.mpisim.network import NetworkModel
 from repro.mpisim.timeline import CAT_MEMCPY, CAT_REDUCTION, CAT_WAIT
 from repro.mpisim.topology import Topology
 from repro.utils.chunking import split_counts, split_displacements
-from repro.utils.deprecation import warn_legacy_runner
 
-__all__ = ["ring_reduce_scatter_program", "run_ring_reduce_scatter", "partition_chunks"]
+__all__ = ["ring_reduce_scatter_program", "partition_chunks"]
 
 
 def partition_chunks(vector: np.ndarray, n_ranks: int) -> List[np.ndarray]:
@@ -81,18 +80,3 @@ def _run_ring_reduce_scatter(
 
     sim = _execute(backend, n_ranks, factory, network=network, topology=topology)
     return CollectiveOutcome(values=sim.rank_values, sim=sim)
-
-
-def run_ring_reduce_scatter(
-    inputs,
-    n_ranks: int,
-    ctx: Optional[CollectiveContext] = None,
-    network: Optional[NetworkModel] = None,
-    topology: Optional[Topology] = None,
-    backend: Optional[Backend] = None,
-) -> CollectiveOutcome:
-    """Deprecated shim — use ``Communicator.reduce_scatter()``."""
-    warn_legacy_runner("run_ring_reduce_scatter", "Communicator.reduce_scatter()")
-    return _run_ring_reduce_scatter(
-        inputs, n_ranks, ctx=ctx, network=network, topology=topology, backend=backend
-    )

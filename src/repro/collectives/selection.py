@@ -33,7 +33,6 @@ from repro.collectives.recursive_doubling import _run_recursive_doubling_allredu
 from repro.mpisim.backends import Backend
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.topology import DEFAULT_INTER_BANDWIDTH, Topology
-from repro.utils.deprecation import warn_legacy_runner
 
 __all__ = [
     "ALGORITHM_RUNNERS",
@@ -41,7 +40,6 @@ __all__ = [
     "RING_MIN_BYTES",
     "bandwidth_scale",
     "select_algorithm",
-    "run_allreduce",
 ]
 
 #: below this size the exchange is latency-bound: recursive doubling
@@ -149,25 +147,3 @@ def _run_allreduce(
         "backend": backend,
     }
     return runner(inputs, n_ranks, **kwargs), algorithm
-
-
-def run_allreduce(
-    inputs,
-    n_ranks: int,
-    algorithm: str = "auto",
-    ctx: Optional[CollectiveContext] = None,
-    network: Optional[NetworkModel] = None,
-    topology: Optional[Topology] = None,
-    backend: Optional[Backend] = None,
-) -> Tuple[CollectiveOutcome, str]:
-    """Deprecated shim — use ``Communicator.allreduce()`` (auto-selecting)."""
-    warn_legacy_runner("run_allreduce", "Communicator.allreduce()")
-    return _run_allreduce(
-        inputs,
-        n_ranks,
-        algorithm=algorithm,
-        ctx=ctx,
-        network=network,
-        topology=topology,
-        backend=backend,
-    )

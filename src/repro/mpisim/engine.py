@@ -2,9 +2,8 @@
 
 The engine is the heart of the MPI runtime simulator.  Every rank of the
 simulated communicator is a Python generator (see
-:mod:`repro.mpisim.commands`); the engine resumes one rank at a time — always
-the runnable rank with the smallest virtual clock, ties broken by rank id, so
-simulations are fully deterministic — and interprets the commands it yields:
+:mod:`repro.mpisim.commands`); the engine resumes ranks event by event and
+interprets the commands they yield:
 
 * ``Compute`` advances the rank's clock by a modelled duration;
 * ``Isend``/``Irecv`` post messages and return request handles;
@@ -17,6 +16,64 @@ simulations are fully deterministic — and interprets the commands it yields:
 Payloads are carried by reference, so all data-level results of a simulated
 collective (reduced arrays, decompressed chunks) are numerically real; only
 *time* is modelled.
+
+Event-heap core
+---------------
+
+Scheduling is a single global min-heap of ``(timestamp, order, token)``
+events — O(log events) per scheduling decision regardless of rank count,
+which is what lets one engine drive 10k+ ranks.  ``order`` encodes the
+priority tier and the tiebreak in one integer:
+
+======================  =====================  ====================================
+event kind              heap entry             scheduled by
+======================  =====================  ====================================
+fair-share commit       ``(finish, 0, ver)``   every :class:`FairShareRegistry`
+                                               state change (arrival, departure,
+                                               re-division) refreshes one entry at
+                                               the registry's earliest departure
+rank ready              ``(clock, r+1, tok)``  a rank whose next command is due at
+                                               ``clock`` — the initial program
+                                               start, the re-queue after a step,
+                                               and every *wakeup* below
+recv-match wakeup       rank-ready entry       a blocked receiver's ``Wait`` can
+                                               progress because the matching send
+                                               was posted
+transfer completion     rank-ready entry       a blocked rendezvous *sender* wakes
+                                               at the transfer's completion time
+                                               once the receiver finishes it
+flow-commit wakeup      rank-ready entry       a blocked fair-mode receiver wakes
+                                               at the departure time the registry
+                                               committed
+barrier release         rank-ready entry       the last arrival releases every
+                                               waiting rank at the max arrival
+                                               clock
+======================  =====================  ====================================
+
+Priority/tiebreak contract (what keeps golden makespans bit-for-bit):
+
+* Rank events order by ``(clock, rank)`` exactly — ``order = rank + 1``
+  preserves the historical "smallest clock, ties to the smallest rank id"
+  schedule, so every reservation-mode simulation replays the same command
+  interleaving (and therefore the same ``SharedLink`` reservation order) as
+  the scan-loop engine it replaced.
+* Fair-share commits use priority tier 0: a departure due at time ``t``
+  commits before any rank steps at ``t``.  Departures only move *later* on
+  new arrivals, so no rank command below the commit's timestamp can
+  invalidate it — committing at the heap ordering point is sound.
+* Wakeups triggered inside a step (a match established, a send completed, a
+  flow committed) run their wait continuation synchronously — reservation
+  bookkeeping happens in command execution order — and the woken rank
+  re-enters the queue as an ordinary rank-ready event at its post-wakeup
+  clock.
+
+Determinism: heap entries are totally ordered (``token`` — a monotone
+per-push counter or registry version — breaks the final tie), every push is
+derived from simulation state alone, and pop timestamps are non-decreasing
+(every event schedules successors at or after its own timestamp).  Stale
+entries (a superseded rank push, an outdated commit projection) are skipped
+lazily by comparing the token against the current ``ready_token`` /
+registry version.
 
 Causality note: rank programs that branch on ``Test``/``Probe`` results may
 observe a message one poll later than a wall-clock-accurate simulation would
@@ -64,6 +121,14 @@ _BLOCK_RECV_MATCH = "recv-match"
 _BLOCK_SEND_COMPLETION = "send-completion"
 _BLOCK_BARRIER = "barrier"
 _BLOCK_FLOW_COMPLETION = "flow-completion"
+
+#: event-kind labels for the scheduling telemetry in :attr:`Engine.event_counts`
+EV_FAIR_COMMIT = "fair-commit"
+EV_RANK_STEP = "rank-step"
+EV_RECV_MATCH = "recv-match-wakeup"
+EV_TRANSFER_COMPLETE = "transfer-complete-wakeup"
+EV_FLOW_COMMITTED = "flow-commit-wakeup"
+EV_BARRIER_RELEASE = "barrier-release"
 
 
 #: number of times :func:`payload_nbytes` had to fall back to ``pickle.dumps``
@@ -149,7 +214,7 @@ class _RankState:
     block_kind: Optional[str] = None
     block_req_id: Optional[int] = None
     barrier_category: str = "Others"
-    # token of this rank's latest entry in the engine's ready heap; older
+    # token of this rank's latest entry in the engine's event heap; older
     # heap entries with a stale token are skipped during lazy pop
     ready_token: int = 0
 
@@ -167,7 +232,15 @@ class RankResult:
 
 
 class Engine:
-    """Runs ``n_ranks`` rank programs to completion in virtual time."""
+    """Runs ``n_ranks`` rank programs to completion in virtual time.
+
+    One engine may be reused for several back-to-back simulations: ``run()``
+    executes a single simulation, and :meth:`reset` rebuilds every piece of
+    run state (rank generators, the event heap, matching queues, scheduled
+    fair-share commits, topology stage clocks) so a later ``run()`` cannot
+    replay stale events from the previous one.  Calling ``run()`` twice
+    without a ``reset()`` in between raises.
+    """
 
     def __init__(
         self,
@@ -176,6 +249,7 @@ class Engine:
         network: Optional[NetworkModel] = None,
         max_commands: int = 50_000_000,
         topology: Optional[Topology] = None,
+        trace_events: bool = False,
     ) -> None:
         if n_ranks < 1:
             raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
@@ -190,14 +264,33 @@ class Engine:
             # (a cheap clone; reservation-configured topologies are untouched)
             topology = topology.with_contention(CONTENTION_FAIR)
         self.topology = topology
-        if topology is not None:
-            topology.reset()
         # fair-share registry driving deferred flow completions (None unless
         # the topology times its shared stages with contention="fair")
         self._fair = topology.fair_registry if topology is not None else None
         self.max_commands = int(max_commands)
+        self._program_factory = program_factory
+        self._trace_events = bool(trace_events)
+        # type-keyed command dispatch (replaces the isinstance chain on the
+        # hottest path; subclasses of command types are memoised on first use)
+        self._handlers: Dict[type, Callable[[_RankState, Command], None]] = {
+            Compute: self._handle_compute,
+            Isend: self._handle_isend,
+            Irecv: self._handle_irecv,
+            Wait: self._handle_wait,
+            Waitall: self._handle_waitall,
+            Test: self._handle_test,
+            Probe: self._handle_probe,
+            Barrier: self._handle_barrier,
+        }
+        self._init_run_state()
+
+    def _init_run_state(self) -> None:
+        """(Re)build every piece of single-simulation state from scratch."""
+        if self.topology is not None:
+            self.topology.reset()
         self._states = [
-            _RankState(rank=r, gen=program_factory(r, self.n_ranks)) for r in range(self.n_ranks)
+            _RankState(rank=r, gen=self._program_factory(r, self.n_ranks))
+            for r in range(self.n_ranks)
         ]
         self._next_request_id = 0
         self._next_message_id = 0
@@ -213,73 +306,137 @@ class Engine:
         self._inflight: Dict[int, Dict[int, _Message]] = {r: {} for r in range(self.n_ranks)}
         self._barrier_waiting: List[Tuple[int, float]] = []
         self._commands_total = 0
-        # min-heap of (clock, rank, token) over ready ranks; stale entries are
-        # skipped lazily by comparing the token against _RankState.ready_token
-        self._ready_heap: List[Tuple[float, int, int]] = []
+        self._ran = False
+        # the unified event heap: (timestamp, order, token) with order 0 for
+        # fair-share commits and order rank+1 for rank-ready events
+        self._heap: List[Tuple[float, int, int]] = []
         self._ready_tokens = 0
+        # registry version the live fair-commit event was stamped with (the
+        # registry starts at version 0 only before any mutation, so -1 means
+        # "no event scheduled yet")
+        self._fair_event_version = -1
+        #: events processed per kind (scheduling telemetry; cheap counters)
+        self.event_counts: Dict[str, int] = {}
+        #: popped (timestamp, order) pairs when ``trace_events`` is set —
+        #: the deterministic pop-order witness used by the equivalence suite
+        self.event_trace: List[Tuple[float, int]] = []
         for state in self._states:
-            self._push_ready(state)
-        # type-keyed command dispatch (replaces the isinstance chain on the
-        # hottest path; subclasses of command types are memoised on first use)
-        self._handlers: Dict[type, Callable[[_RankState, Command], None]] = {
-            Compute: self._handle_compute,
-            Isend: self._handle_isend,
-            Irecv: self._handle_irecv,
-            Wait: self._handle_wait,
-            Waitall: self._handle_waitall,
-            Test: self._handle_test,
-            Probe: self._handle_probe,
-            Barrier: self._handle_barrier,
-        }
+            self._push_ready(state, EV_RANK_STEP)
+
+    def reset(self) -> None:
+        """Clear the event heap, scheduled fair commits and all run state.
+
+        After ``reset()`` the engine behaves exactly like a freshly
+        constructed one: rank programs are re-created through the original
+        factory, the topology's stage reservations and fair-share registry
+        are rewound, and no event from a previous ``run()`` can fire again.
+        """
+        self._init_run_state()
 
     # ------------------------------------------------------------------ run
 
-    def _push_ready(self, state: _RankState) -> None:
-        """(Re)insert a ready rank into the scheduling heap at its current clock."""
+    def _push_ready(self, state: _RankState, kind: str = EV_RANK_STEP) -> None:
+        """(Re)insert a ready rank into the event heap at its current clock."""
         self._ready_tokens += 1
         state.ready_token = self._ready_tokens
-        heapq.heappush(self._ready_heap, (state.clock, state.rank, state.ready_token))
+        heapq.heappush(self._heap, (state.clock, state.rank + 1, self._ready_tokens))
+        counts = self.event_counts
+        counts[kind] = counts.get(kind, 0) + 1
 
-    def _pop_ready(self) -> Optional[_RankState]:
-        """Pop the ready rank with the smallest (clock, rank), or None if none."""
-        heap = self._ready_heap
-        while heap:
-            _, rank, token = heap[0]
-            state = self._states[rank]
-            if state.status != _READY or token != state.ready_token:
-                heapq.heappop(heap)  # stale entry from a superseded push
-                continue
-            heapq.heappop(heap)
-            return state
-        return None
+    def _sync_fair_event(self) -> None:
+        """Keep exactly one live fair-commit event at the earliest departure.
+
+        Called after every mutation window of the registry (each rank step,
+        each commit).  A no-op while the registry version is unchanged;
+        otherwise pushes a fresh ``(finish, 0, version)`` entry — previous
+        entries become stale and are skipped during lazy pop.
+        """
+        fair = self._fair
+        version = fair.version
+        if version == self._fair_event_version:
+            return
+        self._fair_event_version = version
+        pending = fair.earliest_departure()
+        if pending is not None:
+            heapq.heappush(self._heap, (pending[0], 0, version))
+
+    def _commit_fair_departure(self) -> None:
+        """Retire the registry's earliest fair-share departure.
+
+        Fair flows have no precomputed finish time: the registry keeps
+        re-dividing bandwidth while arrivals trickle in, and a departure
+        becomes final only once no rank event precedes it in the heap —
+        which is exactly when its commit event reaches the top.
+        """
+        finish, flow = self._fair.commit_departure()
+        message: _Message = flow.token
+        message.transfer.finish_fair(finish)
+        self._inflight[message.dst].pop(message.msg_id, None)
+        self._notify_send_completion(message)
+        receiver = self._states[message.dst]
+        if (
+            receiver.status == _BLOCKED
+            and receiver.block_kind == _BLOCK_FLOW_COMPLETION
+            and receiver.block_req_id == message.recv_req_id
+        ):
+            self._continue_wait(receiver, EV_FLOW_COMMITTED)
 
     def run(self) -> List[RankResult]:
         """Execute every rank program to completion and return per-rank results."""
-        heap = self._ready_heap
+        if self._ran:
+            raise RuntimeError(
+                "this Engine already ran a simulation; call reset() before "
+                "running it again (stale events must not replay)"
+            )
+        self._ran = True
+        heap = self._heap
         states = self._states
-        # the inline fast-path below assumes departures never need committing
-        # between steps, which only holds outside contention="fair"
-        fair_mode = self._fair is not None
+        fair = self._fair
+        counts = self.event_counts
+        trace = self.event_trace if self._trace_events else None
         while True:
-            state = self._pop_ready()
-            if state is None:
-                # no rank can act: retire the next fair-share departure (its
-                # blocked receiver/sender becomes ready) before giving up
-                if self._commit_due_fair(float("inf")):
+            # ---- pop the next live event (lazily skipping stale entries)
+            state: Optional[_RankState] = None
+            while heap:
+                timestamp, order, token = heap[0]
+                if order == 0:
+                    heapq.heappop(heap)
+                    if fair is not None and token == self._fair_event_version:
+                        # the registry is unchanged since this was scheduled,
+                        # so its earliest departure is still exactly this one
+                        if trace is not None:
+                            trace.append((timestamp, 0))
+                        counts[EV_FAIR_COMMIT] = counts.get(EV_FAIR_COMMIT, 0) + 1
+                        self._commit_fair_departure()
+                        self._sync_fair_event()
                     continue
-                if all(s.status == _DONE for s in self._states):
+                candidate = states[order - 1]
+                if candidate.status != _READY or token != candidate.ready_token:
+                    heapq.heappop(heap)  # stale entry from a superseded push
+                    continue
+                heapq.heappop(heap)
+                state = candidate
+                break
+            if state is None:
+                if fair is not None:
+                    # safety net: a pending flow with no live commit event
+                    # (cannot happen while the sync invariant holds, but a
+                    # deadlock report must never mask a pending departure)
+                    pending = fair.earliest_departure()
+                    if pending is not None:
+                        self._commit_fair_departure()
+                        self._sync_fair_event()
+                        continue
+                if all(s.status == _DONE for s in states):
                     break
                 raise DeadlockError(self._describe_deadlock())
-            if fair_mode and self._commit_due_fair(state.clock):
-                # a flow departs no later than the next rank step: commit it
-                # first (departures only move later on new arrivals, so no
-                # step below this clock can invalidate the commit), then
-                # rebuild the schedule — the commit may have readied ranks
-                self._push_ready(state)
-                continue
+            if trace is not None:
+                trace.append((state.clock, state.rank + 1))
+            # ---- inline stepping: keep driving this rank while it provably
+            # stays the minimum event (works in fair mode too — a due commit
+            # surfaces as a tier-0 heap entry and breaks the loop)
             while True:
                 token = state.ready_token
-                tokens_before = self._ready_tokens
                 self._step(state)
                 self._commands_total += 1
                 if self._commands_total > self.max_commands:
@@ -287,31 +444,34 @@ class Engine:
                         f"simulation exceeded max_commands={self.max_commands}; "
                         "a rank program is probably looping forever"
                     )
+                if fair is not None:
+                    self._sync_fair_event()
                 if state.status != _READY or state.ready_token != token:
                     # done, blocked, or a completed wait/barrier already pushed
                     # a fresh heap entry for this rank
                     break
-                if fair_mode or self._ready_tokens != tokens_before:
-                    # another rank became ready during the step (or a fair
-                    # departure may be due): fall back to the heap to decide
-                    # who acts next — exactly the push-then-pop order
-                    self._push_ready(state)
-                    break
-                # nothing else was scheduled during the step, so this rank is
-                # still the (clock, rank) minimum unless a live heap entry
-                # precedes it; skim stale entries while peeking
-                key = (state.clock, state.rank)
+                # this rank is still the minimum unless a live heap entry
+                # precedes (clock, rank); skim stale entries while peeking
+                key_t = state.clock
+                key_o = state.rank + 1
                 keep_going = True
                 while heap:
-                    top_clock, top_rank, top_token = heap[0]
-                    other = states[top_rank]
-                    if other.status != _READY or top_token != other.ready_token:
-                        heapq.heappop(heap)  # stale entry from a superseded push
-                        continue
-                    keep_going = (top_clock, top_rank) >= key
+                    top_t, top_o, top_token = heap[0]
+                    if top_o == 0:
+                        if fair is None or top_token != self._fair_event_version:
+                            heapq.heappop(heap)  # stale commit projection
+                            continue
+                        # a live commit at or before this clock must run first
+                        keep_going = top_t > key_t
+                    else:
+                        other = states[top_o - 1]
+                        if other.status != _READY or top_token != other.ready_token:
+                            heapq.heappop(heap)  # stale entry from a superseded push
+                            continue
+                        keep_going = (top_t, top_o) >= (key_t, key_o)
                     break
                 if not keep_going:
-                    self._push_ready(state)
+                    self._push_ready(state, EV_RANK_STEP)
                     break
                 # keep driving the same rank without touching the heap
         return [
@@ -325,35 +485,6 @@ class Engine:
             )
             for s in self._states
         ]
-
-    # ------------------------------------------------------ fair-share flows
-
-    def _commit_due_fair(self, horizon: float) -> bool:
-        """Retire one fair-share departure due at or before ``horizon``.
-
-        Fair flows have no precomputed finish time: the registry keeps
-        re-dividing bandwidth while arrivals trickle in, and a departure
-        becomes final only once no runnable rank could still post a
-        competing flow earlier.  Returns ``True`` if a flow was committed.
-        """
-        if self._fair is None:
-            return False
-        pending = self._fair.earliest_departure()
-        if pending is None or pending[0] > horizon:
-            return False
-        finish, flow = self._fair.commit_departure()
-        message: _Message = flow.token
-        message.transfer.finish_fair(finish)
-        self._inflight[message.dst].pop(message.msg_id, None)
-        self._notify_send_completion(message)
-        receiver = self._states[message.dst]
-        if (
-            receiver.status == _BLOCKED
-            and receiver.block_kind == _BLOCK_FLOW_COMPLETION
-            and receiver.block_req_id == message.recv_req_id
-        ):
-            self._continue_wait(receiver)
-        return True
 
     # ----------------------------------------------------------- scheduling
 
@@ -491,7 +622,7 @@ class Engine:
             and receiver.block_kind == _BLOCK_RECV_MATCH
             and receiver.block_req_id == posting.req_id
         ):
-            self._continue_wait(receiver)
+            self._continue_wait(receiver, EV_RECV_MATCH)
 
     # --------------------------------------------------------------- waiting
 
@@ -510,7 +641,7 @@ class Engine:
         state.wait_single = single
         self._continue_wait(state)
 
-    def _continue_wait(self, state: _RankState) -> None:
+    def _continue_wait(self, state: _RankState, wake_kind: str = EV_RANK_STEP) -> None:
         """Advance the rank's pending wait list as far as currently possible."""
         pending = state.wait_pending
         pos = state.wait_pos
@@ -530,7 +661,7 @@ class Engine:
         state.status = _READY
         state.block_kind = None
         state.block_req_id = None
-        self._push_ready(state)
+        self._push_ready(state, wake_kind)
         if state.wait_single:
             state.resume_value = state.wait_results[0] if state.wait_results else None
         else:
@@ -605,7 +736,11 @@ class Engine:
         return False
 
     def _notify_send_completion(self, message: _Message) -> None:
-        """Wake the sender if it is blocked waiting for this send to finish."""
+        """Wake the sender if it is blocked waiting for this send to finish.
+
+        The sender re-enters the event heap at the transfer's completion
+        time — this is the transfer-completion event of the taxonomy above.
+        """
         if not message.transfer.completed:
             return
         sender = self._states[message.src]
@@ -614,7 +749,7 @@ class Engine:
             and sender.block_kind == _BLOCK_SEND_COMPLETION
             and sender.block_req_id == message.send_req_id
         ):
-            self._continue_wait(sender)
+            self._continue_wait(sender, EV_TRANSFER_COMPLETE)
 
     def _ack_incoming(
         self,
@@ -678,7 +813,7 @@ class Engine:
                 blocked.status = _READY
                 blocked.block_kind = None
                 blocked.resume_value = None
-                self._push_ready(blocked)
+                self._push_ready(blocked, EV_BARRIER_RELEASE)
             self._barrier_waiting.clear()
 
     # ------------------------------------------------------------ diagnostics

@@ -40,6 +40,7 @@ fluid flows actually consumed.
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
@@ -131,6 +132,27 @@ class FairShareRegistry:
         self._flows: Dict[int, FairFlow] = {}
         self._clock = float("-inf")
         self._next_id = 0
+        # monotone change counter: bumped whenever the flow set, the rates or
+        # the fluid clock change, i.e. whenever a previously computed earliest
+        # departure may be stale.  The event-heap engine stamps its scheduled
+        # FAIR_COMMIT events with this version and lazily discards entries
+        # whose stamp no longer matches (see repro.mpisim.engine).
+        self._version = 0
+        # cached earliest departure; invalidated together with the version
+        self._earliest: Optional[Tuple[float, FairFlow]] = None
+        self._earliest_valid = False
+
+    def _touch(self) -> None:
+        """Record a state change: bump the version, drop the departure cache."""
+        self._version += 1
+        self._earliest_valid = False
+
+    @property
+    def version(self) -> int:
+        """Monotone counter of registry state changes (arrivals, departures,
+        rate re-divisions, clock advances).  Unchanged version == the result
+        of :meth:`earliest_departure` is unchanged."""
+        return self._version
 
     # -------------------------------------------------------------- protocol
 
@@ -167,15 +189,21 @@ class FairShareRegistry:
         self._flows[flow.flow_id] = flow
         for stage in flow.stages:
             stage.flows[flow.flow_id] = flow
-        self._redivide(start)
+        self._touch()
+        self._redivide(start, seeds=flow.stages)
         return flow
 
     def earliest_departure(self) -> Optional[Tuple[float, FairFlow]]:
         """The next flow to finish and when, at current rates (``None`` if idle).
 
         Ties resolve to the earliest-registered flow (drained-but-uncommitted
-        flows first), so commits are deterministic.
+        flows first), so commits are deterministic.  The result is cached and
+        only recomputed after a state change (see :attr:`version`), so calling
+        this between changes is O(1) — the engine leans on that to keep its
+        scheduled commit events fresh without rescanning the flow set.
         """
+        if self._earliest_valid:
+            return self._earliest
         best_t: Optional[float] = None
         best_flow: Optional[FairFlow] = None
         for flow in self._flows.values():
@@ -187,9 +215,9 @@ class FairShareRegistry:
         drain_t, drain_flow = self._next_drain(self._flows.values())
         if drain_flow is not None and (best_t is None or drain_t < best_t):
             best_t, best_flow = drain_t, drain_flow
-        if best_flow is None:
-            return None
-        return best_t, best_flow
+        self._earliest = None if best_flow is None else (best_t, best_flow)
+        self._earliest_valid = True
+        return self._earliest
 
     def commit_departure(self) -> Tuple[float, FairFlow]:
         """Retire the earliest-draining flow and return ``(finish, flow)``.
@@ -207,6 +235,7 @@ class FairShareRegistry:
         if not flow.drained:  # pragma: no cover - fp guard
             self._drain(flow, finish)
         self._flows.pop(flow.flow_id, None)
+        self._touch()
         assert flow.finish_time is not None
         return flow.finish_time, flow
 
@@ -217,6 +246,7 @@ class FairShareRegistry:
                 stage.flows.pop(flow.flow_id, None)
         self._flows.clear()
         self._clock = float("-inf")
+        self._touch()
 
     # --------------------------------------------------------- introspection
 
@@ -259,6 +289,8 @@ class FairShareRegistry:
 
     def _advance(self, target: float) -> None:
         """Progress every active flow to ``target``, draining along the way."""
+        if target > self._clock:
+            self._touch()
         if not self._flows or self._clock == float("-inf"):
             self._clock = max(self._clock, target)
             return
@@ -306,47 +338,103 @@ class FairShareRegistry:
         flow.rate = 0.0
         for stage in flow.stages:
             stage.flows.pop(flow.flow_id, None)
-        self._redivide(time)
+        self._touch()
+        self._redivide(time, seeds=flow.stages)
 
-    def _redivide(self, now: float) -> None:
-        """Progressive filling: recompute every active flow's max-min rate."""
-        active = [f for f in self._flows.values() if not f.drained]
+    def _redivide(self, now: float, seeds: Optional[Sequence[Any]] = None) -> None:
+        """Progressive filling: recompute active flows' max-min rates.
+
+        Implemented with a lazily-invalidated candidate heap keyed on
+        ``(share, stage insertion index)``: each filling round pops the stage
+        with the smallest current share instead of rescanning every stage.
+        The share arithmetic (``residual / unfixed count``), the tie-break
+        (earliest-registered stage wins an equal share) and the residual
+        subtraction order are identical to the reference quadratic sweep, so
+        the resulting rates are bit-for-bit the same — only the complexity
+        drops from O(stages^2 x flows) to O(incidences x log stages).
+
+        ``seeds`` (the stages of the flow that just arrived or drained)
+        restricts the filling to the *connected component* of stages
+        reachable from them through shared flows.  Max-min allocations
+        decompose exactly over such components — a rate in one component
+        never depends on another component's flows — so the restricted
+        filling produces bit-for-bit the rates the global sweep would, while
+        independent stages (e.g. distinct node uplinks) stop paying for each
+        other's arrivals.
+        """
+        self._touch()
+        if seeds is None:
+            active = [f for f in self._flows.values() if not f.drained]
+        else:
+            component: Dict[int, Any] = {}
+            members: Dict[int, FairFlow] = {}
+            frontier = list(seeds)
+            while frontier:
+                stage = frontier.pop()
+                sid = id(stage)
+                if sid in component:
+                    continue
+                component[sid] = stage
+                for flow in stage.flows.values():
+                    if flow.flow_id not in members:
+                        members[flow.flow_id] = flow
+                        for other in flow.stages:
+                            if id(other) not in component:
+                                frontier.append(other)
+            # registration order, exactly like the global sweep's iteration
+            active = [members[fid] for fid in sorted(members)]
         if not active:
             return
         stage_of: Dict[int, Any] = {}
+        stage_idx: Dict[int, int] = {}
         residual: Dict[int, float] = {}
+        counts: Dict[int, int] = {}
         crossing: Dict[int, List[FairFlow]] = {}
         for flow in active:
             for stage in flow.stages:
                 sid = id(stage)
                 if sid not in stage_of:
+                    stage_idx[sid] = len(stage_of)
                     stage_of[sid] = stage
                     residual[sid] = float(stage.capacity)
+                    counts[sid] = 0
                     crossing[sid] = []
                 crossing[sid].append(flow)
+                counts[sid] += 1
         unfixed = {f.flow_id: f for f in active}
         rates: Dict[int, float] = {}
-        while unfixed:
-            best_sid: Optional[int] = None
-            best_share = 0.0
-            for sid, flows_here in crossing.items():
-                n = sum(1 for f in flows_here if f.flow_id in unfixed)
-                if n == 0:
-                    continue
-                share = residual[sid] / n
-                if best_sid is None or share < best_share:
-                    best_sid, best_share = sid, share
-            if best_sid is None:  # pragma: no cover - every flow crosses a stage
-                break
-            share = max(0.0, best_share)
-            for flow in crossing[best_sid]:
+        candidates = [
+            (residual[sid] / counts[sid], stage_idx[sid], sid) for sid in stage_of
+        ]
+        heapq.heapify(candidates)
+        while unfixed and candidates:
+            share, idx, sid = heapq.heappop(candidates)
+            n = counts[sid]
+            if n == 0:
+                continue
+            current = residual[sid] / n
+            if current != share:
+                # stale entry: the stage changed since it was pushed
+                heapq.heappush(candidates, (current, idx, sid))
+                continue
+            share = max(0.0, share)
+            touched: List[int] = []
+            for flow in crossing[sid]:
                 if flow.flow_id not in unfixed:
                     continue
                 del unfixed[flow.flow_id]
                 rates[flow.flow_id] = share
                 for stage in flow.stages:
-                    sid = id(stage)
-                    residual[sid] = max(0.0, residual[sid] - share)
+                    other = id(stage)
+                    residual[other] = max(0.0, residual[other] - share)
+                    counts[other] -= 1
+                    touched.append(other)
+            for other in touched:
+                if counts[other] > 0:
+                    heapq.heappush(
+                        candidates,
+                        (residual[other] / counts[other], stage_idx[other], other),
+                    )
         for flow in active:
             rate = rates.get(flow.flow_id, 0.0)
             if rate != flow.rate:

@@ -403,3 +403,93 @@ class TestSimulationResult:
         mean = result.breakdown_mean()
         assert mean.total >= 0.0
         assert result.category_seconds("Wait") >= 0.0
+
+
+class TestEngineReuse:
+    """reset() must rebuild all run state — stale events can never replay.
+
+    Companion to the topology reset() coverage in test_topology.py: the
+    engine side of the same contract, now that scheduled fair-share commits
+    live in the event heap alongside rank-ready entries.
+    """
+
+    @staticmethod
+    def _exchange_program(rank, size):
+        payload = b"x" * 256
+        for step in range(3):
+            send = yield Isend(dest=(rank + 1) % size, data=payload, tag=step)
+            recv = yield Irecv(source=(rank - 1) % size, tag=step)
+            yield Waitall([recv, send])
+            yield Compute(1e-6)
+        return rank
+
+    def test_second_run_without_reset_raises(self):
+        from repro.mpisim.engine import Engine
+
+        engine = Engine(4, self._exchange_program, network=NET)
+        engine.run()
+        with pytest.raises(RuntimeError, match="reset"):
+            engine.run()
+
+    def test_reset_then_run_is_identical(self):
+        from repro.mpisim.engine import Engine
+
+        engine = Engine(4, self._exchange_program, network=NET)
+        first = [r.finish_time for r in engine.run()]
+        engine.reset()
+        second = [r.finish_time for r in engine.run()]
+        assert first == second
+
+    def test_reset_after_fair_run_replays_identically(self):
+        """Fair mode schedules commit events in the heap; reset() must drop
+        them (and rewind the registry) or the second run would replay stale
+        departures."""
+        from repro.mpisim.engine import Engine
+        from repro.mpisim.topology import SharedUplinkTopology
+
+        def make_engine():
+            return Engine(
+                8,
+                self._exchange_program,
+                network=NetworkModel(contention="fair"),
+                topology=SharedUplinkTopology(ranks_per_node=2, contention="fair"),
+            )
+
+        engine = make_engine()
+        first = [r.finish_time for r in engine.run()]
+        engine.reset()
+        assert engine._heap, "reset() must re-seed the initial rank events"
+        second = [r.finish_time for r in engine.run()]
+        fresh = [r.finish_time for r in make_engine().run()]
+        assert first == second == fresh
+
+    def test_reset_after_interrupted_run_clears_stale_events(self):
+        """A run aborted mid-flight (command budget) leaves events and
+        half-registered fair flows behind; reset() must clear both."""
+        from repro.mpisim.engine import Engine
+        from repro.mpisim.topology import SharedUplinkTopology
+
+        topology = SharedUplinkTopology(ranks_per_node=2, contention="fair")
+        engine = Engine(
+            8,
+            self._exchange_program,
+            network=NetworkModel(contention="fair"),
+            topology=topology,
+            max_commands=20,
+        )
+        with pytest.raises(RuntimeError, match="max_commands"):
+            engine.run()
+        engine.max_commands = 50_000_000
+        engine.reset()
+        assert topology.fair_registry.pending_count() == 0
+        interrupted_then_reset = [r.finish_time for r in engine.run()]
+        fresh = [
+            r.finish_time
+            for r in Engine(
+                8,
+                self._exchange_program,
+                network=NetworkModel(contention="fair"),
+                topology=SharedUplinkTopology(ranks_per_node=2, contention="fair"),
+            ).run()
+        ]
+        assert interrupted_then_reset == fresh
