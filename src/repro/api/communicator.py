@@ -33,6 +33,7 @@ Table V harness (:data:`repro.ccoll.variants.VARIANT_ALIASES`):
 
 from __future__ import annotations
 
+import dataclasses
 from typing import List, Optional, Union
 
 from repro.api.cluster import Cluster
@@ -146,9 +147,19 @@ class Communicator:
             topology = cluster.topology if cluster.topology is not None else FlatTopology()
             # preserve the preset name: the machine is the same, only the
             # stage timing discipline changes
-            cluster = cluster.with_updates(
-                topology=topology.with_contention(contention), preset=cluster.preset
-            )
+            updates = {
+                "topology": topology.with_contention(contention),
+                "preset": cluster.preset,
+            }
+            if cluster.network is not None and cluster.network.contention != contention:
+                # keep the network model's contention knob in agreement with
+                # the topology: the engine upgrades any reservation topology
+                # whose network says "fair", so a stale knob would silently
+                # route the session back to the sibling's fair-share fabric
+                updates["network"] = dataclasses.replace(
+                    cluster.network, contention=contention
+                )
+            cluster = cluster.with_updates(**updates)
         clone = Communicator(cluster, self.n_ranks, backend=self.backend)
         if compression is not None:
             clone._resolve_compression(compression)  # validate eagerly

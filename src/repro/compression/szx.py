@@ -49,13 +49,14 @@ Python iteration per *block*.
 
 from __future__ import annotations
 
+import math
 import struct
 from typing import Dict
 
 import numpy as np
 
 from repro.compression.base import Compressor
-from repro.compression.errors import CompressionError, DecompressionError
+from repro.compression.errors import CompressionError, DecompressionError, UnsupportedDataError
 from repro.compression.header import PayloadHeader
 from repro.utils.bitpack import (
     bit_length_u64,
@@ -125,15 +126,31 @@ class SZxCompressor(Compressor):
             return self.error_bound
         if data.size == 0:
             return self.error_bound
-        value_range = float(np.max(data) - np.min(data))
+        # subtract in python floats: numpy scalar arithmetic would emit a
+        # RuntimeWarning when the range overflows, the guard below rejects it
+        value_range = float(np.max(data)) - float(np.min(data))
+        if not math.isfinite(value_range):
+            raise UnsupportedDataError(
+                "value range overflows float64; relative-bound SZx cannot "
+                "resolve an absolute error bound for this data"
+            )
         if value_range == 0.0:
             value_range = 1.0
-        return self.error_bound * value_range
+        # a denormal value range can underflow the product to zero; clamp to
+        # the smallest normal float so the quantiser's step stays finite (the
+        # clamped bound exceeds the range, so every block is constant and the
+        # reconstruction is trivially within bound)
+        return max(self.error_bound * value_range, float(np.finfo(np.float64).tiny))
 
     # ----------------------------------------------------------- compression
 
     def compress_bytes(self, data: np.ndarray) -> bytes:
         eb = self.effective_error_bound(data)
+        if not (eb > 0.0 and math.isfinite(eb)):
+            raise CompressionError(
+                f"resolved error bound {eb!r} is not a positive finite number "
+                "(a relative bound underflowed on this data's value range)"
+            )
         header = PayloadHeader(magic=_MAGIC, dtype=data.dtype, count=data.size, param=eb)
         if data.size == 0:
             return header.pack() + _BLOCK_HEADER.pack(self.block_size, 0)
@@ -148,6 +165,14 @@ class SZxCompressor(Compressor):
 
         mins = blocks.min(axis=1)
         maxs = blocks.max(axis=1)
+        # The payload stores block anchors as float32; values beyond its range
+        # would overflow the cast (and the float64 midpoint sum) mid-pack.
+        largest = max(-float(mins.min()), float(maxs.max()), 0.0)
+        if largest > float(np.finfo(np.float32).max):
+            raise UnsupportedDataError(
+                "value magnitudes exceed the float32 anchor range of the SZx "
+                f"payload format (max |value| ~ {largest:.3e})"
+            )
         medium = ((mins + maxs) * 0.5).astype(np.float32)
         # Classify blocks against the float32 medium actually stored in the
         # payload, so the error bound holds for the reconstructed values too.
@@ -173,11 +198,20 @@ class SZxCompressor(Compressor):
                     float(row_max[nonconst_idx].max()),
                     -float(row_min[nonconst_idx].min()),
                 )
+            # zigzag magnitude of a quant q is <= 2*|q| + 1; the division
+            # bound (plus rounding margin) picks the narrowest safe dtype.
+            # Reject quants beyond int64 before casting (the width check
+            # below would catch them anyway, but only after the cast emitted
+            # a RuntimeWarning and produced garbage)
+            quant_bound = 2.0 * (max_abs / step + 1.0) + 1.0
+            if not quant_bound < 2.0**63:
+                raise CompressionError(
+                    "quantised offsets exceed the supported width; the error bound "
+                    f"({eb!r}) is too small relative to the data range"
+                )
             np.divide(offsets, step, out=offsets)
             np.rint(offsets, out=offsets)
-            # zigzag magnitude of a quant q is <= 2*|q| + 1; the division
-            # bound (plus rounding margin) picks the narrowest safe dtype
-            quants = offsets.astype(narrow_signed_dtype(2.0 * (max_abs / step + 1.0) + 1.0))
+            quants = offsets.astype(narrow_signed_dtype(quant_bound))
             encoded = zigzag_encode(quants)
             nbits_arr = bit_length_u64(encoded.max(axis=1))
             if int(nbits_arr.max()) > _MAX_QUANT_BITS:

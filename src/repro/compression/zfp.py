@@ -44,7 +44,7 @@ from typing import Dict, List
 import numpy as np
 
 from repro.compression.base import Compressor
-from repro.compression.errors import CompressionError, DecompressionError
+from repro.compression.errors import CompressionError, DecompressionError, UnsupportedDataError
 from repro.compression.header import PayloadHeader
 from repro.utils.bitpack import (
     bit_length_u64,
@@ -75,6 +75,10 @@ _ABS_MARGIN = 1.7
 
 _MAX_QUANT_BITS = 48
 _FXR_ZERO_EXPONENT = -128  # sentinel: the whole block quantises to zero
+
+#: the multi-level Haar transform forms pairwise differences, so inputs past
+#: half the float64 range overflow inside the transform
+_MAX_TRANSFORM_SAFE = float(np.finfo(np.float64).max) / 2.0
 
 
 def _haar_forward(blocks: np.ndarray) -> np.ndarray:
@@ -177,6 +181,11 @@ class ZFPCompressor(Compressor):
                 )
             self._budget_bits = budget_bits
             self._coef_bits = (budget_bits - 8) // self.block_size
+            if self._coef_bits > 64:
+                raise ValueError(
+                    f"rate {rate} asks for {self._coef_bits}-bit coefficients; "
+                    "the packer supports at most 64"
+                )
             self._block_bytes = (budget_bits + 7) // 8
 
     # ------------------------------------------------------------------ API
@@ -213,6 +222,16 @@ class ZFPCompressor(Compressor):
         padded[: data.size] = data
         if padded.size > data.size:
             padded[data.size :] = data[-1]
+        largest = float(np.max(np.abs(padded)))
+        if not math.isfinite(largest):
+            raise UnsupportedDataError(
+                "non-finite values cannot be encoded; ZFP requires finite input data"
+            )
+        if largest > _MAX_TRANSFORM_SAFE:
+            raise UnsupportedDataError(
+                "value magnitudes exceed the Haar-transform-safe range "
+                f"(max |value| ~ {largest:.3e} > float64 max / 2)"
+            )
         coeffs = _haar_forward(padded.reshape(n_blocks, block))
 
         body = bytearray()
@@ -227,7 +246,16 @@ class ZFPCompressor(Compressor):
     def _compress_abs(self, coeffs: np.ndarray) -> bytes:
         step = self.error_bound / _ABS_MARGIN
         max_abs = float(np.max(np.abs(coeffs))) if coeffs.size else 0.0
-        qdt = narrow_signed_dtype(2.0 * (max_abs / step + 1.0) + 1.0)
+        # reject quants beyond int64 before casting: the width check below
+        # would catch them anyway, but only after the cast emitted a
+        # RuntimeWarning and produced garbage
+        quant_bound = 2.0 * (max_abs / step + 1.0) + 1.0
+        if not quant_bound < 2.0**63:
+            raise CompressionError(
+                "quantised coefficients exceed the supported width; the error bound "
+                f"({self.error_bound!r}) is too small relative to the data range"
+            )
+        qdt = narrow_signed_dtype(quant_bound)
         scaled = coeffs / step
         np.rint(scaled, out=scaled)
         encoded = zigzag_encode(scaled.astype(qdt))
@@ -297,7 +325,14 @@ class ZFPCompressor(Compressor):
                 # cast-then-clip produced
                 np.clip(scaled, float(-limit), float(limit), out=scaled)
                 q = scaled.astype(narrow_signed_dtype(2.0 * limit + 1.0))
-            else:  # huge rates or emax-saturated magnitudes: historical path
+            else:
+                # Huge rates or emax-saturated magnitudes.  Clip in the float
+                # domain first so the int64 cast cannot overflow: the
+                # historical cast-then-clip wrapped saturated positives to
+                # INT64_MIN and then "clipped" them to -limit, flipping the
+                # sign of the reconstructed value.
+                fbound = min(float(limit), 2.0**62)
+                np.clip(scaled, -fbound, fbound, out=scaled)
                 q = scaled.astype(np.int64)
                 np.clip(q, -limit, limit, out=q)
             blob = pack_uint_bits_rows(zigzag_encode(q), coef_bits)

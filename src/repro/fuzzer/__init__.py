@@ -1,0 +1,33 @@
+"""Scenario fuzzer with an invariant autopilot.
+
+Four modules with one job each (see ``README.md`` in this package):
+
+* :mod:`~repro.fuzzer.generator` — seed -> :class:`Scenario` across the full
+  fabric x placement x contention x codec x algorithm x payload cross-product.
+* :mod:`~repro.fuzzer.executor` — scenario -> run record, every applicable
+  invariant checked (values, capacity, fair share, determinism, codec
+  round-trip).
+* :mod:`~repro.fuzzer.autopilot` — time-boxed sweeps + deterministic
+  shrinking of failures to minimal reproducers.
+* :mod:`~repro.fuzzer.database` — append-only JSONL keyed by replayable run
+  ids (``python -m repro.fuzzer replay <run_id>``).
+"""
+
+from repro.fuzzer.autopilot import SweepReport, shrink, sweep
+from repro.fuzzer.database import ResultsDatabase
+from repro.fuzzer.executor import build_communicator, execute, make_inputs, run_id_for
+from repro.fuzzer.generator import Scenario, generate_scenario, sanitize
+
+__all__ = [
+    "Scenario",
+    "generate_scenario",
+    "sanitize",
+    "execute",
+    "build_communicator",
+    "make_inputs",
+    "run_id_for",
+    "sweep",
+    "shrink",
+    "SweepReport",
+    "ResultsDatabase",
+]

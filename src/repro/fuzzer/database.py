@@ -1,0 +1,67 @@
+"""JSONL results database keyed by replayable run ids.
+
+One record per line, append-only; the latest record for a run id wins (the
+autopilot may re-execute a scenario while shrinking).  The format is the
+executor's record dict verbatim, so ``replay`` can rebuild the exact scenario
+from the stored ``scenario`` field and compare ``makespan`` /
+``value_digest`` bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+__all__ = ["ResultsDatabase"]
+
+
+class ResultsDatabase:
+    """Append-only JSONL store of fuzzer run records."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    # ---------------------------------------------------------------- writing
+
+    def append(self, record: Dict[str, object]) -> None:
+        """Append one executor record (must carry a ``run_id``)."""
+        if "run_id" not in record:
+            raise ValueError("record has no run_id")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+    # ---------------------------------------------------------------- reading
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+    def records(self) -> List[Dict[str, object]]:
+        """Every stored record, in append order."""
+        return list(self)
+
+    def get(self, run_id: str) -> Optional[Dict[str, object]]:
+        """The latest record stored under ``run_id`` (None if absent)."""
+        found: Optional[Dict[str, object]] = None
+        for record in self:
+            if record.get("run_id") == run_id:
+                found = record
+        return found
+
+    def summary(self) -> Dict[str, int]:
+        """Counts by status (latest record per run id)."""
+        latest: Dict[str, str] = {}
+        for record in self:
+            latest[str(record.get("run_id"))] = str(record.get("status"))
+        counts: Dict[str, int] = {}
+        for status in latest.values():
+            counts[status] = counts.get(status, 0) + 1
+        counts["total"] = len(latest)
+        return counts

@@ -1,0 +1,411 @@
+"""Scenario execution with the full invariant catalog checked on every run.
+
+The executor turns a :class:`~repro.fuzzer.generator.Scenario` into a live
+``Cluster``/``Communicator`` session, runs the collective, and checks every
+invariant that applies to that scenario:
+
+``values``
+    Every rank's result matches the numpy reference within the scenario's
+    tolerance — exact (1e-10 relative) for uncompressed runs, the documented
+    error-accumulation envelope for compressed runs.  Skipped for the
+    fixed-rate ``zfp_fxr`` codec, whose error is data-dependent by design.
+``capacity``
+    No shared stage is ever allocated beyond its capacity: the run is traced
+    with :func:`repro.mpisim.topology.trace_reservations` and audited with
+    :func:`~repro.mpisim.topology.capacity_conservation_violations`.  Holds
+    for both contention disciplines (fair runs re-express fluid segments as
+    reservations).
+``fair_share``
+    On ``contention="fair"`` runs, every max-min allocation the registry
+    commits is checked live: stages never exceed capacity, backlogged stages
+    are saturated, and every active flow is bottlenecked on some saturated
+    stage of its path.
+``determinism``
+    Executing the same scenario twice from freshly built sessions yields the
+    same makespan, the same bytes-sent counter and bit-identical values.
+``codec_roundtrip``
+    For error-bounded codecs, the configured codec round-trips the rank-0
+    payload within its effective bound (checked outside the collective, so a
+    values failure can be attributed to the schedule vs the codec).
+
+Results are plain dicts (JSONL-ready) keyed by a deterministic ``run_id``
+derived from the scenario's canonical JSON — replaying a run id re-executes
+the identical scenario.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.api import Cluster
+from repro.api.communicator import Communicator
+from repro.collectives.reduce_scatter import partition_chunks
+from repro.fuzzer.generator import _FABRIC_HOSTS, Scenario, placement_list, sanitize
+from repro.mpisim.fairshare import FairShareRegistry
+from repro.mpisim.topology import (
+    capacity_conservation_violations,
+    trace_reservations,
+)
+
+__all__ = [
+    "build_cluster",
+    "build_communicator",
+    "make_inputs",
+    "execute",
+    "run_id_for",
+    "trace_fair_allocations",
+]
+
+_FAIR_TOL = 1e-9
+
+
+def run_id_for(scenario: Scenario) -> str:
+    """Deterministic run id: hash of the scenario's canonical JSON."""
+    blob = json.dumps(scenario.to_dict(), sort_keys=True, separators=(",", ":"))
+    return "fz-" + hashlib.sha256(blob.encode()).hexdigest()[:12]
+
+
+# ------------------------------------------------------------------- building
+
+
+def build_cluster(scenario: Scenario) -> Cluster:
+    """Instantiate the scenario's fabric as a ``Cluster``."""
+    sc = scenario
+    kwargs: Dict[str, object] = {}
+    if sc.preset != "flat":
+        kwargs["ranks_per_node"] = sc.ranks_per_node
+    if sc.preset in ("two_level", "shared_uplink", "fat_tree", "dragonfly"):
+        kwargs["placement"] = placement_list(
+            sc.placement,
+            sc.n_ranks,
+            sc.ranks_per_node,
+            max_nodes=_FABRIC_HOSTS if sc.preset in ("fat_tree", "dragonfly") else None,
+        )
+    if sc.preset in ("shared_uplink", "fat_tree", "dragonfly", "rail_fat_tree"):
+        kwargs["contention"] = sc.contention
+    if sc.preset in ("fat_tree", "dragonfly"):
+        kwargs["nics_per_node"] = sc.nics_per_node
+        kwargs["routing"] = sc.routing
+    if sc.preset == "rail_fat_tree":
+        kwargs["nics_per_node"] = sc.nics_per_node
+    cluster = Cluster.from_preset(sc.preset, **kwargs)
+    return cluster.with_updates(
+        config=cluster.config.with_updates(codec=sc.codec, error_bound=sc.error_bound)
+    )
+
+
+def build_communicator(scenario: Scenario) -> Communicator:
+    """A fresh session for the scenario (a new one per run; no shared state)."""
+    return build_cluster(scenario).communicator(scenario.n_ranks)
+
+
+def make_inputs(scenario: Scenario) -> List[np.ndarray]:
+    """Per-rank payload vectors (deterministic from the scenario seed)."""
+    rng = np.random.default_rng(scenario.seed ^ 0x5EED)
+    dtype = np.dtype(scenario.dtype)
+    n, length = scenario.n_ranks, scenario.msg_elems
+    out: List[np.ndarray] = []
+    for rank in range(n):
+        profile = scenario.data_profile
+        if profile == "gaussian":
+            arr = rng.standard_normal(length)
+        elif profile == "ramp":
+            arr = np.linspace(-1.0, 1.0, num=length) * (rank + 1)
+        elif profile == "constant":
+            arr = np.full(length, 0.5 + 0.25 * rank)
+        elif profile == "zeros":
+            arr = np.zeros(length)
+        elif profile == "mixed_scale":
+            arr = rng.standard_normal(length) * np.logspace(-3, 3, num=max(length, 1))[:length]
+        else:
+            raise ValueError(f"unknown data profile {profile!r}")
+        out.append(np.asarray(arr, dtype=dtype))
+    return out
+
+
+# ------------------------------------------------------------ fair-share hook
+
+
+@contextmanager
+def trace_fair_allocations():
+    """Audit every max-min allocation a :class:`FairShareRegistry` commits.
+
+    After each flow arrival and each committed departure the registry's
+    allocation must satisfy the bottleneck property; every violation is
+    appended to the yielded list as a ``(kind, detail)`` pair.  Mirrors the
+    property-suite check, but attached globally so fuzzer runs audit the
+    engine's own registries rather than a synthetic one.
+    """
+    violations: List[Tuple[str, str]] = []
+    real_open, real_commit = FairShareRegistry.open_flow, FairShareRegistry.commit_departure
+
+    def check(registry) -> None:
+        active = registry.active_flows()
+        stages = {id(stage): stage for flow in active for stage in flow.stages}
+        saturated = set()
+        for key, stage in stages.items():
+            rate = stage.allocated_rate()
+            if rate > stage.capacity * (1.0 + _FAIR_TOL):
+                violations.append(
+                    ("overcommit", f"stage allocated {rate:.6g} > capacity {stage.capacity:.6g}")
+                )
+            if rate >= stage.capacity * (1.0 - _FAIR_TOL):
+                saturated.add(key)
+            elif stage.backlogged and any(
+                len(flow.stages) == 1 and flow.stages[0] is stage for flow in active
+            ):
+                # a backlogged stage that is some flow's only stage has no
+                # other bottleneck to defer to: max-min must fill it
+                violations.append(
+                    (
+                        "unsaturated",
+                        f"backlogged single-stage bottleneck allocated {rate:.6g} "
+                        f"< capacity {stage.capacity:.6g}",
+                    )
+                )
+        for flow in active:
+            if flow.remaining <= 0.0:
+                continue
+            if flow.rate <= 0.0:
+                violations.append(("starved", f"flow {flow.flow_id} has rate {flow.rate!r}"))
+            elif not any(id(stage) in saturated for stage in flow.stages):
+                violations.append(
+                    ("unbottlenecked", f"flow {flow.flow_id} is not bottlenecked anywhere")
+                )
+
+    def open_flow(self, *args, **kwargs):
+        flow = real_open(self, *args, **kwargs)
+        check(self)
+        return flow
+
+    def commit_departure(self):
+        result = real_commit(self)
+        check(self)
+        return result
+
+    FairShareRegistry.open_flow = open_flow  # type: ignore[method-assign]
+    FairShareRegistry.commit_departure = commit_departure  # type: ignore[method-assign]
+    try:
+        yield violations
+    finally:
+        FairShareRegistry.open_flow = real_open  # type: ignore[method-assign]
+        FairShareRegistry.commit_departure = real_commit  # type: ignore[method-assign]
+
+
+# ----------------------------------------------------------------- execution
+
+
+def _run_collective(comm: Communicator, scenario: Scenario, inputs: List[np.ndarray]):
+    op = scenario.op
+    if op == "allreduce":
+        return comm.allreduce(
+            inputs, algorithm=scenario.algorithm, compression=scenario.compression
+        )
+    if op == "allgather":
+        return comm.allgather(inputs, compression=scenario.compression)
+    if op == "bcast":
+        return comm.bcast(inputs[0], compression=scenario.compression)
+    if op == "reduce_scatter":
+        return comm.reduce_scatter(inputs, compression=scenario.compression)
+    raise ValueError(f"unknown op {scenario.op!r}")
+
+
+def _expected_values(scenario: Scenario, inputs: List[np.ndarray]) -> List[np.ndarray]:
+    wide = [arr.astype(np.float64) for arr in inputs]
+    op = scenario.op
+    if op == "allreduce":
+        return [np.sum(wide, axis=0)] * scenario.n_ranks
+    if op == "allgather":
+        # each rank's value is the (n_ranks, block) stack of all contributions
+        return [np.stack(wide)] * scenario.n_ranks
+    if op == "bcast":
+        return [wide[0]] * scenario.n_ranks
+    if op == "reduce_scatter":
+        return partition_chunks(np.sum(wide, axis=0), scenario.n_ranks)
+    raise ValueError(f"unknown op {scenario.op!r}")
+
+
+def _value_tolerance(scenario: Scenario) -> Optional[Tuple[float, float]]:
+    """(rtol, atol) for the values invariant; ``None`` = skip the check."""
+    # float32 runs accumulate in float32 while the reference sums in float64,
+    # so they always need a relative term scaled to the data magnitude
+    f32_rtol = 1e-5 if scenario.dtype == "float32" else 0.0
+    if scenario.compression == "off":
+        rtol = max(1e-10, f32_rtol)
+        return (rtol, rtol * 1e-2)
+    if scenario.codec == "zfp_fxr":
+        return None  # fixed-rate: error is data-dependent, not eb-bounded
+    n = scenario.n_ranks
+    eb = scenario.error_bound
+    if scenario.op == "allreduce":
+        # error-accumulation envelope covering every variant: ring chains
+        # re-compress partial sums up to n times; the topology-aware schedule
+        # is bounded by (n_nodes + 2) * eb * n_nodes with n_nodes <= n
+        atol = (n + 2) * max(1, n) * eb
+    else:  # allgather / bcast / reduce_scatter: bounded compression chains
+        atol = (n + 1) * eb
+    return (f32_rtol, atol * 1.01)
+
+
+def _digest(values: List[np.ndarray]) -> str:
+    h = hashlib.sha256()
+    for value in values:
+        arr = np.ascontiguousarray(value)
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def _single_run(scenario: Scenario):
+    """One traced execution: (comm, outcome, values, capacity+fair violations)."""
+    comm = build_communicator(scenario)
+    inputs = make_inputs(scenario)
+    with trace_reservations() as events, trace_fair_allocations() as fair_violations:
+        outcome = _run_collective(comm, scenario, inputs)
+    values = [np.asarray(outcome.value(rank)) for rank in range(scenario.n_ranks)]
+    problems: List[Dict[str, str]] = []
+    for stage, begin, previous in capacity_conservation_violations(events):
+        problems.append(
+            {
+                "invariant": "capacity",
+                "detail": (
+                    f"stage capacity={stage.capacity:.6g} reservation begins at "
+                    f"{begin:.9g} before previous finish {previous:.9g}"
+                ),
+            }
+        )
+    for kind, detail in fair_violations:
+        problems.append({"invariant": "fair_share", "detail": f"{kind}: {detail}"})
+    return comm, outcome, values, problems
+
+
+def execute(scenario: Scenario) -> Dict[str, object]:
+    """Run ``scenario`` with every applicable invariant checked.
+
+    Returns a JSONL-ready record: ``status`` is ``"ok"``, ``"violation"``
+    (one or more invariants failed) or ``"error"`` (the run raised).
+    """
+    scenario = sanitize(scenario)
+    record: Dict[str, object] = {
+        "run_id": run_id_for(scenario),
+        "scenario": scenario.to_dict(),
+    }
+    try:
+        comm, outcome, values, problems = _single_run(scenario)
+    except Exception as exc:  # noqa: BLE001 - a crash *is* a fuzzing result
+        record.update(
+            status="error",
+            violations=[{"invariant": "no_crash", "detail": f"{type(exc).__name__}: {exc}"}],
+        )
+        return record
+
+    violations = list(problems)
+
+    tolerances = _value_tolerance(scenario)
+    if tolerances is not None:
+        rtol, atol = tolerances
+        expected = _expected_values(scenario, make_inputs(scenario))
+        for rank, (got, want) in enumerate(zip(values, expected)):
+            want = np.asarray(want)
+            if got.shape != want.shape:
+                violations.append(
+                    {
+                        "invariant": "values",
+                        "detail": f"rank {rank}: shape {got.shape} != expected {want.shape}",
+                    }
+                )
+                continue
+            if got.size == 0:
+                continue
+            err = np.max(np.abs(got.astype(np.float64) - want.astype(np.float64)))
+            bound = atol + rtol * max(1.0, float(np.max(np.abs(want))))
+            if not err <= bound:
+                violations.append(
+                    {
+                        "invariant": "values",
+                        "detail": f"rank {rank}: max error {err:.6g} exceeds bound {bound:.6g}",
+                    }
+                )
+                break  # one rank's detail is enough; keep records compact
+
+    # determinism: a fresh session over the same scenario must be bit-identical
+    try:
+        _, outcome2, values2, _ = _single_run(scenario)
+    except Exception as exc:  # noqa: BLE001
+        violations.append(
+            {
+                "invariant": "determinism",
+                "detail": f"re-run raised {type(exc).__name__}: {exc}",
+            }
+        )
+    else:
+        if outcome2.total_time != outcome.total_time:
+            violations.append(
+                {
+                    "invariant": "determinism",
+                    "detail": (
+                        f"makespan {outcome.total_time!r} != re-run {outcome2.total_time!r}"
+                    ),
+                }
+            )
+        elif _digest(values2) != _digest(values):
+            violations.append(
+                {"invariant": "determinism", "detail": "re-run values differ bitwise"}
+            )
+
+    roundtrip_problem = _codec_roundtrip_problem(scenario)
+    if roundtrip_problem is not None:
+        violations.append(roundtrip_problem)
+
+    record.update(
+        status="violation" if violations else "ok",
+        violations=violations,
+        makespan=float(outcome.total_time),
+        bytes_sent=int(outcome.sim.total_bytes_sent),
+        value_digest=_digest(values),
+        algorithm=comm.last_algorithm,
+        compression_route=comm.last_compression,
+    )
+    return record
+
+
+def _codec_roundtrip_problem(scenario: Scenario) -> Optional[Dict[str, str]]:
+    """Round-trip the rank-0 payload through the configured codec."""
+    if scenario.compression == "off" or scenario.codec == "zfp_fxr":
+        return None
+    codec = build_cluster(scenario).config.make_codec()
+    data = make_inputs(scenario)[0]
+    try:
+        restored = codec.decompress_bytes(codec.compress_bytes(data))
+    except Exception as exc:  # noqa: BLE001
+        return {
+            "invariant": "codec_roundtrip",
+            "detail": f"round-trip raised {type(exc).__name__}: {exc}",
+        }
+    if restored.shape != data.shape or restored.dtype != data.dtype:
+        return {
+            "invariant": "codec_roundtrip",
+            "detail": f"round-trip changed shape/dtype to {restored.shape}/{restored.dtype}",
+        }
+    if data.size:
+        eb_fn = getattr(codec, "effective_error_bound", None)
+        bound = float(eb_fn(data.astype(np.float64))) if eb_fn else float(codec.error_bound)
+        slack = 0.0
+        if scenario.dtype == "float32":
+            # the bound holds in float64; casting back to the caller's
+            # float32 adds up to one ulp at the value's own magnitude
+            max_abs = float(np.max(np.abs(data.astype(np.float64))))
+            slack = float(np.finfo(np.float32).eps) * (max_abs + bound)
+        err = float(np.max(np.abs(restored.astype(np.float64) - data.astype(np.float64))))
+        if not err <= bound * (1.0 + 1e-9) + slack:
+            return {
+                "invariant": "codec_roundtrip",
+                "detail": f"max round-trip error {err:.6g} exceeds bound {bound:.6g}",
+            }
+    return None

@@ -1,0 +1,246 @@
+"""Deterministic scenario generation for the invariant fuzzer.
+
+A :class:`Scenario` is a fully explicit, JSON-serialisable description of one
+simulated collective: the fabric (preset, placement pattern, rails, routing,
+contention discipline), the collective (operation, algorithm, compression
+route, codec, error bound) and the payload (element count, dtype, data
+profile).  :func:`generate_scenario` expands an integer seed into one point of
+that cross-product with :class:`random.Random` — the same seed always yields
+the same scenario, and because the scenario records every resolved dimension
+it replays exactly from its dict alone, without the seed.
+
+Raw draws can land on combinations the session API rejects by design
+(``compression="nd"`` outside allreduce, an explicit algorithm on a
+compressed allreduce, placement patterns on the flat fabric).
+:func:`sanitize` folds every such draw onto the nearest valid scenario, so
+the generator's output space is exactly the valid input space — the executor
+never has to distinguish "the generator built nonsense" from "the simulator
+broke".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Scenario",
+    "generate_scenario",
+    "sanitize",
+    "placement_list",
+    "PRESETS",
+    "PLACEMENT_PATTERNS",
+    "OPS",
+    "CODECS",
+    "MESSAGE_ELEMS",
+]
+
+#: topology presets the fuzzer sweeps (keys of ``TOPOLOGY_PRESETS``)
+PRESETS: Tuple[str, ...] = (
+    "flat",
+    "two_level",
+    "shared_uplink",
+    "fat_tree",
+    "dragonfly",
+    "rail_fat_tree",
+)
+
+#: placed presets where a rank->node map applies at all
+_PLACED_PRESETS = ("two_level", "shared_uplink", "fat_tree", "dragonfly", "rail_fat_tree")
+
+#: fixed-size fabrics whose placement indexes real host slots
+_FABRIC_PRESETS = ("fat_tree", "dragonfly", "rail_fat_tree")
+
+#: presets with shared stages (contention discipline applies)
+_CONTENDED_PRESETS = ("shared_uplink", "fat_tree", "dragonfly", "rail_fat_tree")
+
+PLACEMENT_PATTERNS: Tuple[str, ...] = ("block", "cyclic", "irregular")
+
+OPS: Tuple[str, ...] = ("allreduce", "allgather", "bcast", "reduce_scatter")
+
+ALGORITHMS: Tuple[str, ...] = (
+    "auto",
+    "ring",
+    "recursive_doubling",
+    "rabenseifner",
+    "hierarchical",
+)
+
+COMPRESSIONS: Tuple[str, ...] = ("off", "on", "di", "nd", "auto")
+
+CODECS: Tuple[str, ...] = ("szx", "pipe_szx", "zfp_abs", "zfp_fxr")
+
+ERROR_BOUNDS: Tuple[float, ...] = (1e-2, 1e-3, 1e-4)
+
+#: element counts: 0/1-element degenerate payloads, non-powers of two, the
+#: SZx block boundary (128) and the PIPE-SZx chunk boundary (5120) straddled
+MESSAGE_ELEMS: Tuple[int, ...] = (0, 1, 2, 3, 5, 127, 128, 129, 1000, 1024, 4097, 5121)
+
+DATA_PROFILES: Tuple[str, ...] = ("gaussian", "ramp", "constant", "zeros", "mixed_scale")
+
+DTYPES: Tuple[str, ...] = ("float64", "float32")
+
+#: both fixed-size fabric presets expose 16 host slots at their default
+#: arity (fat tree k=4 -> 16 hosts; dragonfly 4x4x1 -> 16 hosts)
+_FABRIC_HOSTS = 16
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully resolved fuzzer scenario (every field JSON-primitive)."""
+
+    seed: int
+    preset: str
+    n_ranks: int
+    ranks_per_node: int
+    placement: str
+    nics_per_node: int
+    routing: str
+    contention: str
+    op: str
+    algorithm: str
+    compression: str
+    codec: str
+    error_bound: float
+    msg_elems: int
+    dtype: str
+    data_profile: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Scenario":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in fields})
+
+    def replace(self, **kwargs) -> "Scenario":
+        return dataclasses.replace(self, **kwargs)
+
+
+def placement_list(
+    pattern: str, n_ranks: int, ranks_per_node: int, max_nodes: Optional[int] = None
+) -> Optional[List[int]]:
+    """Explicit rank->node list for a placement pattern (``None`` = native block).
+
+    ``block`` returns ``None`` so topologies use their native ``ranks_per_node``
+    packing.  ``cyclic`` deals ranks round-robin over the nodes block placement
+    would have used.  ``irregular`` keeps runs contiguous but makes them
+    lopsided (node ``i`` holds ``ranks_per_node + (i % 2)`` ranks), the shape
+    that distinguishes the irregular selector class from plain block.
+    """
+    if pattern == "block":
+        return None
+    n_nodes = max(1, -(-n_ranks // ranks_per_node))
+    if max_nodes is not None:
+        n_nodes = min(n_nodes, max_nodes)
+    if pattern == "cyclic":
+        return [rank % n_nodes for rank in range(n_ranks)]
+    if pattern == "irregular":
+        out: List[int] = []
+        node = 0
+        while len(out) < n_ranks:
+            take = ranks_per_node + (node % 2)
+            out.extend([min(node, n_nodes - 1)] * take)
+            node += 1
+        return out[:n_ranks]
+    raise ValueError(f"unknown placement pattern {pattern!r}")
+
+
+def sanitize(scenario: Scenario) -> Scenario:
+    """Fold an arbitrary draw onto the nearest valid scenario.
+
+    The rules mirror the session API's own constraints; applying ``sanitize``
+    twice is a no-op, which the shrinker relies on (every reduction candidate
+    is re-sanitised before it is executed).
+    """
+    updates: Dict[str, object] = {}
+    preset = scenario.preset
+    if preset not in PRESETS:
+        preset = "flat"
+        updates["preset"] = preset
+
+    if preset == "flat":
+        # one rank per node, no placement, no shared stages, no rails
+        updates.update(
+            ranks_per_node=1,
+            placement="block",
+            nics_per_node=1,
+            routing="minimal",
+            contention="reservation",
+        )
+    else:
+        if preset not in _FABRIC_PRESETS:
+            updates.update(nics_per_node=1, routing="minimal")
+        if preset == "rail_fat_tree":
+            # the rail preset pins its own wiring: striped rails over an
+            # adaptive-routed tree, native block placement
+            updates.update(routing="adaptive", placement="block")
+        if preset not in _CONTENDED_PRESETS:
+            updates["contention"] = "reservation"
+        if preset in _FABRIC_PRESETS:
+            # keep every rank inside the fabric's host slots even under the
+            # lopsided irregular pattern (which can spill one node past block)
+            max_rpn = max(1, -(-scenario.n_ranks // _FABRIC_HOSTS))
+            if scenario.ranks_per_node < max_rpn:
+                updates["ranks_per_node"] = max_rpn
+
+    compression = scenario.compression
+    if compression != "off":
+        # the compressed variants fix their own schedule
+        updates["algorithm"] = "auto"
+    if scenario.op != "allreduce" and compression == "nd":
+        updates["compression"] = compression = "on"
+    if scenario.op == "reduce_scatter" and compression == "di":
+        updates["compression"] = compression = "on"
+    if scenario.op != "allreduce":
+        updates["algorithm"] = "auto"
+
+    if scenario.algorithm == "hierarchical" and updates.get("algorithm") is None:
+        # hierarchical on a one-rank-per-node fabric degenerates but is legal;
+        # keep it — it exercises the degenerate path on purpose
+        pass
+
+    # bcast/allgather/reduce_scatter payloads must be non-degenerate enough
+    # for the op to mean anything; 0-element stays legal for every op.
+    if scenario.op == "reduce_scatter" and 0 < scenario.msg_elems < scenario.n_ranks:
+        updates["msg_elems"] = scenario.n_ranks
+
+    return scenario.replace(**updates) if updates else scenario
+
+
+def generate_scenario(seed: int) -> Scenario:
+    """Expand ``seed`` into one valid scenario (deterministic)."""
+    rng = random.Random(seed)
+    preset = rng.choice(PRESETS)
+    n_ranks = rng.choice((2, 3, 4, 5, 6, 8, 9, 12, 16))
+    raw = Scenario(
+        seed=seed,
+        preset=preset,
+        n_ranks=n_ranks,
+        ranks_per_node=rng.choice((1, 2, 3, 4)),
+        placement=rng.choice(PLACEMENT_PATTERNS),
+        nics_per_node=rng.choice((1, 2)),
+        routing=rng.choice(("minimal", "adaptive")),
+        contention=rng.choice(("reservation", "fair")),
+        # allreduce carries most invariants (values, selector, compression
+        # variants) so it gets half the mass
+        op=rng.choice(("allreduce",) * 3 + OPS[1:]),
+        algorithm=rng.choice(ALGORITHMS),
+        compression=rng.choice(COMPRESSIONS),
+        codec=rng.choice(CODECS),
+        error_bound=rng.choice(ERROR_BOUNDS),
+        msg_elems=rng.choice(MESSAGE_ELEMS),
+        dtype=rng.choice(DTYPES + ("float64",)),  # bias toward float64
+        data_profile=rng.choice(DATA_PROFILES),
+    )
+    return sanitize(raw)
+
+
+def scenario_matrix(seed: int, count: int) -> List[Scenario]:
+    """``count`` scenarios derived from ``seed`` (scenario ``i`` uses seed
+    ``seed * 1_000_003 + i`` so sweeps with different base seeds do not
+    collide on their early indices)."""
+    return [generate_scenario(seed * 1_000_003 + i) for i in range(count)]

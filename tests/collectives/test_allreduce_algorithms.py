@@ -108,8 +108,12 @@ class TestSelection:
         assert select_algorithm(RING_MIN_BYTES, 2) == "recursive_doubling"
 
     def test_shared_uplinks_switch_to_hierarchical(self):
+        # block placement keeps Rabenseifner (halving steps stay intra-node);
+        # an interleaved placement is what forces the hierarchical schedule
         topo = SharedUplinkTopology(ranks_per_node=4)
-        assert select_algorithm(RING_MIN_BYTES, 16, topo) == "hierarchical"
+        assert select_algorithm(RING_MIN_BYTES, 16, topo) == "rabenseifner"
+        cyclic = SharedUplinkTopology(placement=[0, 1, 2, 3] * 4)
+        assert select_algorithm(RING_MIN_BYTES, 16, cyclic) == "hierarchical"
         # dedicated links keep the flat table
         dedicated = HierarchicalTopology(ranks_per_node=4)
         assert select_algorithm(RING_MIN_BYTES, 16, dedicated) == "ring"

@@ -1,0 +1,91 @@
+"""Regression: ``select_algorithm`` ignored rank placement entirely.
+
+Bug class: the selector's shared-fabric branch returned ``"hierarchical"``
+for *every* multi-rank-per-node topology.  Measured on the simulator this
+misroutes two placement classes:
+
+* block placement on shared uplinks: Rabenseifner's halving steps stay
+  intra-node, beating the hierarchical schedule by 27-36% across the
+  rendezvous band — the blanket fallback threw that away;
+* dedicated-per-pair-link fabrics never contend in-model, so the flat
+  tuning table was right all along and the hierarchical detour was pure
+  overhead.
+
+The fix classifies the placement via ``Topology.node_of`` (block / irregular
+/ interleaved) and routes each class to its measured winner.  These pins are
+the minimal fuzzer scenarios the broken selector fails on: with the blanket
+fallback, the block scenario's auto pick diverges from the faster measured
+schedule.
+"""
+
+from __future__ import annotations
+
+from repro.collectives.selection import (
+    PLACEMENT_BLOCK,
+    PLACEMENT_INTERLEAVED,
+    PLACEMENT_IRREGULAR,
+    RING_MIN_BYTES,
+    classify_placement,
+    select_algorithm,
+)
+from repro.fuzzer.executor import build_communicator, execute, make_inputs
+from repro.fuzzer.generator import Scenario, sanitize
+from repro.mpisim import HierarchicalTopology, SharedUplinkTopology
+
+MINIMAL = sanitize(
+    Scenario(
+        seed=0,
+        preset="shared_uplink",
+        n_ranks=8,
+        ranks_per_node=4,
+        placement="block",
+        nics_per_node=1,
+        routing="minimal",
+        contention="reservation",
+        op="allreduce",
+        algorithm="auto",
+        compression="off",
+        codec="szx",
+        error_bound=1e-3,
+        msg_elems=5121,
+        dtype="float64",
+        data_profile="gaussian",
+    )
+)
+
+
+class TestSelectorPlacementRegression:
+    def test_block_placement_no_longer_falls_back_to_hierarchical(self):
+        """The exact wrong pick of the old selector: block -> hierarchical."""
+        topo = SharedUplinkTopology(ranks_per_node=4)
+        assert select_algorithm(RING_MIN_BYTES, 16, topo) == "rabenseifner"
+
+    def test_cyclic_placement_still_gets_the_hierarchical_schedule(self):
+        cyclic = SharedUplinkTopology(placement=[0, 1, 2, 3] * 4)
+        assert select_algorithm(RING_MIN_BYTES, 16, cyclic) == "hierarchical"
+
+    def test_dedicated_links_keep_the_flat_table(self):
+        dedicated = HierarchicalTopology(ranks_per_node=4)
+        assert select_algorithm(RING_MIN_BYTES, 16, dedicated) == "ring"
+
+    def test_classifier_distinguishes_the_three_placement_classes(self):
+        n = 8
+        block = SharedUplinkTopology(ranks_per_node=4)
+        cyclic = SharedUplinkTopology(placement=[r % 4 for r in range(n)])
+        lopsided = SharedUplinkTopology(placement=[0, 0, 0, 0, 0, 1, 1, 2])
+        assert classify_placement(block, n) == PLACEMENT_BLOCK
+        assert classify_placement(cyclic, n) == PLACEMENT_INTERLEAVED
+        assert classify_placement(lopsided, n) == PLACEMENT_IRREGULAR
+
+    def test_minimal_fuzzer_scenario_is_clean_and_picks_rabenseifner(self):
+        record = execute(MINIMAL)
+        assert record["status"] == "ok", record["violations"]
+        assert record["algorithm"] == "rabenseifner"
+
+    def test_auto_beats_the_old_blanket_hierarchical_pick(self):
+        """The measured gap the fix recovers: auto must beat hierarchical."""
+        comm = build_communicator(MINIMAL)
+        inputs = make_inputs(MINIMAL)
+        auto = comm.allreduce(inputs, algorithm="auto")
+        forced = build_communicator(MINIMAL).allreduce(inputs, algorithm="hierarchical")
+        assert auto.total_time < forced.total_time

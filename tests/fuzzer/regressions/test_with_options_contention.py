@@ -1,0 +1,96 @@
+"""Regression: ``with_options(contention=...)`` downgrades were silently undone.
+
+Bug class: the sibling-session builder swapped the *topology* to the requested
+contention discipline but left the cluster's ``NetworkModel.contention`` knob
+untouched.  The engine upgrades any reservation topology whose network model
+says ``"fair"`` (and memoizes the fair clone on the topology), so on a
+cluster built with ``NetworkModel(contention="fair")`` a session downgraded
+to ``"reservation"`` was routed straight back to the sibling's fair-share
+fabric: the downgrade changed nothing and both "different" sessions shared
+one contention discipline.
+
+The asymmetric workload below (irregular 3-ranks-per-node placement, forced
+rabenseifner) times differently under the two disciplines, which is what
+makes the silent re-upgrade observable; symmetric flows are aggregate-exact
+under both and would mask the bug.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api import Cluster
+from repro.mpisim.network import NetworkModel
+
+
+def _fair_network_comm():
+    """The bug path: reservation-built topology + a network that says fair."""
+    return Cluster.from_preset(
+        "shared_uplink", ranks_per_node=3, network=NetworkModel(contention="fair")
+    ).communicator(8)
+
+
+def _run(comm):
+    rng = np.random.default_rng(3)
+    inputs = [rng.standard_normal(4096) for _ in range(comm.n_ranks)]
+    return comm.allreduce(inputs, algorithm="rabenseifner").total_time
+
+
+class TestWithOptionsContentionRegression:
+    def test_downgrade_from_fair_cluster_actually_downgrades(self):
+        fair_time = _run(_fair_network_comm())
+        reservation_time = _run(
+            Cluster.from_preset(
+                "shared_uplink", ranks_per_node=3, contention="reservation"
+            ).communicator(8)
+        )
+        assert fair_time != reservation_time  # the disciplines must differ here
+
+        downgraded = _fair_network_comm().with_options(contention="reservation")
+        assert _run(downgraded) == reservation_time  # was: == fair_time
+
+    def test_downgrade_round_trip_is_stable(self):
+        comm = _fair_network_comm()
+        fair_time = _run(comm)
+        round_trip = comm.with_options(contention="reservation").with_options(
+            contention="fair"
+        )
+        assert _run(round_trip) == fair_time
+
+    def test_sibling_sessions_do_not_share_contention_state(self):
+        base = _fair_network_comm()
+        downgraded = base.with_options(contention="reservation")
+        # the sibling keeps its own discipline after the downgrade session ran
+        before = _run(base)
+        _run(downgraded)
+        assert _run(base) == before
+
+    def test_network_knob_tracks_the_topology(self):
+        base = _fair_network_comm()
+        downgraded = base.with_options(contention="reservation")
+        assert downgraded.cluster.topology.contention == "reservation"
+        assert downgraded.cluster.network.contention == "reservation"
+        # the original session is untouched
+        assert base.cluster.network.contention == "fair"
+
+    def test_preset_built_fair_topology_downgrades_too(self):
+        """The other construction path: the topology itself was built fair."""
+        fair = Cluster.from_preset(
+            "shared_uplink", ranks_per_node=3, contention="fair"
+        ).communicator(8)
+        reservation_time = _run(
+            Cluster.from_preset(
+                "shared_uplink", ranks_per_node=3, contention="reservation"
+            ).communicator(8)
+        )
+        assert _run(fair.with_options(contention="reservation")) == reservation_time
+
+    def test_contention_on_a_bare_cluster_stays_harmless(self):
+        """The fix must not break clusters with no network model at all."""
+        comm = Cluster().communicator(4)
+        clone = comm.with_options(contention="fair")
+        rng = np.random.default_rng(0)
+        inputs = [rng.standard_normal(256) for _ in range(4)]
+        np.testing.assert_allclose(
+            clone.allreduce(inputs).value(0), np.sum(inputs, axis=0), rtol=1e-10
+        )

@@ -1,0 +1,137 @@
+"""Executor invariants: they pass on healthy runs and catch broken ones."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fuzzer.executor import (
+    build_communicator,
+    execute,
+    make_inputs,
+    trace_fair_allocations,
+)
+from repro.fuzzer.generator import Scenario, generate_scenario, sanitize
+from repro.mpisim.fairshare import FairShareRegistry
+from repro.mpisim.topology import FairShareLink
+
+
+def _scenario(**overrides) -> Scenario:
+    fields = dict(
+        seed=11,
+        preset="shared_uplink",
+        n_ranks=6,
+        ranks_per_node=3,
+        placement="block",
+        nics_per_node=1,
+        routing="minimal",
+        contention="reservation",
+        op="allreduce",
+        algorithm="auto",
+        compression="off",
+        codec="szx",
+        error_bound=1e-3,
+        msg_elems=128,
+        dtype="float64",
+        data_profile="gaussian",
+    )
+    fields.update(overrides)
+    return sanitize(Scenario(**fields))
+
+
+class TestHealthyRuns:
+    @pytest.mark.parametrize("preset", ["flat", "two_level", "shared_uplink", "fat_tree"])
+    def test_uncompressed_allreduce_is_clean(self, preset):
+        record = execute(_scenario(preset=preset))
+        assert record["status"] == "ok", record["violations"]
+        assert record["violations"] == []
+        assert record["makespan"] > 0.0
+
+    @pytest.mark.parametrize("op", ["allgather", "bcast", "reduce_scatter"])
+    def test_other_ops_are_clean(self, op):
+        record = execute(_scenario(op=op, compression="on"))
+        assert record["status"] == "ok", record["violations"]
+
+    def test_empty_payload_is_clean(self):
+        record = execute(_scenario(msg_elems=0, compression="on", codec="pipe_szx"))
+        assert record["status"] == "ok", record["violations"]
+
+    def test_fair_contention_run_is_clean(self):
+        record = execute(
+            _scenario(contention="fair", placement="irregular", msg_elems=4097)
+        )
+        assert record["status"] == "ok", record["violations"]
+
+    def test_crash_becomes_an_error_record(self):
+        # an op the executor does not know is the cheapest guaranteed raise
+        record = execute(_scenario().replace(op="transmogrify"))
+        assert record["status"] == "error"
+        assert record["violations"][0]["invariant"] == "no_crash"
+
+
+class TestInvariantSensitivity:
+    """Broken executions must actually trip the invariant checks."""
+
+    def test_values_invariant_catches_a_wrong_sum(self, monkeypatch):
+        scenario = _scenario()
+        from repro.fuzzer import executor as executor_module
+
+        real = executor_module._run_collective
+
+        def corrupted(comm, sc, inputs):
+            outcome = real(comm, sc, inputs)
+            outcome.values[0] = outcome.values[0] + 1.0
+            return outcome
+
+        monkeypatch.setattr(executor_module, "_run_collective", corrupted)
+        record = execute(scenario)
+        assert record["status"] == "violation"
+        assert any(v["invariant"] == "values" for v in record["violations"])
+
+    def test_fair_share_hook_catches_an_overcommitted_stage(self):
+        # the real registry always re-divides consistently, so a broken
+        # allocation has to come from the stage itself lying about its rate
+        class OvercommittedLink(FairShareLink):
+            def allocated_rate(self):
+                return self.capacity * 2.0
+
+        registry = FairShareRegistry()
+        with trace_fair_allocations() as violations:
+            registry.open_flow([OvercommittedLink(capacity=100.0)], 0.0, 1000.0)
+        assert any(kind == "overcommit" for kind, _ in violations)
+
+    def test_fair_share_hook_catches_a_starved_bottleneck(self):
+        class IdleLink(FairShareLink):
+            def allocated_rate(self):
+                return 0.0
+
+        registry = FairShareRegistry()
+        with trace_fair_allocations() as violations:
+            registry.open_flow([IdleLink(capacity=100.0)], 0.0, 1000.0)
+        kinds = {kind for kind, _ in violations}
+        assert "unbottlenecked" in kinds or "unsaturated" in kinds
+
+    def test_fair_share_hook_accepts_legal_allocations(self):
+        stage = FairShareLink(capacity=100.0)
+        registry = FairShareRegistry()
+        with trace_fair_allocations() as violations:
+            registry.open_flow([stage], 0.0, 1000.0)
+            registry.open_flow([stage], 0.0, 500.0)
+            while registry.pending_count():
+                registry.commit_departure()
+        assert violations == []
+
+
+class TestInputs:
+    def test_inputs_are_deterministic_and_typed(self):
+        scenario = _scenario(dtype="float32", data_profile="mixed_scale", msg_elems=1000)
+        first, second = make_inputs(scenario), make_inputs(scenario)
+        assert all(np.array_equal(a, b) for a, b in zip(first, second))
+        assert all(arr.dtype == np.float32 for arr in first)
+        assert len(first) == scenario.n_ranks
+
+    def test_builders_respect_the_scenario_fabric(self):
+        comm = build_communicator(_scenario(preset="shared_uplink", contention="fair"))
+        assert comm.n_ranks == 6
+        assert comm.cluster.topology.contention == "fair"
+        assert comm.cluster.config.codec == "szx"

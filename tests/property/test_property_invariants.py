@@ -18,13 +18,17 @@ The fair-model-specific invariants (max-min rates, work conservation, exact
 symmetric aggregate-equivalence) live in ``test_fair_contention.py``.
 """
 
+import warnings
+
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.api import Cluster
 from repro.collectives import CollectiveContext
 from repro.compression import PipelinedSZx, SZxCompressor, ZFPCompressor
+from repro.compression.errors import CompressionError, UnsupportedDataError
 from repro.mpisim import (
     DragonflyTopology,
     FatTreeTopology,
@@ -88,6 +92,85 @@ class TestCodecProperties:
         # header + per-block budget, data independent
         assert abs(buf.nbytes - expected) < 64
         assert codec.decompress(buf).size == data.size
+
+
+def _all_codecs():
+    return [
+        SZxCompressor(error_bound=1e-3),
+        SZxCompressor(error_bound=1e-3, error_mode="rel"),
+        ZFPCompressor(mode="abs", error_bound=1e-3),
+        ZFPCompressor(mode="fxr", rate=8),
+        PipelinedSZx(error_bound=1e-3, chunk_elems=64),
+    ]
+
+
+#: float64 values spanning the denormal range up to modest magnitudes, plus
+#: exact zeros — the corners the scenario fuzzer feeds through every codec
+corner_floats = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=5e-324, max_value=1e-300, allow_nan=False),
+    st.floats(min_value=-1e-300, max_value=-5e-324, allow_nan=False),
+    st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+)
+corner_arrays = hnp.arrays(
+    dtype=np.float64, shape=st.integers(min_value=0, max_value=400), elements=corner_floats
+)
+
+
+class TestCodecEdgeCorners:
+    """Empty / all-zero / denormal-range data must round-trip through every
+    codec without ever crashing (or warning) mid-pack; data the payload
+    formats cannot represent must raise a typed error instead."""
+
+    @given(data=corner_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_denormal_and_zero_corners_roundtrip(self, data):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a RuntimeWarning mid-pack fails
+            for codec in _all_codecs():
+                recon = codec.roundtrip(data)
+                assert recon.shape == data.shape
+                assert recon.dtype == data.dtype
+                if codec.error_bounded and data.size:
+                    resolve = getattr(codec, "effective_error_bound", None)
+                    bound = resolve(data) if resolve is not None else codec.error_bound
+                    assert float(np.max(np.abs(recon - data))) <= bound
+
+    def test_empty_arrays_roundtrip_everywhere(self):
+        empty = np.zeros(0, dtype=np.float64)
+        for codec in _all_codecs():
+            recon = codec.roundtrip(empty)
+            assert recon.size == 0 and recon.dtype == empty.dtype
+
+    def test_nan_and_inf_raise_unsupported(self):
+        for bad in (np.array([1.0, np.nan]), np.array([np.inf, 0.0])):
+            for codec in _all_codecs():
+                with pytest.raises(UnsupportedDataError):
+                    codec.compress(bad)
+
+    def test_unrepresentable_magnitudes_raise_cleanly(self):
+        """Values past a payload format's representable range must raise a
+        CompressionError (never emit numpy warnings or pack garbage)."""
+        huge = np.full(64, 1e300)
+        mixed = np.array([1.7e308, -1.7e308] * 32)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for codec in _all_codecs():
+                for data in (huge, mixed):
+                    try:
+                        recon = codec.roundtrip(data)
+                    except CompressionError:
+                        continue  # typed rejection is fine
+                    # codecs that accept the data must keep the sign
+                    assert np.all(np.sign(recon) == np.sign(data))
+
+    def test_fxr_saturated_magnitudes_keep_their_sign(self):
+        """The historical int64 cast wrapped saturated positives negative."""
+        codec = ZFPCompressor(mode="fxr", rate=8)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            recon = codec.roundtrip(np.full(64, 1e300))
+        assert np.all(recon > 0)
 
 
 class TestBitPackProperties:
