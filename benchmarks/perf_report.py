@@ -253,11 +253,45 @@ def scaling_suite(reps: int, full: bool) -> dict:
     return results
 
 
+def workload_suite(reps: int) -> dict:
+    """Multi-tenant throughput: a pinned-seed job mix on one fair fat tree.
+
+    Measures the whole workload pipeline — arrival scheduling, on-the-fly
+    compilation, multi-job engine multiplexing, cross-tenant fair sharing —
+    as jobs completed and point-to-point flows delivered per wall-clock
+    second.  Isolated baselines are skipped (they would just re-measure the
+    single-job engine the other suites already cover).
+    """
+    from repro.api import Cluster
+    from repro.workload import JobMix, WorkloadEngine
+
+    cluster = Cluster.from_preset("fat_tree", ranks_per_node=2, contention="fair")
+    specs = JobMix(n_jobs=8, arrival_rate=500.0, sizes=(2, 4, 8)).generate(7)
+    engine = WorkloadEngine(cluster, policy="spread", seed=7)
+    last = {}
+
+    def run() -> None:
+        last["report"] = engine.run(specs, baseline=False)
+
+    seconds = best_of(run, reps)
+    report = last["report"]
+    return {
+        "workload_mix_8_jobs_fair": {
+            "seconds": seconds,
+            "jobs_per_s": len(specs) / seconds,
+        },
+        "workload_mix_8_jobs_fair_flows": {
+            "seconds": seconds,
+            "flows_per_s": report.total_messages / seconds,
+        },
+    }
+
+
 # ------------------------------------------------------------------- report
 
 
 def throughput_of(entry: dict) -> float:
-    for key in ("mb_per_s", "commands_per_s", "runs_per_s"):
+    for key in ("mb_per_s", "commands_per_s", "runs_per_s", "jobs_per_s", "flows_per_s"):
         if key in entry:
             return float(entry[key])
     return 1.0 / float(entry["seconds"])
@@ -345,10 +379,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("all", "scaling"),
+        choices=("all", "scaling", "workload"),
         default="all",
         help="'scaling' measures only the event-heap scaling entries "
-        "(the CI scaling smoke); default runs everything",
+        "(the CI scaling smoke); 'workload' only the multi-tenant job-mix "
+        "entries; default runs everything",
     )
     args = parser.parse_args(argv)
     reps = 2 if args.quick else 5
@@ -357,15 +392,22 @@ def main(argv=None) -> int:
     print(f"machine calibration: {calibration:.4f}s")
     codec = {}
     engine = {}
+    scaling = {}
+    workload = {}
+    plural = "s" if reps > 1 else ""
     if args.suite == "all":
-        print(f"codec suite ({reps} rep{'s' if reps > 1 else ''}) ...")
+        print(f"codec suite ({reps} rep{plural}) ...")
         codec = codec_suite(reps)
-        print(f"engine suite ({reps} rep{'s' if reps > 1 else ''}) ...")
+        print(f"engine suite ({reps} rep{plural}) ...")
         engine = engine_suite(reps)
-    print(f"scaling suite ({reps} rep{'s' if reps > 1 else ''}) ...")
-    scaling = scaling_suite(reps, full=args.full)
+    if args.suite in ("all", "scaling"):
+        print(f"scaling suite ({reps} rep{plural}) ...")
+        scaling = scaling_suite(reps, full=args.full)
+    if args.suite in ("all", "workload"):
+        print(f"workload suite ({reps} rep{plural}) ...")
+        workload = workload_suite(reps)
 
-    for name, entry in {**codec, **engine, **scaling}.items():
+    for name, entry in {**codec, **engine, **scaling, **workload}.items():
         print(f"  {name:32s} {entry['seconds']:.4f}s  ({throughput_of(entry):,.1f})")
 
     if args.check:
@@ -386,19 +428,34 @@ def main(argv=None) -> int:
             if codec
             else []
         )
-        scaling_problems = check(ENGINE_BASELINE, scaling, args.tolerance, engine_ratio)
+        scaling_problems = (
+            check(ENGINE_BASELINE, scaling, args.tolerance, engine_ratio)
+            if scaling
+            else []
+        )
+        workload_problems = (
+            check(ENGINE_BASELINE, workload, args.tolerance, engine_ratio)
+            if workload
+            else []
+        )
         engine_problems = (
             check(ENGINE_BASELINE, engine, args.tolerance, engine_ratio) if engine else []
         )
         for p in engine_problems:
             print(f"\nWARNING (advisory): {p}", file=sys.stderr)
-        hard_problems = codec_problems + scaling_problems
+        hard_problems = codec_problems + scaling_problems + workload_problems
         if hard_problems:
             print("\nPERF REGRESSION:", file=sys.stderr)
             for p in hard_problems:
                 print(f"  {p}", file=sys.stderr)
             return 1
-        gated = "codec and scaling" if codec else "scaling"
+        gated = " and ".join(
+            name
+            for name, suite in (
+                ("codec", codec), ("scaling", scaling), ("workload", workload)
+            )
+            if suite
+        )
         print(f"\nall {gated} throughputs within {args.tolerance}x of the committed baselines")
         return 0
 
@@ -408,7 +465,7 @@ def main(argv=None) -> int:
     write_report(CODEC_BASELINE, codec, reps, args.quick, calibration)
     write_report(
         ENGINE_BASELINE,
-        {**engine, **scaling},
+        {**engine, **scaling, **workload},
         reps,
         args.quick,
         calibration,

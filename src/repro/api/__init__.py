@@ -36,7 +36,10 @@ from repro.api.communicator import Communicator
 from repro.mpisim.backends import (
     Backend,
     BackendUnavailableError,
+    CaptureBackend,
+    CapturedProgram,
     MPI4PyBackend,
+    ProgramCaptured,
     SimBackend,
     default_backend,
     resolve_backend,
@@ -45,9 +48,12 @@ from repro.mpisim.backends import (
 __all__ = [
     "Backend",
     "BackendUnavailableError",
+    "CaptureBackend",
+    "CapturedProgram",
     "Cluster",
     "Communicator",
     "MPI4PyBackend",
+    "ProgramCaptured",
     "SimBackend",
     "default_backend",
     "resolve_backend",

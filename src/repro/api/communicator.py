@@ -34,7 +34,7 @@ Table V harness (:data:`repro.ccoll.variants.VARIANT_ALIASES`):
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Union
+from typing import Any, Callable, List, Optional, Union
 
 from repro.api.cluster import Cluster
 from repro.ccoll.computation import _run_c_reduce_scatter
@@ -175,6 +175,30 @@ class Communicator:
             "topology": self.cluster.topology,
             "backend": self.backend,
         }
+
+    def capture(self, call: Callable[["Communicator"], Any]):
+        """Record the rank program ``call`` would execute, without running it.
+
+        The session-multiplexing hook behind :mod:`repro.workload`: ``call``
+        receives a sibling communicator wired to a
+        :class:`~repro.mpisim.backends.CaptureBackend` and issues exactly one
+        collective against it (``lambda c: c.allreduce(vectors)``).  All
+        build-time work happens for real — algorithm selection against this
+        cluster's topology, compression planning, payload precomputation —
+        but instead of simulating, the backend stores the per-rank program
+        factory and aborts.  Returns the
+        :class:`~repro.mpisim.backends.CapturedProgram`, whose factory a
+        multi-job engine can bind onto its own slots.
+        """
+        from repro.mpisim.backends import CaptureBackend, ProgramCaptured
+
+        probe = Communicator(self.cluster, self.n_ranks, backend=CaptureBackend())
+        probe.default_compression = self.default_compression
+        try:
+            call(probe)
+        except ProgramCaptured:
+            pass
+        return probe.backend.take()
 
     def _resolve_compression(self, compression: Union[str, bool]) -> str:
         """Map a user compression switch to ``"auto"`` or a canonical variant."""

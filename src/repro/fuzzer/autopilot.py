@@ -38,6 +38,7 @@ _REDUCTIONS = (
     ("placement", ("block",)),
     ("routing", ("minimal",)),
     ("nics_per_node", (1,)),
+    ("program_len", (1, 2)),
     ("op", ("allreduce",)),
     ("algorithm", ("auto",)),
     ("dtype", ("float64",)),

@@ -1,8 +1,9 @@
 """Scenario execution with the full invariant catalog checked on every run.
 
 The executor turns a :class:`~repro.fuzzer.generator.Scenario` into a live
-``Cluster``/``Communicator`` session, runs the collective, and checks every
-invariant that applies to that scenario:
+``Cluster``/``Communicator`` session, runs its program — ``program_len``
+back-to-back collectives with per-step payloads — and checks every invariant
+that applies to that scenario:
 
 ``values``
     Every rank's result matches the numpy reference within the scenario's
@@ -104,9 +105,13 @@ def build_communicator(scenario: Scenario) -> Communicator:
     return build_cluster(scenario).communicator(scenario.n_ranks)
 
 
-def make_inputs(scenario: Scenario) -> List[np.ndarray]:
-    """Per-rank payload vectors (deterministic from the scenario seed)."""
-    rng = np.random.default_rng(scenario.seed ^ 0x5EED)
+def make_inputs(scenario: Scenario, step: int = 0) -> List[np.ndarray]:
+    """Per-rank payload vectors (deterministic from the scenario seed).
+
+    ``step`` mixes a fresh stream in for each collective of a multi-step
+    program (``program_len > 1``); step 0 reproduces the pre-knob payloads.
+    """
+    rng = np.random.default_rng((scenario.seed ^ 0x5EED) + step * 0x9E3779B9)
     dtype = np.dtype(scenario.dtype)
     n, length = scenario.n_ranks, scenario.msg_elems
     out: List[np.ndarray] = []
@@ -263,26 +268,41 @@ def _digest(values: List[np.ndarray]) -> str:
 
 
 def _single_run(scenario: Scenario):
-    """One traced execution: (comm, outcome, values, capacity+fair violations)."""
+    """One traced execution of the scenario's whole program.
+
+    Returns ``(comm, outcomes, step_values, violations)``: one outcome and
+    one per-rank value list per collective step.  Each step is traced and
+    audited separately — the engine resets contention state per run, so a
+    cross-step reservation trace would see overlapping timelines and
+    misreport capacity violations.
+    """
     comm = build_communicator(scenario)
-    inputs = make_inputs(scenario)
-    with trace_reservations() as events, trace_fair_allocations() as fair_violations:
-        outcome = _run_collective(comm, scenario, inputs)
-    values = [np.asarray(outcome.value(rank)) for rank in range(scenario.n_ranks)]
+    outcomes = []
+    step_values: List[List[np.ndarray]] = []
     problems: List[Dict[str, str]] = []
-    for stage, begin, previous in capacity_conservation_violations(events):
-        problems.append(
-            {
-                "invariant": "capacity",
-                "detail": (
-                    f"stage capacity={stage.capacity:.6g} reservation begins at "
-                    f"{begin:.9g} before previous finish {previous:.9g}"
-                ),
-            }
+    for step in range(scenario.program_len):
+        inputs = make_inputs(scenario, step)
+        with trace_reservations() as events, trace_fair_allocations() as fair_violations:
+            outcome = _run_collective(comm, scenario, inputs)
+        outcomes.append(outcome)
+        step_values.append(
+            [np.asarray(outcome.value(rank)) for rank in range(scenario.n_ranks)]
         )
-    for kind, detail in fair_violations:
-        problems.append({"invariant": "fair_share", "detail": f"{kind}: {detail}"})
-    return comm, outcome, values, problems
+        for stage, begin, previous in capacity_conservation_violations(events):
+            problems.append(
+                {
+                    "invariant": "capacity",
+                    "detail": (
+                        f"step {step}: stage capacity={stage.capacity:.6g} reservation "
+                        f"begins at {begin:.9g} before previous finish {previous:.9g}"
+                    ),
+                }
+            )
+        for kind, detail in fair_violations:
+            problems.append(
+                {"invariant": "fair_share", "detail": f"step {step}: {kind}: {detail}"}
+            )
+    return comm, outcomes, step_values, problems
 
 
 def execute(scenario: Scenario) -> Dict[str, object]:
@@ -297,7 +317,7 @@ def execute(scenario: Scenario) -> Dict[str, object]:
         "scenario": scenario.to_dict(),
     }
     try:
-        comm, outcome, values, problems = _single_run(scenario)
+        comm, outcomes, step_values, problems = _single_run(scenario)
     except Exception as exc:  # noqa: BLE001 - a crash *is* a fuzzing result
         record.update(
             status="error",
@@ -306,37 +326,50 @@ def execute(scenario: Scenario) -> Dict[str, object]:
         return record
 
     violations = list(problems)
+    makespan = sum(outcome.total_time for outcome in outcomes)
+    flat_values = [value for values in step_values for value in values]
 
     tolerances = _value_tolerance(scenario)
     if tolerances is not None:
         rtol, atol = tolerances
-        expected = _expected_values(scenario, make_inputs(scenario))
-        for rank, (got, want) in enumerate(zip(values, expected)):
-            want = np.asarray(want)
-            if got.shape != want.shape:
-                violations.append(
-                    {
-                        "invariant": "values",
-                        "detail": f"rank {rank}: shape {got.shape} != expected {want.shape}",
-                    }
-                )
-                continue
-            if got.size == 0:
-                continue
-            err = np.max(np.abs(got.astype(np.float64) - want.astype(np.float64)))
-            bound = atol + rtol * max(1.0, float(np.max(np.abs(want))))
-            if not err <= bound:
-                violations.append(
-                    {
-                        "invariant": "values",
-                        "detail": f"rank {rank}: max error {err:.6g} exceeds bound {bound:.6g}",
-                    }
-                )
-                break  # one rank's detail is enough; keep records compact
+        for step, values in enumerate(step_values):
+            expected = _expected_values(scenario, make_inputs(scenario, step))
+            bad = False
+            for rank, (got, want) in enumerate(zip(values, expected)):
+                want = np.asarray(want)
+                if got.shape != want.shape:
+                    violations.append(
+                        {
+                            "invariant": "values",
+                            "detail": (
+                                f"step {step} rank {rank}: shape {got.shape} != "
+                                f"expected {want.shape}"
+                            ),
+                        }
+                    )
+                    continue
+                if got.size == 0:
+                    continue
+                err = np.max(np.abs(got.astype(np.float64) - want.astype(np.float64)))
+                bound = atol + rtol * max(1.0, float(np.max(np.abs(want))))
+                if not err <= bound:
+                    violations.append(
+                        {
+                            "invariant": "values",
+                            "detail": (
+                                f"step {step} rank {rank}: max error {err:.6g} "
+                                f"exceeds bound {bound:.6g}"
+                            ),
+                        }
+                    )
+                    bad = True
+                    break  # one rank's detail is enough; keep records compact
+            if bad:
+                break
 
     # determinism: a fresh session over the same scenario must be bit-identical
     try:
-        _, outcome2, values2, _ = _single_run(scenario)
+        _, outcomes2, step_values2, _ = _single_run(scenario)
     except Exception as exc:  # noqa: BLE001
         violations.append(
             {
@@ -345,16 +378,15 @@ def execute(scenario: Scenario) -> Dict[str, object]:
             }
         )
     else:
-        if outcome2.total_time != outcome.total_time:
+        makespan2 = sum(outcome.total_time for outcome in outcomes2)
+        if makespan2 != makespan:
             violations.append(
                 {
                     "invariant": "determinism",
-                    "detail": (
-                        f"makespan {outcome.total_time!r} != re-run {outcome2.total_time!r}"
-                    ),
+                    "detail": f"makespan {makespan!r} != re-run {makespan2!r}",
                 }
             )
-        elif _digest(values2) != _digest(values):
+        elif _digest([v for vs in step_values2 for v in vs]) != _digest(flat_values):
             violations.append(
                 {"invariant": "determinism", "detail": "re-run values differ bitwise"}
             )
@@ -366,9 +398,9 @@ def execute(scenario: Scenario) -> Dict[str, object]:
     record.update(
         status="violation" if violations else "ok",
         violations=violations,
-        makespan=float(outcome.total_time),
-        bytes_sent=int(outcome.sim.total_bytes_sent),
-        value_digest=_digest(values),
+        makespan=float(makespan),
+        bytes_sent=sum(int(outcome.sim.total_bytes_sent) for outcome in outcomes),
+        value_digest=_digest(flat_values),
         algorithm=comm.last_algorithm,
         compression_route=comm.last_compression,
     )

@@ -107,6 +107,9 @@ class Scenario:
     msg_elems: int
     dtype: str
     data_profile: str
+    #: back-to-back collective steps per run (same op, fresh per-step inputs);
+    #: declared last so seeds from before the knob expand to the same scenario
+    program_len: int = 1
 
     def to_dict(self) -> Dict[str, object]:
         return dataclasses.asdict(self)
@@ -208,6 +211,9 @@ def sanitize(scenario: Scenario) -> Scenario:
     if scenario.op == "reduce_scatter" and 0 < scenario.msg_elems < scenario.n_ranks:
         updates["msg_elems"] = scenario.n_ranks
 
+    if not 1 <= scenario.program_len <= 4:
+        updates["program_len"] = min(4, max(1, scenario.program_len))
+
     return scenario.replace(**updates) if updates else scenario
 
 
@@ -235,6 +241,9 @@ def generate_scenario(seed: int) -> Scenario:
         msg_elems=rng.choice(MESSAGE_ELEMS),
         dtype=rng.choice(DTYPES + ("float64",)),  # bias toward float64
         data_profile=rng.choice(DATA_PROFILES),
+        # drawn last (and biased toward 1) so pre-knob seeds keep every other
+        # dimension's draw; multi-step runs cost program_len simulations
+        program_len=rng.choice((1, 1, 1, 2, 3, 4)),
     )
     return sanitize(raw)
 

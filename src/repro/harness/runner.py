@@ -28,6 +28,7 @@ from repro.harness.experiments.compressor_tables import (
     run_table6,
 )
 from repro.harness.experiments.fabric_contention import run_fabric_contention
+from repro.harness.experiments.multitenant import run_multitenant
 from repro.harness.experiments.fig5_error_distribution import run_fig5_fig6
 from repro.harness.experiments.scatter_bcast import run_fig16_scatter_bcast
 from repro.harness.experiments.stacking import run_fig17_stacking_perf, run_fig18_stacking_quality
@@ -64,6 +65,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "theory": (run_theory_bounds, "Error-propagation theorem validation (Section III-B)"),
     "topo": (run_topology_scaling, "Allreduce algorithms across topologies (beyond the paper)"),
     "fabric": (run_fabric_contention, "Switch-level fabric contention (beyond the paper)"),
+    "multitenant": (run_multitenant, "Multi-tenant job mix on one fabric (beyond the paper)"),
 }
 
 
@@ -102,7 +104,7 @@ def main(argv=None) -> int:
         "--contention",
         choices=("reservation", "fair"),
         default=None,
-        help="shared-stage sharing discipline for the fabric experiment",
+        help="shared-stage sharing discipline for the fabric/multitenant experiments",
     )
     parser.add_argument("--list", action="store_true", help="list available experiments")
     args = parser.parse_args(argv)
@@ -115,7 +117,7 @@ def main(argv=None) -> int:
     names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     for name in names:
         kwargs = {}
-        if args.contention is not None and name.lower() == "fabric":
+        if args.contention is not None and name.lower() in ("fabric", "multitenant"):
             kwargs["contention"] = args.contention
         result = run_experiment(name, scale=args.scale, **kwargs)
         print(result.to_text())

@@ -6,6 +6,12 @@ package implements those metrics exactly as defined in the referenced
 literature so harness outputs are directly comparable to the paper's numbers.
 """
 
+from repro.metrics.latency import (
+    StreamingSummary,
+    mean_slowdown,
+    percentile,
+    summarize,
+)
 from repro.metrics.quality import (
     psnr,
     nrmse,
@@ -28,4 +34,8 @@ __all__ = [
     "compression_ratio",
     "CompressionStats",
     "aggregate_ratio_stats",
+    "StreamingSummary",
+    "mean_slowdown",
+    "percentile",
+    "summarize",
 ]

@@ -1,0 +1,142 @@
+"""Streaming latency summaries: percentiles, tails and slowdowns.
+
+The multi-tenant workload layer (:mod:`repro.workload`) reports p50/p99
+collective latency and per-job slowdown distributions; the harness reports
+the same for fault and contention sweeps.  Nothing else in ``src/`` computed
+percentiles before this module, so it is the single shared implementation.
+
+The estimator is the classic *linear interpolation between closest ranks*
+(numpy's default ``"linear"`` method): for ``n`` sorted samples the ``q``-th
+percentile sits at fractional rank ``q/100 * (n - 1)``.  Implemented without
+numpy so callers summarising a handful of values do not pay an array
+round-trip, and results are plain floats either way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "StreamingSummary",
+    "mean_slowdown",
+    "percentile",
+    "summarize",
+]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation.
+
+    ``values`` need not be sorted; raises ``ValueError`` when empty so a
+    silent 0.0 can never masquerade as a real latency.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    if not (0.0 <= q <= 100.0):
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    frac = rank - lo
+    if frac == 0.0:
+        return ordered[lo]
+    return ordered[lo] + frac * (ordered[lo + 1] - ordered[lo])
+
+
+class StreamingSummary:
+    """Accumulates samples one at a time and summarises on demand.
+
+    ``add``/``extend`` are O(1) amortised; ``percentile`` sorts lazily and
+    caches the sorted view until the next insertion, so interleaving a few
+    reads with many writes stays cheap.  Exact (keeps all samples) — the
+    workload collector summarises at most a few hundred thousand collective
+    steps, far below the point where a sketch would pay off.
+    """
+
+    __slots__ = ("_values", "_sorted", "total", "min", "max")
+
+    def __init__(self, values: Optional[Iterable[float]] = None) -> None:
+        self._values: List[float] = []
+        self._sorted: Optional[List[float]] = None
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        if values is not None:
+            self.extend(values)
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self._values.append(value)
+        self._sorted = None
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def mean(self) -> float:
+        if not self._values:
+            raise ValueError("mean of an empty summary")
+        return self.total / len(self._values)
+
+    def percentile(self, q: float) -> float:
+        if self._sorted is None:
+            self._sorted = sorted(self._values)
+        if not self._sorted:
+            raise ValueError("percentile of an empty summary")
+        if not (0.0 <= q <= 100.0):
+            raise ValueError(f"percentile q must be in [0, 100], got {q}")
+        ordered = self._sorted
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        lo = int(rank)
+        frac = rank - lo
+        if frac == 0.0:
+            return ordered[lo]
+        return ordered[lo] + frac * (ordered[lo + 1] - ordered[lo])
+
+    def summary(self) -> Dict[str, float]:
+        """``{count, mean, p50, p99, min, max}`` (empty -> zero counts only)."""
+        if not self._values:
+            return {"count": 0}
+        return {
+            "count": float(len(self._values)),
+            "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p99": self.percentile(99.0),
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StreamingSummary(count={self.count})"
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """One-shot ``{count, mean, p50, p99, min, max}`` of a sample."""
+    return StreamingSummary(values).summary()
+
+
+def mean_slowdown(slowdowns: Sequence[float]) -> float:
+    """Arithmetic mean of per-job slowdown factors (empty -> 0.0).
+
+    Slowdown is ``contended_makespan / isolated_makespan`` per job; the mean
+    over jobs is the workload layer's headline interference number.  An empty
+    sample means no job retired, which the caller reports as 0.0 rather than
+    an error so partial reports stay printable.
+    """
+    if not slowdowns:
+        return 0.0
+    return sum(float(s) for s in slowdowns) / len(slowdowns)

@@ -38,8 +38,11 @@ from repro.mpisim.topology import Topology
 __all__ = [
     "Backend",
     "BackendUnavailableError",
-    "SimBackend",
+    "CaptureBackend",
+    "CapturedProgram",
     "MPI4PyBackend",
+    "ProgramCaptured",
+    "SimBackend",
     "default_backend",
     "resolve_backend",
     "execute",
@@ -109,6 +112,85 @@ class SimBackend:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "SimBackend()"
+
+
+class ProgramCaptured(Exception):
+    """Control-flow signal raised by :class:`CaptureBackend` instead of running.
+
+    Deliberately *not* a subclass of the simulator error types: callers that
+    capture (see :meth:`repro.api.Communicator.capture`) swallow exactly this
+    exception and anything else propagates as a real bug.
+    """
+
+
+class CapturedProgram:
+    """What a :class:`CaptureBackend` harvested from one collective call."""
+
+    __slots__ = ("n_ranks", "program_factory", "network", "topology", "max_commands")
+
+    def __init__(
+        self,
+        n_ranks: int,
+        program_factory: ProgramFactory,
+        network: Optional[NetworkModel],
+        topology: Optional[Topology],
+        max_commands: int,
+    ) -> None:
+        self.n_ranks = n_ranks
+        self.program_factory = program_factory
+        self.network = network
+        self.topology = topology
+        self.max_commands = max_commands
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CapturedProgram(n_ranks={self.n_ranks})"
+
+
+class CaptureBackend:
+    """Records the rank-program factory a collective *would* execute.
+
+    The session-multiplexing seam: the workload layer issues a collective
+    against a throwaway Communicator wired to this backend, the collective
+    builds its rank programs exactly as it would for a real run (algorithm
+    selection, compression planning, payload precomputation), and ``execute``
+    stores the factory and aborts via :exc:`ProgramCaptured` before any
+    virtual time elapses.  The harvested factory is then replayed on a shared
+    multi-job engine.
+    """
+
+    name = "capture"
+
+    def __init__(self) -> None:
+        self.captured: Optional[CapturedProgram] = None
+
+    def execute(
+        self,
+        n_ranks: int,
+        program_factory: ProgramFactory,
+        *,
+        network: Optional[NetworkModel] = None,
+        topology: Optional[Topology] = None,
+        max_commands: int = DEFAULT_MAX_COMMANDS,
+    ) -> SimulationResult:
+        self.captured = CapturedProgram(
+            n_ranks=n_ranks,
+            program_factory=program_factory,
+            network=network,
+            topology=topology,
+            max_commands=max_commands,
+        )
+        raise ProgramCaptured(f"captured a {n_ranks}-rank program")
+
+    def take(self) -> CapturedProgram:
+        """Return the captured program and clear the slot (raises if empty)."""
+        captured = self.captured
+        if captured is None:
+            raise RuntimeError("CaptureBackend.take() before any collective ran")
+        self.captured = None
+        return captured
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "CaptureBackend()"
 
 
 class _MPIRequestHandle:  # pragma: no cover - requires mpi4py

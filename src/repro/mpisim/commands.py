@@ -141,7 +141,14 @@ class Probe(Command):
 
 @dataclass(slots=True)
 class Barrier(Command):
-    """Synchronise all ranks: every rank resumes at the same virtual time
-    (the maximum arrival time), with the blocked span attributed to ``category``."""
+    """Synchronise ranks: every participant resumes at the same virtual time
+    (the maximum arrival time), with the blocked span attributed to ``category``.
+
+    ``group`` restricts the barrier to a subset of ranks (a tuple of global
+    rank ids that must all arrive before release).  ``None`` means all ranks
+    in the engine — the historical whole-world barrier.  Scoped groups are
+    what lets multiple jobs share one engine without deadlocking each other.
+    """
 
     category: str = "Others"
+    group: Optional[Sequence[int]] = None

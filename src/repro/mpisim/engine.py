@@ -108,7 +108,7 @@ from repro.mpisim.requests import RecvRequest, Request, SendRequest
 from repro.mpisim.topology import Topology
 from repro.mpisim.timeline import TimeBreakdown
 
-__all__ = ["Engine", "RankResult", "payload_nbytes"]
+__all__ = ["Engine", "EngineJob", "RankResult", "payload_nbytes"]
 
 RankProgram = Generator[Command, Any, Any]
 ProgramFactory = Callable[[int, int], RankProgram]
@@ -116,6 +116,10 @@ ProgramFactory = Callable[[int, int], RankProgram]
 _READY = "ready"
 _BLOCKED = "blocked"
 _DONE = "done"
+#: a slot with no program bound: it contributes no events and does not gate
+#: run completion.  Jobs bound via :meth:`Engine.bind_job` occupy idle slots
+#: and return them to idle when their programs finish.
+_IDLE = "idle"
 
 _BLOCK_RECV_MATCH = "recv-match"
 _BLOCK_SEND_COMPLETION = "send-completion"
@@ -129,6 +133,7 @@ EV_RECV_MATCH = "recv-match-wakeup"
 EV_TRANSFER_COMPLETE = "transfer-complete-wakeup"
 EV_FLOW_COMMITTED = "flow-commit-wakeup"
 EV_BARRIER_RELEASE = "barrier-release"
+EV_SCHEDULED = "scheduled-callback"
 
 
 #: number of times :func:`payload_nbytes` had to fall back to ``pickle.dumps``
@@ -195,7 +200,7 @@ class _RankState:
     """Execution state of one simulated rank."""
 
     rank: int
-    gen: RankProgram
+    gen: Optional[RankProgram]
     clock: float = 0.0
     status: str = _READY
     resume_value: Any = None
@@ -231,6 +236,65 @@ class RankResult:
     messages_sent: int
 
 
+class EngineJob:
+    """Handle for a group of rank programs bound to engine slots as one job.
+
+    Created by :meth:`Engine.bind_job`.  The job is *retired* once every one
+    of its slot programs runs to completion; at that point ``finished``,
+    ``results``, ``bytes_sent`` and ``messages_sent`` are final and the
+    ``on_retire`` callback (if any) fires with this handle.
+    """
+
+    __slots__ = (
+        "tag",
+        "slots",
+        "started",
+        "finished",
+        "finish_times",
+        "results",
+        "bytes_sent",
+        "messages_sent",
+        "on_retire",
+        "_pending",
+        "_bytes0",
+        "_messages0",
+    )
+
+    def __init__(
+        self,
+        tag: Any,
+        slots: Tuple[int, ...],
+        started: float,
+        on_retire: Optional[Callable[["EngineJob"], None]],
+    ) -> None:
+        self.tag = tag
+        self.slots = slots
+        self.started = started
+        self.finished: Optional[float] = None
+        self.finish_times: Dict[int, float] = {}
+        self.results: Dict[int, Any] = {}
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        self.on_retire = on_retire
+        self._pending = set(slots)
+        self._bytes0 = 0
+        self._messages0 = 0
+
+    @property
+    def retired(self) -> bool:
+        return self.finished is not None
+
+    @property
+    def makespan(self) -> float:
+        if self.finished is None:
+            raise RuntimeError(f"job {self.tag!r} has not retired yet")
+        return self.finished - self.started
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"finished={self.finished}" if self.retired else "running"
+        return f"EngineJob(tag={self.tag!r}, slots={self.slots}, {state})"
+
+
 class Engine:
     """Runs ``n_ranks`` rank programs to completion in virtual time.
 
@@ -240,12 +304,22 @@ class Engine:
     fair-share commits, topology stage clocks) so a later ``run()`` cannot
     replay stale events from the previous one.  Calling ``run()`` twice
     without a ``reset()`` in between raises.
+
+    Multi-job mode: with ``program_factory=None`` every slot starts *idle*
+    and the engine is driven entirely by scheduled events
+    (:meth:`schedule_event`) that bind jobs onto free slots
+    (:meth:`bind_job`).  Scheduled callbacks occupy priority tier ``-1`` in
+    the event heap — at equal timestamps a job start commits before fair
+    departures and before any rank steps, so a job arriving at ``t`` sees
+    exactly the same event order it would see starting a fresh simulation
+    at ``t``.  The run completes when the heap drains and every slot is
+    done or idle.
     """
 
     def __init__(
         self,
         n_ranks: int,
-        program_factory: ProgramFactory,
+        program_factory: Optional[ProgramFactory],
         network: Optional[NetworkModel] = None,
         max_commands: int = 50_000_000,
         topology: Optional[Topology] = None,
@@ -288,10 +362,17 @@ class Engine:
         """(Re)build every piece of single-simulation state from scratch."""
         if self.topology is not None:
             self.topology.reset()
-        self._states = [
-            _RankState(rank=r, gen=self._program_factory(r, self.n_ranks))
-            for r in range(self.n_ranks)
-        ]
+        factory = self._program_factory
+        if factory is None:
+            self._states = [
+                _RankState(rank=r, gen=None, status=_IDLE)
+                for r in range(self.n_ranks)
+            ]
+        else:
+            self._states = [
+                _RankState(rank=r, gen=factory(r, self.n_ranks))
+                for r in range(self.n_ranks)
+            ]
         self._next_request_id = 0
         self._next_message_id = 0
         # request id -> _Message (sends, and receives once matched) or _RecvPosting
@@ -304,7 +385,13 @@ class Engine:
         # historical append order).  Completed transfers are removed as they
         # finish, so the per-wait progress sweep touches only live transfers.
         self._inflight: Dict[int, Dict[int, _Message]] = {r: {} for r in range(self.n_ranks)}
-        self._barrier_waiting: List[Tuple[int, float]] = []
+        # barrier group -> [(rank, arrival)]; the ``None`` group is the
+        # whole-world barrier over all n_ranks slots
+        self._barrier_waiting: Dict[Optional[Tuple[int, ...]], List[Tuple[int, float]]] = {}
+        # scheduled callbacks, indexed by heap token of the (t, -1, idx) tier
+        self._events: List[Callable[[float], None]] = []
+        # slot -> the EngineJob currently occupying it (bind to retire)
+        self._slot_job: Dict[int, EngineJob] = {}
         self._commands_total = 0
         self._ran = False
         # the unified event heap: (timestamp, order, token) with order 0 for
@@ -321,7 +408,8 @@ class Engine:
         #: the deterministic pop-order witness used by the equivalence suite
         self.event_trace: List[Tuple[float, int]] = []
         for state in self._states:
-            self._push_ready(state, EV_RANK_STEP)
+            if state.status == _READY:
+                self._push_ready(state, EV_RANK_STEP)
 
     def reset(self) -> None:
         """Clear the event heap, scheduled fair commits and all run state.
@@ -342,6 +430,91 @@ class Engine:
         heapq.heappush(self._heap, (state.clock, state.rank + 1, self._ready_tokens))
         counts = self.event_counts
         counts[kind] = counts.get(kind, 0) + 1
+
+    # ---------------------------------------------------------------- jobs
+
+    def clock_of(self, rank: int) -> float:
+        """Current virtual clock of one slot (read-only telemetry hook)."""
+        return self._states[rank].clock
+
+    def schedule_event(self, time: float, fn: Callable[[float], None]) -> None:
+        """Run ``fn(time)`` at virtual time ``time`` in priority tier ``-1``.
+
+        Tier ``-1`` sorts before fair commits (tier 0) and rank steps
+        (tier rank+1) at the same timestamp, and the token is an index into
+        an append-only callback list, so scheduled events are never stale.
+        Callbacks typically call :meth:`bind_job`; they must not schedule
+        events in the past (heap pops must stay non-decreasing in time).
+        """
+        heapq.heappush(self._heap, (float(time), -1, len(self._events)))
+        self._events.append(fn)
+
+    def bind_job(
+        self,
+        time: float,
+        programs: Dict[int, Callable[[], RankProgram]],
+        tag: Any = None,
+        on_retire: Optional[Callable[[EngineJob], None]] = None,
+    ) -> EngineJob:
+        """Bind rank-program thunks onto idle slots as one job starting at ``time``.
+
+        ``programs`` maps slot id -> zero-argument generator factory.  Every
+        slot must currently be idle; the slots become ready at ``time`` (or
+        their current clock, if later — a slot freed at ``t > time`` cannot
+        travel back).  Slots are pushed in ascending slot order, so a job
+        bound at ``t`` replays the exact ready order a fresh simulation
+        would produce.  Returns the :class:`EngineJob` handle; when every
+        program finishes, the slots return to idle and ``on_retire(job)``
+        fires (from which a scheduler may immediately bind the next job).
+        """
+        if not programs:
+            raise ValueError("bind_job needs at least one slot program")
+        slots = sorted(programs)
+        states = self._states
+        for slot in slots:
+            if not (0 <= slot < self.n_ranks):
+                raise ValueError(f"slot {slot} outside 0..{self.n_ranks - 1}")
+            if states[slot].status != _IDLE:
+                raise RuntimeError(
+                    f"slot {slot} is {states[slot].status!r}, not idle; "
+                    f"cannot bind job {tag!r}"
+                )
+        job = EngineJob(tag=tag, slots=tuple(slots), started=float(time), on_retire=on_retire)
+        for slot in slots:
+            state = states[slot]
+            job._bytes0 += state.bytes_sent
+            job._messages0 += state.messages_sent
+            state.gen = programs[slot]()
+            state.status = _READY
+            state.resume_value = None
+            state.result = None
+            if time > state.clock:
+                state.clock = float(time)
+            self._slot_job[slot] = job
+            self._push_ready(state, EV_RANK_STEP)
+        return job
+
+    def _retire_slot(self, job: EngineJob, state: _RankState) -> None:
+        """One slot of a job finished its program; retire the job when all have."""
+        job.finish_times[state.rank] = state.clock
+        job.results[state.rank] = state.result
+        job._pending.discard(state.rank)
+        if job._pending:
+            return
+        job.finished = max(job.finish_times.values())
+        states = self._states
+        job.bytes_sent = (
+            sum(states[s].bytes_sent for s in job.slots) - job._bytes0
+        )
+        job.messages_sent = (
+            sum(states[s].messages_sent for s in job.slots) - job._messages0
+        )
+        # unbind only at full retirement: fair flows whose sender program
+        # finished early still attribute to this job until the job ends
+        for slot in job.slots:
+            self._slot_job.pop(slot, None)
+        if job.on_retire is not None:
+            job.on_retire(job)
 
     def _sync_fair_event(self) -> None:
         """Keep exactly one live fair-commit event at the earliest departure.
@@ -399,6 +572,15 @@ class Engine:
             state: Optional[_RankState] = None
             while heap:
                 timestamp, order, token = heap[0]
+                if order < 0:
+                    # scheduled callback (job start/retire plumbing): never
+                    # stale, runs before anything else due at this timestamp
+                    heapq.heappop(heap)
+                    if trace is not None:
+                        trace.append((timestamp, -1))
+                    counts[EV_SCHEDULED] = counts.get(EV_SCHEDULED, 0) + 1
+                    self._events[token](timestamp)
+                    continue
                 if order == 0:
                     heapq.heappop(heap)
                     if fair is not None and token == self._fair_event_version:
@@ -427,7 +609,7 @@ class Engine:
                         self._commit_fair_departure()
                         self._sync_fair_event()
                         continue
-                if all(s.status == _DONE for s in states):
+                if all(s.status == _DONE or s.status == _IDLE for s in states):
                     break
                 raise DeadlockError(self._describe_deadlock())
             if trace is not None:
@@ -457,6 +639,11 @@ class Engine:
                 keep_going = True
                 while heap:
                     top_t, top_o, top_token = heap[0]
+                    if top_o < 0:
+                        # a scheduled callback at or before this clock must
+                        # run first (a job could bind onto this timestamp)
+                        keep_going = top_t > key_t
+                        break
                     if top_o == 0:
                         if fair is None or top_token != self._fair_event_version:
                             heapq.heappop(heap)  # stale commit projection
@@ -494,8 +681,15 @@ class Engine:
         try:
             command = state.gen.send(value)
         except StopIteration as stop:
-            state.status = _DONE
             state.result = stop.value
+            job = self._slot_job.get(state.rank)
+            if job is None:
+                state.status = _DONE
+            else:
+                # job-bound slot: back to idle so a later job can claim it
+                state.status = _IDLE
+                state.gen = None
+                self._retire_slot(job, state)
             return
         except Exception as exc:  # surfaces bugs in rank programs with context
             raise RankProgramError(f"rank {state.rank} raised {exc!r}") from exc
@@ -689,7 +883,12 @@ class Engine:
             self._ack_incoming(state.rank, now, continuous=False)
             if not transfer.completed:
                 if transfer.fair_flow is None:
-                    transfer.activate_fair(now, token=message)
+                    group = None
+                    if self._slot_job:
+                        job = self._slot_job.get(message.src)
+                        if job is not None:
+                            group = job.tag
+                    transfer.activate_fair(now, token=message, group=group)
                 state.block_kind = _BLOCK_FLOW_COMPLETION
                 state.block_req_id = request.request_id
                 return False
@@ -800,13 +999,23 @@ class Engine:
     # ---------------------------------------------------------------- barrier
 
     def _handle_barrier(self, state: _RankState, cmd: Barrier) -> None:
-        self._barrier_waiting.append((state.rank, state.clock))
+        group: Optional[Tuple[int, ...]] = None
+        need = self.n_ranks
+        if cmd.group is not None:
+            group = tuple(cmd.group)
+            if state.rank not in group:
+                raise InvalidCommandError(
+                    f"rank {state.rank} entered a Barrier scoped to group {group}"
+                )
+            need = len(group)
+        waiting = self._barrier_waiting.setdefault(group, [])
+        waiting.append((state.rank, state.clock))
         state.block_kind = _BLOCK_BARRIER
         state.barrier_category = cmd.category
         state.status = _BLOCKED
-        if len(self._barrier_waiting) == self.n_ranks:
-            release = max(t for _, t in self._barrier_waiting)
-            for rank, arrival in self._barrier_waiting:
+        if len(waiting) == need:
+            release = max(t for _, t in waiting)
+            for rank, arrival in waiting:
                 blocked = self._states[rank]
                 blocked.breakdown.add(blocked.barrier_category, release - arrival)
                 blocked.clock = release
@@ -814,7 +1023,7 @@ class Engine:
                 blocked.block_kind = None
                 blocked.resume_value = None
                 self._push_ready(blocked, EV_BARRIER_RELEASE)
-            self._barrier_waiting.clear()
+            del self._barrier_waiting[group]
 
     # ------------------------------------------------------------ diagnostics
 
@@ -852,4 +1061,7 @@ class Engine:
         done = [s.rank for s in self._states if s.status == _DONE]
         if done:
             lines.append(f"  finished ranks: {done}")
+        idle = sum(1 for s in self._states if s.status == _IDLE)
+        if idle:
+            lines.append(f"  idle slots: {idle}")
         return "\n".join(lines)

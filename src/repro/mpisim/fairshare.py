@@ -79,6 +79,7 @@ class FairFlow:
         "drained",
         "finish_time",
         "token",
+        "group",
         "on_rate_change",
     )
 
@@ -89,6 +90,7 @@ class FairFlow:
         start: float,
         nbytes: float,
         token: Any = None,
+        group: Any = None,
         on_rate_change: Optional[RateCallback] = None,
     ) -> None:
         self.flow_id = flow_id
@@ -100,6 +102,9 @@ class FairFlow:
         self.drained = False
         self.finish_time: Optional[float] = None
         self.token = token
+        # accounting group (e.g. a job id): delivered bytes of grouped flows
+        # accumulate in FairShareRegistry.group_bytes
+        self.group = group
         self.on_rate_change = on_rate_change
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -141,6 +146,9 @@ class FairShareRegistry:
         # cached earliest departure; invalidated together with the version
         self._earliest: Optional[Tuple[float, FairFlow]] = None
         self._earliest_valid = False
+        #: bytes delivered per accounting group (cross-job fair-share
+        #: attribution; only flows opened with ``group=`` contribute)
+        self.group_bytes: Dict[Any, float] = {}
 
     def _touch(self) -> None:
         """Record a state change: bump the version, drop the departure cache."""
@@ -162,6 +170,7 @@ class FairShareRegistry:
         start: float,
         nbytes: float,
         token: Any = None,
+        group: Any = None,
         on_rate_change: Optional[RateCallback] = None,
     ) -> FairFlow:
         """Register a bulk stream of ``nbytes`` entering ``stages`` at ``start``.
@@ -184,6 +193,7 @@ class FairShareRegistry:
             start=start,
             nbytes=max(0.0, float(nbytes)),
             token=token,
+            group=group,
             on_rate_change=on_rate_change,
         )
         self._flows[flow.flow_id] = flow
@@ -246,6 +256,7 @@ class FairShareRegistry:
                 stage.flows.pop(flow.flow_id, None)
         self._flows.clear()
         self._clock = float("-inf")
+        self.group_bytes.clear()
         self._touch()
 
     # --------------------------------------------------------- introspection
@@ -316,10 +327,15 @@ class FairShareRegistry:
             return
         carried: Dict[int, float] = {}
         stage_of: Dict[int, Any] = {}
+        group_bytes = self.group_bytes
         for flow in streaming:
             if flow.rate <= 0.0:
                 continue
             flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+            if flow.group is not None:
+                group_bytes[flow.group] = (
+                    group_bytes.get(flow.group, 0.0) + flow.rate * dt
+                )
             for stage in flow.stages:
                 sid = id(stage)
                 stage_of[sid] = stage

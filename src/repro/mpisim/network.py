@@ -236,7 +236,7 @@ class TransferState:
         """The fair-share registry of the resolved link, if any."""
         return self.link.fair if self.link is not None else None
 
-    def activate_fair(self, now: float, token: Any = None) -> FairFlow:
+    def activate_fair(self, now: float, token: Any = None, group: Any = None) -> FairFlow:
         """Register the remaining bytes as a max-min fair fluid flow.
 
         Called by the engine when the receiver blocks on a fair-contended
@@ -261,6 +261,7 @@ class TransferState:
             start,
             self.remaining_bytes,
             token=token,
+            group=group,
             on_rate_change=self._on_rate_change,
         )
         self.current_rate = self.fair_flow.rate

@@ -1,0 +1,359 @@
+"""WorkloadEngine: N concurrent jobs multiplexed onto one simulated fabric.
+
+The multi-tenant core.  One :class:`~repro.mpisim.engine.Engine` spans every
+slot of the shared fabric (``n_fabric_nodes x ranks_per_node``), starts with
+all slots idle, and is driven by scheduled arrival events:
+
+1. a job arrives (``schedule_event`` at its arrival time) and asks the
+   :class:`~repro.workload.placement.NodeAllocator` for whole nodes;
+2. if placed, its collective steps are *compiled* on the spot — captured via
+   :meth:`repro.api.Communicator.capture` against a
+   :class:`~repro.workload.placement.PlacementView` of the live fabric — and
+   bound onto the engine's global slots (:meth:`Engine.bind_job`) with tags
+   offset per step and barriers scoped to the job's slot group;
+3. if not, it queues; every job retirement frees nodes and re-drains the
+   queue first-fit in arrival order;
+4. flows of different jobs meet in the fabric's shared stages, where
+   ``contention="fair"`` max-min fair sharing arbitrates across tenants
+   (and attributes delivered bytes per job via the registry's group
+   accounting).
+
+Degenerate guarantee (pinned by ``tests/workload``): a single job arriving
+at t=0 on a packed placement replays the standalone Communicator simulation
+bit-for-bit — same makespan, same values — because identity slot mapping,
+zero tag offsets and the group barrier over all job slots reproduce the
+exact event sequence a dedicated engine would pop.
+
+Slowdown baselines re-run each job *alone* on the same slots (arrival 0,
+freshly compiled — seeded inputs make recompiles bit-identical), so
+``makespan / isolated`` isolates cross-tenant interference from placement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.api import Cluster
+from repro.mpisim.backends import DEFAULT_MAX_COMMANDS
+from repro.mpisim.commands import Barrier, Irecv, Isend, Probe
+from repro.mpisim.engine import Engine, EngineJob
+from repro.workload.job import CompiledJob, JobSpec, compile_job
+from repro.workload.metrics import JobRecord, WorkloadReport, accumulate_stage_time
+from repro.workload.placement import NodeAllocator, slots_for
+
+__all__ = ["TAG_STRIDE", "WorkloadEngine"]
+
+#: tag offset between successive collective steps of one job.  Collective
+#: programs use small tags; striding steps 2^22 apart keeps a step's Probe
+#: polls from observing a later step's sends (MPI non-overtaking already
+#: orders the point-to-point matching itself).
+TAG_STRIDE = 1 << 22
+
+
+def _translated(
+    program: Generator,
+    slots: Tuple[int, ...],
+    tag_offset: int,
+    group: Tuple[int, ...],
+) -> Generator:
+    """Rewrite a job-local rank program into shared-fabric coordinates.
+
+    Local rank ids in ``Isend``/``Irecv``/``Probe`` become global slot ids,
+    tags shift by the step's stride, and barriers are scoped to the job's
+    slot group so idle or foreign slots never deadlock them.  Command
+    objects are mutated in place — every program in this repository yields
+    freshly constructed commands.
+    """
+    outcome = None
+    while True:
+        try:
+            command = program.send(outcome)
+        except StopIteration as stop:
+            return stop.value
+        ctype = type(command)
+        if ctype is Isend:
+            command.dest = slots[command.dest]
+            command.tag += tag_offset
+        elif ctype is Irecv:
+            command.source = slots[command.source]
+            command.tag += tag_offset
+        elif ctype is Probe:
+            command.source = slots[command.source]
+            command.tag += tag_offset
+        elif ctype is Barrier:
+            command.group = group
+        outcome = yield command
+
+
+def _job_program(
+    engine: Engine,
+    compiled: CompiledJob,
+    local: int,
+    record: JobRecord,
+    record_values: bool,
+) -> Generator:
+    """One slot's whole job: its rank program of every step, back to back."""
+    slot = compiled.slots[local]
+    n_ranks = compiled.spec.n_ranks
+    value = None
+    for step, factory in enumerate(compiled.step_factories):
+        begin = engine.clock_of(slot)
+        value = yield from _translated(
+            factory(local, n_ranks), compiled.slots, step * TAG_STRIDE, compiled.slots
+        )
+        record.note_step(
+            step, local, begin, engine.clock_of(slot), value if record_values else None
+        )
+    return value
+
+
+class WorkloadEngine:
+    """Runs a job mix on one shared fabric and reports tenant-level metrics.
+
+    Parameters
+    ----------
+    cluster:
+        The shared machine.  Its topology must fix a node count — a preset
+        fabric (``fat_tree`` / ``dragonfly`` / ``rail_fat_tree``) via
+        ``n_fabric_nodes``, or any block-placed topology with ``nodes=``
+        passed explicitly.  ``contention="fair"`` is the intended discipline
+        for cross-tenant arbitration; reservation mode works too (and is
+        what the degenerate-equivalence tests pin).
+    nodes:
+        Node count override for topologies that size themselves per run
+        (``shared_uplink``, ``two_level``).
+    policy / seed:
+        Placement policy (``packed``/``spread``/``random``) and the seed
+        driving its random variant.
+    record_values:
+        Keep per-step per-rank collective results on each
+        :class:`JobRecord` (the equivalence tests read them; large runs
+        leave this off).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        nodes: Optional[int] = None,
+        policy: str = "packed",
+        seed: int = 0,
+        record_values: bool = False,
+        max_commands: int = DEFAULT_MAX_COMMANDS,
+    ) -> None:
+        topology = cluster.topology
+        if topology is None:
+            raise ValueError(
+                "WorkloadEngine needs a cluster with an explicit topology "
+                "(build one with Cluster.from_preset)"
+            )
+        if getattr(topology, "placement", None) is not None:
+            raise ValueError(
+                "the workload layer owns placement; build the cluster without "
+                "an explicit placement list"
+            )
+        self.cluster = cluster
+        self.ranks_per_node = int(getattr(topology, "ranks_per_node", 1))
+        fabric_nodes = getattr(topology, "n_fabric_nodes", None)
+        if fabric_nodes is None:
+            fabric_nodes = nodes
+        if fabric_nodes is None:
+            raise ValueError(
+                f"topology {topology.describe()!r} does not fix a node count; "
+                "pass nodes="
+            )
+        self.n_nodes = int(fabric_nodes)
+        self.total_slots = self.n_nodes * self.ranks_per_node
+        for slot in range(self.total_slots):
+            if topology.node_of(slot) != slot // self.ranks_per_node:
+                raise ValueError(
+                    "workload slot mapping requires the fabric's native block "
+                    f"placement; slot {slot} maps to node {topology.node_of(slot)}"
+                )
+        self.policy = policy
+        self.seed = int(seed)
+        self.record_values = bool(record_values)
+        self.max_commands = int(max_commands)
+
+    # ------------------------------------------------------------------ runs
+
+    def run(self, jobs: Sequence[JobSpec], *, baseline: bool = True) -> WorkloadReport:
+        """Simulate the whole mix; optionally add isolated-run baselines."""
+        specs = sorted(jobs, key=lambda s: (s.arrival, s.job_id))
+        if len({s.job_id for s in specs}) != len(specs):
+            raise ValueError("job ids must be unique within one run")
+        for spec in specs:
+            if self._nodes_needed(spec) > self.n_nodes:
+                raise ValueError(
+                    f"job {spec.job_id!r} needs {self._nodes_needed(spec)} nodes "
+                    f"but the fabric has {self.n_nodes}"
+                )
+        records, engine = self._run_concurrent(specs)
+        report = self._collect(records, engine)
+        if baseline:
+            for record in records:
+                record.isolated = self._isolated_makespan(record.spec, record.slots)
+        return report
+
+    def isolated_makespan(self, spec: JobSpec, slots: Optional[Sequence[int]] = None) -> float:
+        """Makespan of one job alone on the fabric (packed slots by default)."""
+        if slots is None:
+            nodes = NodeAllocator(self.n_nodes, "packed", self.seed).allocate(
+                self._nodes_needed(spec)
+            )
+            assert nodes is not None  # fit was validated by the caller
+            slots = slots_for(nodes, self.ranks_per_node, spec.n_ranks)
+        return self._isolated_makespan(spec, tuple(slots))
+
+    # -------------------------------------------------------------- internals
+
+    def _nodes_needed(self, spec: JobSpec) -> int:
+        return -(-spec.n_ranks // self.ranks_per_node)
+
+    def _fresh_engine(self) -> Engine:
+        return Engine(
+            n_ranks=self.total_slots,
+            program_factory=None,
+            network=self.cluster.network,
+            topology=self.cluster.topology,
+            max_commands=self.max_commands,
+        )
+
+    def _compile_cluster(self, engine: Engine) -> Cluster:
+        """The cluster jobs compile against (the engine's live topology)."""
+        if engine.topology is self.cluster.topology:
+            return self.cluster
+        # the engine upgraded the topology to its fair clone: compile against
+        # that clone so build-time decisions see the fabric that will run
+        return self.cluster.with_updates(topology=engine.topology)
+
+    def _run_concurrent(
+        self, specs: List[JobSpec]
+    ) -> Tuple[List[JobRecord], Engine]:
+        engine = self._fresh_engine()
+        compile_cluster = self._compile_cluster(engine)
+        allocator = NodeAllocator(self.n_nodes, self.policy, self.seed)
+        records = {spec.job_id: JobRecord(spec=spec) for spec in specs}
+        pending: List[JobSpec] = []
+
+        def try_start(spec: JobSpec, now: float) -> bool:
+            nodes = allocator.allocate(self._nodes_needed(spec))
+            if nodes is None:
+                return False
+            slots = tuple(slots_for(nodes, self.ranks_per_node, spec.n_ranks))
+            compiled = compile_job(spec, compile_cluster, slots)
+            record = records[spec.job_id]
+            record.nodes = nodes
+            record.slots = slots
+            record.started = now
+            record.prepare(spec.n_steps)
+            programs: Dict[int, Callable[[], Generator]] = {
+                slot: (
+                    lambda local=local: _job_program(
+                        engine, compiled, local, record, self.record_values
+                    )
+                )
+                for local, slot in enumerate(slots)
+            }
+            engine.bind_job(
+                now,
+                programs,
+                tag=spec.job_id,
+                on_retire=lambda job, record=record, nodes=nodes: retire(
+                    job, record, nodes
+                ),
+            )
+            return True
+
+        def retire(job: EngineJob, record: JobRecord, nodes: Tuple[int, ...]) -> None:
+            record.finished = job.finished
+            record.bytes_sent = job.bytes_sent
+            record.messages_sent = job.messages_sent
+            allocator.release(nodes)
+            # first-fit drain in arrival order: a big job at the head does
+            # not starve smaller jobs behind it, but started jobs keep
+            # arrival order whenever they all fit
+            started = [spec for spec in pending if try_start(spec, job.finished)]
+            for spec in started:
+                pending.remove(spec)
+
+        def arrival(spec: JobSpec) -> Callable[[float], None]:
+            def fire(now: float) -> None:
+                if not try_start(spec, now):
+                    pending.append(spec)
+
+            return fire
+
+        for spec in specs:
+            engine.schedule_event(spec.arrival, arrival(spec))
+        with accumulate_stage_time() as occupied:
+            engine.run()
+        if pending:  # pragma: no cover - fit is validated upfront
+            raise RuntimeError(
+                f"jobs never placed: {[s.job_id for s in pending]}"
+            )
+        ordered = [records[spec.job_id] for spec in specs]
+        for record in ordered:
+            if record.finished is None:  # pragma: no cover - defensive
+                raise RuntimeError(f"job {record.spec.job_id!r} never retired")
+        self._last_stage_time = occupied
+        return ordered, engine
+
+    def _collect(self, records: List[JobRecord], engine: Engine) -> WorkloadReport:
+        registry = engine.topology.fair_registry if engine.topology is not None else None
+        if registry is not None:
+            for record in records:
+                record.fair_bytes = registry.group_bytes.get(record.spec.job_id, 0.0)
+        makespan = max(record.finished for record in records)
+        names = self._stage_names(engine.topology)
+        utilization: Dict[str, float] = {}
+        if makespan > 0.0:
+            for sid, (stage, seconds) in self._last_stage_time.items():
+                name = names.get(sid, f"stage-{len(utilization)}")
+                utilization[name] = seconds / makespan
+        return WorkloadReport(
+            records=records,
+            makespan=makespan,
+            policy=self.policy,
+            contention=engine.topology.contention if engine.topology is not None else "none",
+            seed=self.seed,
+            stage_utilization=utilization,
+            latency=WorkloadReport.collect_latency(records),
+        )
+
+    @staticmethod
+    def _stage_names(topology: Any) -> Dict[int, str]:
+        stages = getattr(topology, "_stages", None) or {}
+        names: Dict[int, str] = {}
+        for key, stage in stages.items():
+            if isinstance(key, tuple):
+                names[id(stage)] = ":".join(str(part) for part in key)
+            else:
+                names[id(stage)] = str(key)
+        return names
+
+    def _isolated_makespan(self, spec: JobSpec, slots: Tuple[int, ...]) -> float:
+        engine = self._fresh_engine()
+        compiled = compile_job(spec.at_arrival(0.0), self._compile_cluster(engine), slots)
+        record = JobRecord(spec=spec)
+        record.prepare(spec.n_steps)
+        programs: Dict[int, Callable[[], Generator]] = {
+            slot: (
+                lambda local=local: _job_program(engine, compiled, local, record, False)
+            )
+            for local, slot in enumerate(slots)
+        }
+        outcome: List[float] = []
+        engine.schedule_event(
+            0.0,
+            lambda now: engine.bind_job(
+                now,
+                {s: p for s, p in programs.items()},
+                tag=spec.job_id,
+                on_retire=lambda job: outcome.append(job.finished),
+            ),
+        )
+        engine.run()
+        if not outcome:  # pragma: no cover - defensive
+            raise RuntimeError(f"isolated run of {spec.job_id!r} never retired")
+        return outcome[0]

@@ -1,0 +1,200 @@
+"""Jobs: seeded programs of collectives that tenants run on the shared fabric.
+
+A :class:`JobSpec` is pure data — arrival time, rank count, iteration count
+and a list of :class:`CollectiveCall` steps (operation, message size, dtype,
+compression/algorithm options) plus a seed that derives every input buffer.
+Being pure data is what makes traces replayable: serialise with
+``to_dict``/``from_dict`` (see :mod:`repro.workload.arrivals` for the JSONL
+framing) and a re-run compiles bit-identical programs.
+
+:func:`compile_job` turns a spec plus a slot placement into per-step rank
+program factories via the session API's capture hook
+(:meth:`repro.api.Communicator.capture`): each collective is issued against a
+communicator whose topology is a :class:`~repro.workload.placement.PlacementView`
+of the shared fabric, so algorithm selection and hierarchical grouping see
+the job's true node placement, but no virtual time elapses — the harvested
+factories are replayed later on the shared multi-job engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.api import Cluster, Communicator
+from repro.workload.placement import PlacementView
+
+__all__ = [
+    "COLLECTIVE_OPS",
+    "CollectiveCall",
+    "CompiledJob",
+    "JobSpec",
+    "call_inputs",
+    "compile_job",
+]
+
+#: operations a workload job may issue (each maps to one Communicator method)
+COLLECTIVE_OPS = ("allreduce", "allgather", "bcast", "reduce_scatter")
+
+
+@dataclass(frozen=True)
+class CollectiveCall:
+    """One collective step of a job's program."""
+
+    op: str = "allreduce"
+    msg_elems: int = 1024
+    dtype: str = "float64"
+    compression: str = "off"
+    algorithm: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.op not in COLLECTIVE_OPS:
+            raise ValueError(
+                f"unknown collective op {self.op!r}; available: "
+                f"{', '.join(COLLECTIVE_OPS)}"
+            )
+        if self.msg_elems < 1:
+            raise ValueError(f"msg_elems must be >= 1, got {self.msg_elems}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "op": self.op,
+            "msg_elems": self.msg_elems,
+            "dtype": self.dtype,
+            "compression": self.compression,
+            "algorithm": self.algorithm,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CollectiveCall":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A tenant's workload: when it arrives, how big it is, what it runs."""
+
+    job_id: str
+    n_ranks: int
+    arrival: float = 0.0
+    iterations: int = 1
+    seed: int = 0
+    calls: Tuple[CollectiveCall, ...] = field(default_factory=lambda: (CollectiveCall(),))
+
+    def __post_init__(self) -> None:
+        if self.n_ranks < 2:
+            raise ValueError(f"a job needs n_ranks >= 2, got {self.n_ranks}")
+        if self.iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {self.iterations}")
+        if self.arrival < 0.0:
+            raise ValueError(f"arrival must be >= 0, got {self.arrival}")
+        if not self.calls:
+            raise ValueError("a job needs at least one collective call")
+        object.__setattr__(self, "calls", tuple(self.calls))
+
+    @property
+    def n_steps(self) -> int:
+        """Total collective steps executed: ``iterations x len(calls)``."""
+        return self.iterations * len(self.calls)
+
+    def at_arrival(self, arrival: float) -> "JobSpec":
+        """The same job arriving at a different time (isolated-baseline runs)."""
+        return replace(self, arrival=float(arrival))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "n_ranks": self.n_ranks,
+            "arrival": self.arrival,
+            "iterations": self.iterations,
+            "seed": self.seed,
+            "calls": [call.to_dict() for call in self.calls],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":
+        fields = dict(data)
+        fields["calls"] = tuple(
+            CollectiveCall.from_dict(call) for call in fields.get("calls", [])
+        )
+        return cls(**fields)
+
+
+def call_inputs(spec: JobSpec, call: CollectiveCall, step: int) -> List[np.ndarray]:
+    """Seeded per-rank input vectors for one collective step of a job.
+
+    Deterministic in ``(spec.seed, step)`` alone, so recompiling a job — the
+    concurrent run and its isolated baseline compile independently — produces
+    bit-identical buffers.
+    """
+    rng = np.random.default_rng(((spec.seed & 0xFFFFFFFF) << 16) ^ (step * 0x9E37 + 0x5EED))
+    elems = call.msg_elems
+    if call.op == "reduce_scatter" and elems < spec.n_ranks:
+        # reduce_scatter hands each rank an elems // n_ranks chunk
+        elems = spec.n_ranks
+    return [
+        rng.standard_normal(elems).astype(call.dtype) for _ in range(spec.n_ranks)
+    ]
+
+
+def _issue(comm: Communicator, call: CollectiveCall, inputs: List[np.ndarray]):
+    """Issue one collective against a (capture) communicator."""
+    if call.op == "allreduce":
+        return comm.allreduce(
+            inputs, algorithm=call.algorithm, compression=call.compression
+        )
+    if call.op == "allgather":
+        return comm.allgather(inputs, compression=call.compression)
+    if call.op == "bcast":
+        return comm.bcast(inputs[0], root=0, compression=call.compression)
+    return comm.reduce_scatter(inputs, compression=call.compression)
+
+
+@dataclass
+class CompiledJob:
+    """A job bound to concrete slots, ready to run on the shared engine."""
+
+    spec: JobSpec
+    slots: Tuple[int, ...]
+    #: one zero-time captured program factory per collective step
+    step_factories: List[Any]
+    #: the CollectiveCall behind each step (parallel to step_factories)
+    step_calls: List[CollectiveCall]
+
+
+def compile_job(spec: JobSpec, cluster: Cluster, slots: Tuple[int, ...]) -> CompiledJob:
+    """Capture every collective step of ``spec`` against its placement.
+
+    ``slots`` are the global engine slots the job will occupy (one per job
+    rank, ascending).  The communicator the steps are captured from sees the
+    fabric through a :class:`PlacementView`, so build-time decisions match
+    what an isolated cluster of exactly those nodes would decide.
+    """
+    if len(slots) != spec.n_ranks:
+        raise ValueError(
+            f"job {spec.job_id!r} has {spec.n_ranks} ranks but {len(slots)} slots"
+        )
+    topology = cluster.topology
+    view = PlacementView(topology, slots) if topology is not None else None
+    job_cluster = cluster.with_updates(topology=view) if view is not None else cluster
+    comm = Communicator(job_cluster, spec.n_ranks)
+    factories: List[Any] = []
+    step_calls: List[CollectiveCall] = []
+    for _ in range(spec.iterations):
+        for call in spec.calls:
+            inputs = call_inputs(spec, call, len(factories))
+            captured = comm.capture(
+                lambda c, call=call, inputs=inputs: _issue(c, call, inputs)
+            )
+            if captured.n_ranks != spec.n_ranks:  # pragma: no cover - defensive
+                raise RuntimeError(
+                    f"captured a {captured.n_ranks}-rank program for a "
+                    f"{spec.n_ranks}-rank job"
+                )
+            factories.append(captured.program_factory)
+            step_calls.append(call)
+    return CompiledJob(
+        spec=spec, slots=tuple(slots), step_factories=factories, step_calls=step_calls
+    )

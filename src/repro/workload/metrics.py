@@ -1,0 +1,228 @@
+"""Tenant-level metrics: slowdown, tail latency, fabric utilization.
+
+The collector pattern: :class:`JobRecord` accumulates per-job facts while
+the shared engine runs (start/finish clocks, per-step latency bounds,
+per-step values); :func:`accumulate_stage_time` meters wire-seconds per
+fabric stage as they are reserved; :class:`WorkloadReport` assembles both
+into the numbers the ROADMAP asks for — per-job slowdown vs. an isolated
+baseline, p50/p99 collective latency, job makespans, per-stage utilization
+and the fair-share registry's cross-job byte attribution.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.metrics.latency import StreamingSummary, mean_slowdown
+from repro.mpisim.topology import SharedLink
+from repro.workload.job import JobSpec
+
+__all__ = [
+    "JobRecord",
+    "WorkloadReport",
+    "accumulate_stage_time",
+]
+
+
+@contextmanager
+def accumulate_stage_time():
+    """Meter wire-seconds reserved per :class:`SharedLink` while open.
+
+    Yields a dict ``id(stage) -> (stage, wire_seconds)`` that fills as
+    reservations land.  Works under both contention disciplines: fair mode
+    re-expresses every fluid segment as a reservation, so ``nbytes /
+    capacity`` is the stage's occupied wire time either way.  Chains through
+    any already-installed patch (e.g. ``trace_reservations``) by capturing
+    the current method, so nesting the two audits is safe.
+    """
+    occupied: Dict[int, Tuple[SharedLink, float]] = {}
+    inner_reserve = SharedLink.reserve
+
+    def reserve(self, start, nbytes):
+        finish = inner_reserve(self, start, nbytes)
+        sid = id(self)
+        previous = occupied.get(sid)
+        seconds = max(0.0, nbytes) / self.capacity
+        occupied[sid] = (self, (previous[1] if previous else 0.0) + seconds)
+        return finish
+
+    SharedLink.reserve = reserve  # type: ignore[method-assign]
+    try:
+        yield occupied
+    finally:
+        SharedLink.reserve = inner_reserve  # type: ignore[method-assign]
+
+
+@dataclass
+class JobRecord:
+    """Everything observed about one job across the shared run."""
+
+    spec: JobSpec
+    nodes: Tuple[int, ...] = ()
+    slots: Tuple[int, ...] = ()
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    bytes_sent: int = 0
+    messages_sent: int = 0
+    #: per-step [earliest step entry, latest step exit] over the job's ranks
+    step_bounds: List[List[float]] = field(default_factory=list)
+    #: per-step per-rank return values (populated when record_values is set)
+    step_values: List[Dict[int, Any]] = field(default_factory=list)
+    #: makespan of the same spec run alone on the same slots (None = not run)
+    isolated: Optional[float] = None
+    fair_bytes: float = 0.0
+
+    def prepare(self, n_steps: int) -> None:
+        self.step_bounds = [[float("inf"), float("-inf")] for _ in range(n_steps)]
+        self.step_values = [{} for _ in range(n_steps)]
+
+    def note_step(
+        self, step: int, local_rank: int, begin: float, end: float, value: Any
+    ) -> None:
+        bounds = self.step_bounds[step]
+        if begin < bounds[0]:
+            bounds[0] = begin
+        if end > bounds[1]:
+            bounds[1] = end
+        if value is not None:
+            self.step_values[step][local_rank] = value
+
+    @property
+    def makespan(self) -> float:
+        if self.started is None or self.finished is None:
+            raise RuntimeError(f"job {self.spec.job_id!r} did not complete")
+        return self.finished - self.started
+
+    @property
+    def queue_wait(self) -> float:
+        """Virtual seconds between arrival and placement."""
+        if self.started is None:
+            raise RuntimeError(f"job {self.spec.job_id!r} never started")
+        return self.started - self.spec.arrival
+
+    @property
+    def slowdown(self) -> Optional[float]:
+        """Contended / isolated makespan (None until the baseline ran)."""
+        if self.isolated is None or self.isolated <= 0.0:
+            return None
+        return self.makespan / self.isolated
+
+    def step_latencies(self) -> List[float]:
+        """Wall time of each collective step (entry of first rank -> exit of last)."""
+        return [end - begin for begin, end in self.step_bounds if end >= begin]
+
+
+@dataclass
+class WorkloadReport:
+    """The multi-tenant run, summarised."""
+
+    records: List[JobRecord]
+    makespan: float
+    policy: str
+    contention: str
+    seed: int
+    #: {stage description: utilization in [0, ~1]} over the run's makespan
+    stage_utilization: Dict[str, float] = field(default_factory=dict)
+    #: latency summary over every collective step of every job
+    latency: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(r.messages_sent for r in self.records)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.bytes_sent for r in self.records)
+
+    @property
+    def mean_slowdown(self) -> float:
+        return mean_slowdown(
+            [r.slowdown for r in self.records if r.slowdown is not None]
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "n_jobs": self.n_jobs,
+            "makespan": self.makespan,
+            "policy": self.policy,
+            "contention": self.contention,
+            "seed": self.seed,
+            "mean_slowdown": self.mean_slowdown,
+            "latency": dict(self.latency),
+            "stage_utilization": dict(self.stage_utilization),
+            "total_bytes": self.total_bytes,
+            "total_messages": self.total_messages,
+            "jobs": [
+                {
+                    "job_id": r.spec.job_id,
+                    "n_ranks": r.spec.n_ranks,
+                    "nodes": list(r.nodes),
+                    "arrival": r.spec.arrival,
+                    "started": r.started,
+                    "finished": r.finished,
+                    "makespan": r.makespan,
+                    "queue_wait": r.queue_wait,
+                    "isolated": r.isolated,
+                    "slowdown": r.slowdown,
+                    "bytes_sent": r.bytes_sent,
+                    "fair_bytes": r.fair_bytes,
+                }
+                for r in self.records
+            ],
+        }
+
+    def to_text(self) -> str:
+        """Human-readable report (the CLI's and harness's output)."""
+        lines = [
+            f"workload: {self.n_jobs} jobs, policy={self.policy}, "
+            f"contention={self.contention}, seed={self.seed}",
+            f"  makespan      {self.makespan * 1e3:10.3f} ms",
+            f"  total traffic {self.total_bytes / 1e6:10.2f} MB in "
+            f"{self.total_messages} messages",
+        ]
+        if self.latency.get("count"):
+            lines.append(
+                "  step latency  "
+                f"p50 {self.latency['p50'] * 1e3:.3f} ms / "
+                f"p99 {self.latency['p99'] * 1e3:.3f} ms / "
+                f"mean {self.latency['mean'] * 1e3:.3f} ms "
+                f"({int(self.latency['count'])} steps)"
+            )
+        slowdowns = [r for r in self.records if r.slowdown is not None]
+        if slowdowns:
+            lines.append(f"  mean slowdown {self.mean_slowdown:10.3f}x vs isolated")
+        if self.stage_utilization:
+            top = sorted(
+                self.stage_utilization.items(), key=lambda kv: -kv[1]
+            )[:5]
+            lines.append(
+                f"  fabric stages {len(self.stage_utilization)} touched; busiest: "
+                + ", ".join(f"{name}={util:.1%}" for name, util in top)
+            )
+        header = (
+            f"  {'job':<8} {'ranks':>5} {'arrival':>10} {'wait':>9} "
+            f"{'makespan':>10} {'slowdown':>9} {'nodes'}"
+        )
+        lines.append(header)
+        for r in self.records:
+            slowdown = f"{r.slowdown:.3f}x" if r.slowdown is not None else "-"
+            lines.append(
+                f"  {r.spec.job_id:<8} {r.spec.n_ranks:>5} "
+                f"{r.spec.arrival * 1e3:>8.3f}ms {r.queue_wait * 1e3:>7.3f}ms "
+                f"{r.makespan * 1e3:>8.3f}ms {slowdown:>9} {list(r.nodes)}"
+            )
+        return "\n".join(lines)
+
+    @staticmethod
+    def collect_latency(records: List[JobRecord]) -> Dict[str, float]:
+        """p50/p99/mean over every collective step of every job."""
+        summary = StreamingSummary()
+        for record in records:
+            summary.extend(record.step_latencies())
+        return summary.summary()

@@ -1,0 +1,164 @@
+"""Placement: allocating fabric nodes to jobs, and the per-job topology view.
+
+Two pieces live here:
+
+* :class:`NodeAllocator` — seeded block allocation of free nodes under three
+  policies (``packed`` / ``spread`` / ``random``), with deterministic
+  release/reallocate behaviour so replaying a trace reproduces placements
+  exactly.
+* :class:`PlacementView` — a read-only :class:`~repro.mpisim.topology.Topology`
+  wrapper that presents a job's slots ``0..j-1`` remapped onto its global
+  fabric slots.  Collectives are *compiled* against the view (so algorithm
+  selection, hierarchical grouping and the compression gate see the job's
+  real node placement) but *executed* on the base fabric with global slot
+  ids — the view never reaches the engine.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.mpisim.topology import LinkModel, Topology
+
+__all__ = ["PLACEMENT_POLICIES", "NodeAllocator", "PlacementView", "slots_for"]
+
+PLACEMENT_POLICIES = ("packed", "spread", "random")
+
+
+class PlacementView(Topology):
+    """A job-local window onto a shared fabric.
+
+    Rank ``r`` of the job maps to global slot ``slots[r]`` of ``base``.
+    The view is deliberately stateless: ``reset()`` is a no-op because jobs
+    compile against it *mid-run*, while the base fabric's reservation queues
+    and stripe counters are live — wiping them would corrupt every other
+    tenant's in-flight state.
+    """
+
+    def __init__(self, base: Topology, slots: Sequence[int]) -> None:
+        self.base = base
+        self.slots = tuple(int(s) for s in slots)
+
+    def node_of(self, rank: int) -> int:
+        return self.base.node_of(self.slots[rank])
+
+    def link(self, src: int, dst: int) -> Optional[LinkModel]:
+        return self.base.link(self.slots[src], self.slots[dst])
+
+    @property
+    def shares_uplinks(self) -> bool:
+        return self.base.shares_uplinks
+
+    @property
+    def contention(self) -> str:
+        return self.base.contention
+
+    @property
+    def fair_registry(self):
+        return self.base.fair_registry
+
+    def with_contention(self, contention: str) -> "PlacementView":
+        return PlacementView(self.base.with_contention(contention), self.slots)
+
+    @property
+    def oversubscription_ratio(self) -> float:
+        return self.base.oversubscription_ratio
+
+    @property
+    def nics_per_node(self) -> int:
+        return self.base.nics_per_node
+
+    def effective_inter_bandwidth(self) -> Optional[float]:
+        return self.base.effective_inter_bandwidth()
+
+    def reset(self) -> None:
+        """No-op: the base fabric's live contention state belongs to all jobs."""
+
+    def describe(self) -> str:
+        return f"placement view of [{self.base.describe()}] on slots {list(self.slots)}"
+
+
+def slots_for(nodes: Sequence[int], ranks_per_node: int, n_ranks: int) -> List[int]:
+    """Global engine slots for ``n_ranks`` job ranks packed onto ``nodes``.
+
+    The engine's slot space is the fabric's native block placement — slot
+    ``node * ranks_per_node + lane`` — so a job fills its allocated nodes
+    lane by lane in node order.
+    """
+    slots = [
+        node * ranks_per_node + lane
+        for node in nodes
+        for lane in range(ranks_per_node)
+    ]
+    if n_ranks > len(slots):
+        raise ValueError(
+            f"{n_ranks} ranks need more than {len(nodes)} nodes "
+            f"x {ranks_per_node} ranks/node"
+        )
+    return slots[:n_ranks]
+
+
+class NodeAllocator:
+    """Seeded allocation of whole fabric nodes to jobs.
+
+    ``allocate(count)`` returns ``count`` free node ids (sorted) or ``None``
+    when the fabric cannot currently fit the job; ``release(nodes)`` returns
+    them to the pool.  Policies:
+
+    * ``packed`` — the lowest-numbered free nodes (minimises fragmentation
+      and keeps jobs on adjacent leaf switches);
+    * ``spread`` — evenly spaced over the sorted free list (maximises
+      per-job injection bandwidth at the cost of more shared core stages);
+    * ``random`` — a seeded sample of the free list (the interference
+      baseline schedulers get compared against).
+
+    All three are deterministic given the seed and the call sequence.
+    """
+
+    def __init__(self, n_nodes: int, policy: str = "packed", seed: int = 0) -> None:
+        if policy not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement policy {policy!r}; "
+                f"available: {', '.join(PLACEMENT_POLICIES)}"
+            )
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        self.n_nodes = int(n_nodes)
+        self.policy = policy
+        self._rng = random.Random(seed)
+        self._free = set(range(self.n_nodes))
+
+    @property
+    def nodes_free(self) -> int:
+        return len(self._free)
+
+    def allocate(self, count: int) -> Optional[Tuple[int, ...]]:
+        if count < 1:
+            raise ValueError(f"allocate needs count >= 1, got {count}")
+        free = sorted(self._free)
+        if count > len(free):
+            return None
+        if self.policy == "packed":
+            take = free[:count]
+        elif self.policy == "spread":
+            stride = len(free) / count
+            take = [free[int(i * stride)] for i in range(count)]
+        else:  # random
+            take = sorted(self._rng.sample(free, count))
+        self._free.difference_update(take)
+        return tuple(take)
+
+    def release(self, nodes: Sequence[int]) -> None:
+        for node in nodes:
+            if node in self._free:
+                raise RuntimeError(f"node {node} released twice")
+            if not (0 <= node < self.n_nodes):
+                raise ValueError(f"node {node} outside 0..{self.n_nodes - 1}")
+            self._free.add(node)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NodeAllocator(policy={self.policy!r}, "
+            f"free={len(self._free)}/{self.n_nodes})"
+        )

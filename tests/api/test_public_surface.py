@@ -11,9 +11,12 @@ import repro.api as api
 EXPECTED_API_ALL = [
     "Backend",
     "BackendUnavailableError",
+    "CaptureBackend",
+    "CapturedProgram",
     "Cluster",
     "Communicator",
     "MPI4PyBackend",
+    "ProgramCaptured",
     "SimBackend",
     "default_backend",
     "resolve_backend",

@@ -62,6 +62,23 @@ class TestHealthyRuns:
         )
         assert record["status"] == "ok", record["violations"]
 
+    def test_multi_step_program_is_clean_and_sums_makespans(self):
+        single = execute(_scenario(program_len=1))
+        triple = execute(_scenario(program_len=3))
+        assert triple["status"] == "ok", triple["violations"]
+        assert triple["makespan"] > single["makespan"]
+        assert triple["bytes_sent"] == 3 * single["bytes_sent"]
+        # distinct run ids: program_len is part of the scenario identity
+        assert triple["run_id"] != single["run_id"]
+
+    def test_multi_step_compressed_fair_program_is_clean(self):
+        record = execute(
+            _scenario(
+                program_len=2, contention="fair", compression="on", msg_elems=4097
+            )
+        )
+        assert record["status"] == "ok", record["violations"]
+
     def test_crash_becomes_an_error_record(self):
         # an op the executor does not know is the cheapest guaranteed raise
         record = execute(_scenario().replace(op="transmogrify"))
@@ -129,6 +146,21 @@ class TestInputs:
         assert all(np.array_equal(a, b) for a, b in zip(first, second))
         assert all(arr.dtype == np.float32 for arr in first)
         assert len(first) == scenario.n_ranks
+
+    def test_step_zero_matches_default_and_steps_differ(self):
+        scenario = _scenario(data_profile="gaussian", msg_elems=64)
+        assert all(
+            np.array_equal(a, b)
+            for a, b in zip(make_inputs(scenario), make_inputs(scenario, step=0))
+        )
+        stepped = make_inputs(scenario, step=1)
+        assert not all(
+            np.array_equal(a, b) for a, b in zip(make_inputs(scenario), stepped)
+        )
+        assert all(
+            np.array_equal(a, b)
+            for a, b in zip(stepped, make_inputs(scenario, step=1))
+        )
 
     def test_builders_respect_the_scenario_fabric(self):
         comm = build_communicator(_scenario(preset="shared_uplink", contention="fair"))

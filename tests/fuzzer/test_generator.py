@@ -43,6 +43,7 @@ class TestCoverage:
         assert any(s % 2 == 1 and s > 1 for s in sizes)  # non-powers of two
         assert {s.placement for s in scenarios} >= {"block", "cyclic", "irregular"}
         assert {s.contention for s in scenarios} == {"reservation", "fair"}
+        assert {s.program_len for s in scenarios} == {1, 2, 3, 4}
 
     def test_sanitize_is_idempotent(self):
         for seed in range(200):
@@ -99,6 +100,11 @@ class TestSanitizeRules:
         fixed = sanitize(self._base(preset="rail_fat_tree", placement="cyclic"))
         assert fixed.placement == "block"
         assert fixed.routing == "adaptive"
+
+    def test_program_len_clamped_to_supported_range(self):
+        assert sanitize(self._base(program_len=0)).program_len == 1
+        assert sanitize(self._base(program_len=9)).program_len == 4
+        assert sanitize(self._base(program_len=3)).program_len == 3
 
 
 class TestPlacementList:

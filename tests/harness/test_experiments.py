@@ -62,6 +62,8 @@ class TestRegistry:
             "fig18",
             "theory",
             "topo",
+            "fabric",
+            "multitenant",
         ):
             assert expected in names
 
@@ -285,6 +287,20 @@ class TestFabricContention:
         assert decisions["fat_tree"] is False
         assert decisions["fat_tree_2to1"] is True
         assert decisions["dragonfly_2to1"] is True
+
+
+class TestMultitenant:
+    def test_reports_slowdown_latency_and_utilization(self):
+        result = run_experiment("multitenant", scale="small")
+        assert len(result.rows) == 6
+        for row in result.rows:
+            assert row["slowdown"] is not None and row["slowdown"] >= 1.0 - 1e-9
+            assert row["makespan_ms"] > 0.0
+            assert row["wait_ms"] >= 0.0
+        notes = "\n".join(result.notes)
+        assert "mean slowdown" in notes
+        assert "p50" in notes and "p99" in notes
+        assert "utilization" in notes
 
 
 class TestTheoryAndDistribution:

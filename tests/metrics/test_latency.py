@@ -1,0 +1,86 @@
+"""Streaming percentile/summary helpers (`repro.metrics.latency`)."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.metrics.latency import StreamingSummary, mean_slowdown, percentile, summarize
+
+
+class TestPercentile:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    def test_single_value_is_every_percentile(self):
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert percentile([3.5], q) == 3.5
+
+    def test_endpoints_are_min_and_max(self):
+        values = [5.0, 1.0, 9.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 9.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == pytest.approx(2.5)
+        assert percentile([1.0, 2.0, 3.0], 50.0) == pytest.approx(2.0)
+
+    def test_matches_numpy_linear_interpolation(self):
+        rng = random.Random(3)
+        values = [rng.gauss(0.0, 1.0) for _ in range(257)]
+        for q in (1.0, 10.0, 50.0, 90.0, 99.0):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q)), rel=1e-12
+            )
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+
+class TestStreamingSummary:
+    def test_empty_summary_is_count_zero(self):
+        assert StreamingSummary().summary() == {"count": 0}
+
+    def test_accumulates_basic_stats(self):
+        summary = StreamingSummary()
+        summary.extend([4.0, 1.0])
+        summary.add(7.0)
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(4.0)
+        out = summary.summary()
+        assert out["count"] == 3
+        assert out["min"] == 1.0 and out["max"] == 7.0
+        assert out["p50"] == pytest.approx(4.0)
+
+    def test_percentiles_stay_correct_across_interleaved_adds(self):
+        summary = StreamingSummary()
+        values: list = []
+        rng = random.Random(11)
+        for _ in range(5):
+            batch = [rng.uniform(0.0, 10.0) for _ in range(20)]
+            summary.extend(batch)
+            values.extend(batch)
+            # the cached sort must refresh after every mutation
+            assert summary.percentile(99.0) == pytest.approx(
+                float(np.percentile(values, 99.0)), rel=1e-12
+            )
+
+    def test_summarize_matches_streaming(self):
+        values = [0.5, 0.1, 0.9, 0.3]
+        streaming = StreamingSummary()
+        streaming.extend(values)
+        assert summarize(values) == streaming.summary()
+
+
+class TestMeanSlowdown:
+    def test_empty_is_zero(self):
+        assert mean_slowdown([]) == 0.0
+
+    def test_arithmetic_mean(self):
+        assert mean_slowdown([1.0, 3.0]) == pytest.approx(2.0)

@@ -1,0 +1,185 @@
+"""Multi-job engine mode: idle slots, bind_job, scheduled events, group barriers."""
+
+import numpy as np
+import pytest
+
+from repro.mpisim import Barrier, Compute, Irecv, Isend, NetworkModel, Wait
+from repro.mpisim.engine import Engine, EngineJob
+
+NET = NetworkModel(
+    latency=0.0, bandwidth=1e6, eager_threshold=100, inflight_window=500, progress="on-poll"
+)
+
+
+def _ping(src, dst, payload=None, tag=0):
+    """Programs for a one-message exchange between two global slots."""
+
+    def sender(rank, n_ranks):
+        handle = yield Isend(dst, data=payload, tag=tag)
+        yield Wait(handle)
+        return "sent"
+
+    def receiver(rank, n_ranks):
+        handle = yield Irecv(src, tag=tag)
+        message = yield Wait(handle)
+        return message.data
+
+    return sender, receiver
+
+
+class TestScheduledEvents:
+    def test_events_fire_in_time_order_with_payloads(self):
+        engine = Engine(2, None, network=NET)
+        fired = []
+        engine.schedule_event(2.0, lambda now: fired.append(("b", now)))
+        engine.schedule_event(1.0, lambda now: fired.append(("a", now)))
+        engine.run()
+        assert fired == [("a", 1.0), ("b", 2.0)]
+
+    def test_event_precedes_rank_steps_at_equal_timestamp(self):
+        engine = Engine(2, None, network=NET)
+        order = []
+
+        def compute(rank, n_ranks):
+            yield Compute(0.0)
+            order.append("rank")
+            return None
+
+        engine.schedule_event(
+            1.0,
+            lambda now: (
+                order.append("event"),
+                engine.bind_job(now, {0: lambda: compute(0, 1)}),
+            ),
+        )
+        engine.run()
+        assert order == ["event", "rank"]
+
+
+class TestBindJob:
+    def test_idle_engine_with_no_jobs_completes_immediately(self):
+        results = Engine(4, None, network=NET).run()
+        assert [r.finish_time for r in results] == [0.0] * 4
+        assert [r.value for r in results] == [None] * 4
+
+    def test_job_runs_on_bound_slots_and_retires(self):
+        engine = Engine(4, None, network=NET)
+        sender, receiver = _ping(0, 2, payload=np.zeros(50))
+        retired = []
+        engine.schedule_event(
+            0.5,
+            lambda now: engine.bind_job(
+                now,
+                {0: lambda: sender(0, 2), 2: lambda: receiver(1, 2)},
+                tag="jobA",
+                on_retire=retired.append,
+            ),
+        )
+        engine.run()
+        assert len(retired) == 1
+        job = retired[0]
+        assert isinstance(job, EngineJob)
+        assert job.tag == "jobA"
+        assert job.slots == (0, 2)
+        assert job.started == 0.5
+        assert job.retired and job.finished >= 0.5
+        assert job.makespan == job.finished - 0.5
+        assert job.results[0] == "sent"
+        assert np.array_equal(job.results[2], np.zeros(50))
+        assert job.bytes_sent == 400
+        assert job.messages_sent >= 1
+
+    def test_two_jobs_account_bytes_separately(self):
+        engine = Engine(4, None, network=NET)
+        jobs = {}
+
+        def bind(now, tag, src, dst, elems):
+            sender, receiver = _ping(src, dst, payload=np.zeros(elems))
+            jobs[tag] = engine.bind_job(
+                now, {src: lambda: sender(0, 2), dst: lambda: receiver(1, 2)}, tag=tag
+            )
+
+        engine.schedule_event(0.0, lambda now: bind(now, "small", 0, 1, 10))
+        engine.schedule_event(0.0, lambda now: bind(now, "large", 2, 3, 1000))
+        engine.run()
+        assert jobs["small"].bytes_sent == 80
+        assert jobs["large"].bytes_sent == 8000
+
+    def test_binding_a_busy_slot_is_rejected(self):
+        engine = Engine(2, None, network=NET)
+
+        def forever(rank, n_ranks):
+            yield Compute(100.0)
+            return None
+
+        def rebind(now):
+            with pytest.raises(RuntimeError, match="not idle"):
+                engine.bind_job(now, {0: lambda: forever(0, 1)})
+
+        engine.schedule_event(0.0, lambda now: engine.bind_job(now, {0: lambda: forever(0, 1)}))
+        engine.schedule_event(1.0, rebind)
+        engine.run()
+
+    def test_slot_becomes_reusable_after_retirement(self):
+        engine = Engine(1, None, network=NET)
+        finishes = []
+
+        def compute(rank, n_ranks):
+            yield Compute(1.0)
+            return None
+
+        def bind(now):
+            engine.bind_job(
+                now,
+                {0: lambda: compute(0, 1)},
+                on_retire=lambda job: finishes.append(job.finished),
+            )
+
+        engine.schedule_event(0.0, bind)
+        engine.schedule_event(5.0, bind)
+        engine.run()
+        assert finishes == [1.0, 6.0]
+
+
+class TestGroupBarriers:
+    def test_disjoint_groups_do_not_wait_for_each_other(self):
+        """A 2-slot barrier group releases even while other slots never barrier."""
+        engine = Engine(4, None, network=NET)
+
+        def fast(rank, slots):
+            yield Compute(1.0)
+            yield Barrier(group=slots)
+            return "fast"
+
+        def slow(rank, n_ranks):
+            yield Compute(50.0)
+            return "slow"
+
+        retired = []
+        engine.schedule_event(
+            0.0,
+            lambda now: (
+                engine.bind_job(
+                    now,
+                    {0: lambda: fast(0, (0, 1)), 1: lambda: fast(1, (0, 1))},
+                    tag="pair",
+                    on_retire=retired.append,
+                ),
+                engine.bind_job(now, {2: lambda: slow(0, 1)}, tag="solo"),
+            ),
+        )
+        engine.run()
+        pair = next(job for job in retired if job.tag == "pair")
+        assert pair.finished == 1.0  # released at the group max, not at 50
+
+    def test_rank_outside_its_barrier_group_is_rejected(self):
+        from repro.mpisim import InvalidCommandError
+
+        def stray(rank, n_ranks):
+            yield Barrier(group=(1,))
+            return None
+
+        engine = Engine(2, None, network=NET)
+        engine.schedule_event(0.0, lambda now: engine.bind_job(now, {0: lambda: stray(0, 1)}))
+        with pytest.raises(InvalidCommandError, match="scoped to group"):
+            engine.run()

@@ -257,13 +257,15 @@ class TestEngineIntegration:
         registry = topo.fair_registry
         original = registry.open_flow
 
-        def spying_open_flow(stages, start, nbytes, token=None, on_rate_change=None):
+        def spying_open_flow(stages, start, nbytes, token=None, group=None, on_rate_change=None):
             def wrapped(flow, time, rate):
                 observed.append((flow.flow_id, rate))
                 if on_rate_change is not None:
                     on_rate_change(flow, time, rate)
 
-            return original(stages, start, nbytes, token=token, on_rate_change=wrapped)
+            return original(
+                stages, start, nbytes, token=token, group=group, on_rate_change=wrapped
+            )
 
         registry.open_flow = spying_open_flow  # type: ignore[method-assign]
         nbytes = 8 * 1024 * 1024

@@ -1,0 +1,109 @@
+"""Job specs, seeded inputs, arrival mixes, and JSONL trace round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.api import Cluster
+from repro.workload import (
+    CollectiveCall,
+    JobMix,
+    JobSpec,
+    call_inputs,
+    compile_job,
+    load_trace,
+    save_trace,
+)
+
+
+class TestSpecs:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobSpec(job_id="x", n_ranks=1)
+        with pytest.raises(ValueError):
+            JobSpec(job_id="x", n_ranks=2, arrival=-1.0)
+        with pytest.raises(ValueError):
+            JobSpec(job_id="x", n_ranks=2, iterations=0)
+        with pytest.raises(ValueError):
+            JobSpec(job_id="x", n_ranks=2, calls=())
+        with pytest.raises(ValueError):
+            CollectiveCall(op="transmogrify")
+        with pytest.raises(ValueError):
+            CollectiveCall(msg_elems=0)
+
+    def test_n_steps_and_at_arrival(self):
+        spec = JobSpec(
+            job_id="j", n_ranks=4, iterations=3,
+            calls=(CollectiveCall(), CollectiveCall(op="bcast")),
+        )
+        assert spec.n_steps == 6
+        moved = spec.at_arrival(0.0)
+        assert moved.arrival == 0.0 and moved.job_id == spec.job_id
+
+    def test_dict_round_trip(self):
+        spec = JobSpec(
+            job_id="j", n_ranks=4, arrival=0.5, iterations=2, seed=99,
+            calls=(CollectiveCall(op="allgather", msg_elems=77, compression="on"),),
+        )
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestCallInputs:
+    def test_deterministic_per_step_and_distinct_across_steps(self):
+        spec = JobSpec(job_id="j", n_ranks=4, seed=5)
+        call = spec.calls[0]
+        a, b = call_inputs(spec, call, 0), call_inputs(spec, call, 0)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+        c = call_inputs(spec, call, 1)
+        assert not np.array_equal(a[0], c[0])
+
+    def test_reduce_scatter_widens_to_rank_count(self):
+        spec = JobSpec(job_id="j", n_ranks=8)
+        call = CollectiveCall(op="reduce_scatter", msg_elems=3)
+        inputs = call_inputs(spec, call, 0)
+        assert all(arr.size == 8 for arr in inputs)
+
+
+class TestCompile:
+    def test_compile_counts_steps_and_checks_slot_arity(self):
+        cluster = Cluster.from_preset("fat_tree", ranks_per_node=2)
+        spec = JobSpec(job_id="j", n_ranks=4, iterations=2,
+                       calls=(CollectiveCall(msg_elems=64),))
+        compiled = compile_job(spec, cluster, (0, 1, 2, 3))
+        assert len(compiled.step_factories) == 2
+        assert compiled.step_calls == [spec.calls[0]] * 2
+        with pytest.raises(ValueError, match="4 ranks but 2 slots"):
+            compile_job(spec, cluster, (0, 1))
+
+
+class TestJobMix:
+    def test_generation_is_deterministic_and_arrival_ordered(self):
+        mix = JobMix(n_jobs=12, arrival_rate=100.0)
+        a, b = mix.generate(3), mix.generate(3)
+        assert a == b
+        arrivals = [spec.arrival for spec in a]
+        assert arrivals == sorted(arrivals)
+        assert len({spec.job_id for spec in a}) == 12
+        assert mix.generate(4) != a
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobMix(n_jobs=0)
+        with pytest.raises(ValueError):
+            JobMix(arrival_rate=0.0)
+
+    def test_reduce_scatter_payloads_cover_ranks(self):
+        mix = JobMix(n_jobs=40, msg_elems=(4,), sizes=(8,), ops=("reduce_scatter",))
+        for spec in mix.generate(1):
+            for call in spec.calls:
+                assert call.msg_elems >= spec.n_ranks
+
+
+class TestTraces:
+    def test_jsonl_round_trip(self, tmp_path):
+        specs = JobMix(n_jobs=6).generate(11)
+        path = tmp_path / "mix.jsonl"
+        save_trace(specs, path)
+        assert load_trace(path) == specs
+        # blank lines are tolerated (hand-edited traces)
+        path.write_text(path.read_text() + "\n\n")
+        assert load_trace(path) == specs

@@ -1,0 +1,75 @@
+"""Node allocation policies, slot mapping, and the placement view."""
+
+import pytest
+
+from repro.api import Cluster
+from repro.workload import NodeAllocator, PlacementView, slots_for
+
+
+class TestSlotsFor:
+    def test_block_mapping_per_node(self):
+        assert slots_for((0, 1), ranks_per_node=2, n_ranks=4) == [0, 1, 2, 3]
+        assert slots_for((3, 5), ranks_per_node=2, n_ranks=3) == [6, 7, 10]
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            slots_for((0,), ranks_per_node=2, n_ranks=3)
+
+
+class TestNodeAllocator:
+    def test_packed_takes_lowest_free_nodes(self):
+        alloc = NodeAllocator(8, "packed", seed=0)
+        assert alloc.allocate(3) == (0, 1, 2)
+        assert alloc.allocate(2) == (3, 4)
+
+    def test_spread_stripes_across_free_nodes(self):
+        alloc = NodeAllocator(8, "spread", seed=0)
+        first = alloc.allocate(2)
+        assert first is not None
+        lo, hi = first
+        assert hi - lo >= 3  # strided, not adjacent
+
+    def test_random_is_seeded_and_valid(self):
+        a = NodeAllocator(16, "random", seed=5).allocate(6)
+        b = NodeAllocator(16, "random", seed=5).allocate(6)
+        assert a == b
+        assert a is not None and len(set(a)) == 6
+
+    def test_exhaustion_returns_none_and_release_restores(self):
+        alloc = NodeAllocator(4, "packed", seed=0)
+        nodes = alloc.allocate(3)
+        assert alloc.allocate(2) is None  # only 1 node free
+        alloc.release(nodes)
+        assert alloc.nodes_free == 4
+        assert alloc.allocate(4) == (0, 1, 2, 3)
+
+    def test_double_release_rejected(self):
+        alloc = NodeAllocator(4, "packed", seed=0)
+        nodes = alloc.allocate(2)
+        alloc.release(nodes)
+        with pytest.raises(RuntimeError, match="released twice"):
+            alloc.release(nodes)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            NodeAllocator(4, "diagonal", seed=0)
+
+
+class TestPlacementView:
+    def test_remaps_local_ranks_to_placed_slots(self):
+        topology = Cluster.from_preset("fat_tree", ranks_per_node=2).topology
+        view = PlacementView(topology, (4, 5, 10, 11))
+        # local ranks 0,1 live on the fabric node of slots 4,5 (node 2) and
+        # local ranks 2,3 on the node of slots 10,11 (node 5)
+        assert view.node_of(0) == topology.node_of(4) == 2
+        assert view.node_of(2) == topology.node_of(10) == 5
+        assert view.shares_uplinks == topology.shares_uplinks
+        assert view.link(0, 1) == topology.link(4, 5)
+        assert view.link(0, 2) == topology.link(4, 10)
+
+    def test_delegates_fabric_wide_properties(self):
+        topology = Cluster.from_preset("fat_tree", ranks_per_node=2, contention="fair").topology
+        view = PlacementView(topology, (0, 1))
+        assert view.contention == "fair"
+        assert view.fair_registry is topology.fair_registry
+        assert view.effective_inter_bandwidth() == topology.effective_inter_bandwidth()
