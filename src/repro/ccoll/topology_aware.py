@@ -170,8 +170,13 @@ def select_inter_compression(
 
     Compares the bandwidth one leader-stage flow actually sees — the
     topology's effective inter-node bandwidth, i.e. the NIC rate tapered by
-    the fabric's oversubscription — against the codec's break-even bandwidth
-    under the calibrated cost model.  Topologies that do not report an
+    the fabric's oversubscription *and by any live fault overlay* (see the
+    "Fault model" section of :mod:`repro.mpisim.topology`) — against the
+    codec's break-even bandwidth under the calibrated cost model.  Because
+    the effective bandwidth is read at call time, a tier degraded mid-run by
+    :mod:`repro.faults` re-evaluates the gate on the next collective: a
+    fabric that was too fast for compression to pay can cross the break-even
+    point exactly when a link slows down.  Topologies that do not report an
     effective bandwidth (flat fabrics) are judged by the global network
     model's rate.
     """

@@ -46,6 +46,7 @@ __all__ = [
     "PLACEMENT_IRREGULAR",
     "SHORT_MESSAGE_BYTES",
     "RING_MIN_BYTES",
+    "DEGRADED_TIER_FACTOR",
     "bandwidth_scale",
     "classify_placement",
     "select_algorithm",
@@ -56,6 +57,11 @@ SHORT_MESSAGE_BYTES = 32 * 1024
 #: at and above this size the bandwidth-optimal ring wins over Rabenseifner's
 #: log-round schedule (fewer, larger transfers amortize the per-round latency)
 RING_MIN_BYTES = 4 * 1024 * 1024
+#: at and above this fault degradation (nominal / degraded effective
+#: bandwidth, see ``Topology.fault_degradation``) the selector steers flat
+#: schedules off the fabric: once the inter-node tier runs at half rate or
+#: worse, minimising fabric crossings beats minimising rounds
+DEGRADED_TIER_FACTOR = 2.0
 
 
 def bandwidth_scale(topology: Optional[Topology]) -> float:
@@ -150,6 +156,13 @@ def select_algorithm(
         # instead of assuming block.
         placement = classify_placement(topology, n_ranks)
         if placement == PLACEMENT_BLOCK:
+            if topology.fault_degradation() >= DEGRADED_TIER_FACTOR:
+                # A degraded inter-node tier penalises every algorithm whose
+                # critical path crosses the fabric: Rabenseifner's halving
+                # steps keep crossing it per round, while hierarchical sends
+                # each node's data over the fabric exactly once per ring step
+                # (leaders only) — the fewest degraded-tier crossings.
+                return "hierarchical"
             # Rabenseifner's largest halving steps pair adjacent ranks, which
             # a uniform block layout keeps intra-node (free of the shared
             # uplink); measured 25-35% faster than hierarchical across the

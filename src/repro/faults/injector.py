@@ -1,0 +1,181 @@
+"""Replays a :class:`~repro.faults.schedule.FaultSchedule` into a live engine.
+
+The injector turns each typed fault event into one or two
+``Engine.schedule_event`` callbacks (the second is the restore half of a
+transient fault).  Scheduled callbacks occupy priority tier ``-1`` in the
+engine's ``(timestamp, priority, token)`` heap, so a fault due at ``t``
+commits before any fair-share departure or rank step at ``t`` — faults
+interleave with the simulation exactly as deterministically as arrivals do,
+and replaying the same schedule on the same scenario reproduces every
+makespan bit-for-bit.
+
+Fair-share plumbing is automatic: whenever a capacity change touches stages
+carrying live fluid flows, the injector hands those stages to
+``FairShareRegistry.apply_capacity_change``, so in-flight transfers in
+``contention="fair"`` mode genuinely see mid-flight rate changes.
+
+An empty schedule schedules nothing and leaves the engine byte-identical to
+an uninjected one — the empty-schedule golden-pin contract.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.faults.schedule import (
+    FaultSchedule,
+    LinkDegrade,
+    NodeLoss,
+    RailFailure,
+    SlowRank,
+)
+
+__all__ = ["FaultInjector"]
+
+#: capacity factor a lost node's NIC stages collapse to: traffic drains at
+#: retransmit-class rates instead of deadlocking mid-collective ranks
+NODE_LOSS_FACTOR = 1e-3
+
+
+class FaultInjector:
+    """Schedules a fault scenario onto one engine run.
+
+    Parameters
+    ----------
+    schedule:
+        The :class:`FaultSchedule` to replay.
+    on_node_loss:
+        Optional ``(node, time)`` callback fired when a :class:`NodeLoss`
+        event lands — the workload layer hooks its allocator's quarantine
+        here so no later job is placed on the dead node.
+    node_loss_factor:
+        Capacity factor the lost node's NIC stages collapse to.
+
+    ``install(engine)`` must be called after the engine is constructed (or
+    reset) and before ``run()``; engine resets clear scheduled events and
+    fault overlays, so each run needs a fresh ``install``.
+    """
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        on_node_loss: Optional[Callable[[int, float], None]] = None,
+        node_loss_factor: float = NODE_LOSS_FACTOR,
+    ) -> None:
+        if not node_loss_factor > 0.0:
+            raise ValueError(
+                f"node_loss_factor must be > 0, got {node_loss_factor}"
+            )
+        self.schedule = schedule
+        self.on_node_loss = on_node_loss
+        self.node_loss_factor = float(node_loss_factor)
+
+    def install(self, engine) -> int:
+        """Schedule every event of the schedule onto ``engine``.
+
+        Returns the number of engine callbacks scheduled (restore halves of
+        transient faults count separately).  An empty schedule makes zero
+        ``schedule_event`` calls and leaves the engine untouched.
+        """
+        events = self.schedule.events
+        if not events:
+            return 0
+        topology = engine.topology
+        if any(not isinstance(ev, SlowRank) for ev in events) and not hasattr(
+            topology, "set_stage_fault"
+        ):
+            raise TypeError(
+                f"link/rail/node fault events need a switch-fabric topology "
+                f"with stage-fault overlays (SwitchFabricTopology); engine "
+                f"has {type(topology).__name__ if topology is not None else None}"
+            )
+        count = 0
+        for event in events:
+            count += self._install_event(engine, event)
+        return count
+
+    # ------------------------------------------------------------- per event
+
+    def _install_event(self, engine, event) -> int:
+        if isinstance(event, LinkDegrade):
+            prefix = event.stage_prefix
+
+            def degrade(now: float, prefix=prefix, factor=event.factor) -> None:
+                self._apply_overlay(engine, prefix, factor, False, now)
+
+            engine.schedule_event(event.time, degrade)
+            if event.duration is None:
+                return 1
+
+            def restore(now: float, prefix=prefix) -> None:
+                self._clear_overlay(engine, prefix, now)
+
+            engine.schedule_event(event.time + event.duration, restore)
+            return 2
+        if isinstance(event, RailFailure):
+            prefixes = (
+                ("nic-up", event.node, event.rail),
+                ("nic-down", event.node, event.rail),
+            )
+
+            def fail(now: float, prefixes=prefixes) -> None:
+                for prefix in prefixes:
+                    self._apply_overlay(engine, prefix, 1.0, True, now)
+
+            engine.schedule_event(event.time, fail)
+            if event.duration is None:
+                return 1
+
+            def heal(now: float, prefixes=prefixes) -> None:
+                for prefix in prefixes:
+                    self._clear_overlay(engine, prefix, now)
+
+            engine.schedule_event(event.time + event.duration, heal)
+            return 2
+        if isinstance(event, SlowRank):
+
+            def slow(now: float, rank=event.rank, factor=event.factor) -> None:
+                engine.set_compute_scale(rank, factor)
+
+            engine.schedule_event(event.time, slow)
+            if event.duration is None:
+                return 1
+
+            def recover(now: float, rank=event.rank) -> None:
+                engine.set_compute_scale(rank, 1.0)
+
+            engine.schedule_event(event.time + event.duration, recover)
+            return 2
+        if isinstance(event, NodeLoss):
+
+            def lose(now: float, node=event.node) -> None:
+                self._apply_overlay(
+                    engine, ("nic-up", node), self.node_loss_factor, False, now
+                )
+                self._apply_overlay(
+                    engine, ("nic-down", node), self.node_loss_factor, False, now
+                )
+                if self.on_node_loss is not None:
+                    self.on_node_loss(node, now)
+
+            engine.schedule_event(event.time, lose)
+            return 1
+        raise TypeError(f"unknown fault event {event!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------- plumbing
+
+    @staticmethod
+    def _notify_fair(engine, changed, now: float) -> None:
+        fair = engine.topology.fair_registry
+        if fair is not None and changed:
+            fair.apply_capacity_change(now, changed)
+
+    def _apply_overlay(
+        self, engine, prefix, factor: float, failed: bool, now: float
+    ) -> None:
+        changed = engine.topology.set_stage_fault(prefix, factor=factor, failed=failed)
+        self._notify_fair(engine, changed, now)
+
+    def _clear_overlay(self, engine, prefix, now: float) -> None:
+        changed = engine.topology.clear_stage_fault(prefix)
+        self._notify_fair(engine, changed, now)

@@ -31,6 +31,10 @@ __all__ = ["sweep", "shrink", "SweepReport"]
 #: value.  Ordering goes for the biggest simplifications first so minimal
 #: reproducers collapse onto flat/uncompressed scenarios whenever possible.
 _REDUCTIONS = (
+    # extension knobs first: a failure that reproduces without the harness
+    # run or the fault schedule is a far simpler reproducer
+    ("harness_experiment", ("none",)),
+    ("fault_mix", ("none",)),
     ("preset", ("flat", "two_level", "shared_uplink", "fat_tree")),
     ("compression", ("off",)),
     ("codec", ("szx",)),

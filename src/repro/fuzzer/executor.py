@@ -305,17 +305,185 @@ def _single_run(scenario: Scenario):
     return comm, outcomes, step_values, problems
 
 
+def _audit_events(events, fair_violations, label: str) -> List[Dict[str, str]]:
+    """Capacity + fair-share violations from one traced region."""
+    problems: List[Dict[str, str]] = []
+    for stage, begin, previous in capacity_conservation_violations(events):
+        problems.append(
+            {
+                "invariant": "capacity",
+                "detail": (
+                    f"{label}: stage capacity={stage.capacity:.6g} reservation "
+                    f"begins at {begin:.9g} before previous finish {previous:.9g}"
+                ),
+            }
+        )
+    for kind, detail in fair_violations:
+        problems.append(
+            {"invariant": "fair_share", "detail": f"{label}: {kind}: {detail}"}
+        )
+    return problems
+
+
+def _execute_harness(scenario: Scenario, record: Dict[str, object]) -> Dict[str, object]:
+    """Run a whole harness experiment under the fuzzer's invariant monitors.
+
+    The experiment runs twice; both runs are audited for capacity
+    conservation and the fair bottleneck property, and their result rows
+    must agree bit-for-bit (canonical JSON) — harness experiments are
+    seeded, so nondeterminism is a bug.
+    """
+    from repro.harness.runner import run_experiment
+
+    def one_run():
+        with trace_reservations() as events, trace_fair_allocations() as fair:
+            result = run_experiment(scenario.harness_experiment, scale="small")
+        return result, _audit_events(events, fair, scenario.harness_experiment)
+
+    try:
+        first, problems = one_run()
+        second, rerun_problems = one_run()
+    except Exception as exc:  # noqa: BLE001 - a crash *is* a fuzzing result
+        record.update(
+            status="error",
+            violations=[
+                {"invariant": "no_crash", "detail": f"{type(exc).__name__}: {exc}"}
+            ],
+        )
+        return record
+
+    violations = problems + rerun_problems
+    canonical = json.dumps(first.rows, sort_keys=True, default=repr)
+    if canonical != json.dumps(second.rows, sort_keys=True, default=repr):
+        violations.append(
+            {
+                "invariant": "determinism",
+                "detail": f"experiment {scenario.harness_experiment!r} rows "
+                "differ between two runs",
+            }
+        )
+    record.update(
+        status="violation" if violations else "ok",
+        violations=violations,
+        harness_experiment=scenario.harness_experiment,
+        harness_rows=len(first.rows),
+    )
+    return record
+
+
+def _execute_faulted_workload(
+    scenario: Scenario, record: Dict[str, object]
+) -> Dict[str, object]:
+    """Run a small multi-tenant workload under the scenario's fault mix.
+
+    The same (jobs, schedule) pair runs twice; both runs are audited for
+    capacity conservation (against reserve-time capacities, so mid-run
+    degradations are covered) and the fair bottleneck property, and their
+    makespans and per-job finish times must be bit-identical.
+    """
+    from repro.faults import (
+        DRAGONFLY_LINK_FAMILIES,
+        FAT_TREE_LINK_FAMILIES,
+        FaultSchedule,
+    )
+    from repro.workload import JobMix, WorkloadEngine
+
+    sc = scenario
+    rpn = sc.ranks_per_node
+    kwargs: Dict[str, object] = {
+        "ranks_per_node": rpn,
+        "contention": sc.contention,
+        "nics_per_node": sc.nics_per_node,
+    }
+    if sc.preset in ("fat_tree", "dragonfly"):
+        kwargs["routing"] = sc.routing
+    policy = {"block": "packed", "cyclic": "spread", "irregular": "random"}[
+        sc.placement
+    ]
+
+    try:
+        cluster = Cluster.from_preset(sc.preset, **kwargs)
+        n_fabric = int(cluster.topology.n_fabric_nodes)
+        schedule = FaultSchedule.generate(
+            sc.fault_mix,
+            sc.seed,
+            # target the busy half of the fabric so faults hit live tenants
+            n_nodes=max(1, n_fabric // 2),
+            n_ranks=max(1, n_fabric // 2) * rpn,
+            nics_per_node=sc.nics_per_node,
+            horizon=6e-3,
+            link_families=(
+                DRAGONFLY_LINK_FAMILIES
+                if sc.preset == "dragonfly"
+                else FAT_TREE_LINK_FAMILIES
+            ),
+        )
+        # jobs span >= 2 nodes so fabric faults intersect tenant traffic
+        mix = JobMix(n_jobs=4, arrival_rate=900.0, sizes=(2 * rpn, 4 * rpn))
+        specs = mix.generate(sc.seed)
+
+        def one_run():
+            engine = WorkloadEngine(
+                cluster, policy=policy, seed=sc.seed, faults=schedule
+            )
+            with trace_reservations() as events, trace_fair_allocations() as fair:
+                report = engine.run(specs, baseline=False)
+            finishes = tuple(rec.finished for rec in report.records)
+            return report.makespan, finishes, _audit_events(
+                events, fair, sc.fault_mix
+            )
+
+        makespan, finishes, problems = one_run()
+        makespan2, finishes2, rerun_problems = one_run()
+    except Exception as exc:  # noqa: BLE001 - a crash *is* a fuzzing result
+        record.update(
+            status="error",
+            violations=[
+                {"invariant": "no_crash", "detail": f"{type(exc).__name__}: {exc}"}
+            ],
+        )
+        return record
+
+    violations = problems + rerun_problems
+    if makespan != makespan2 or finishes != finishes2:
+        violations.append(
+            {
+                "invariant": "determinism",
+                "detail": (
+                    f"faulted workload replay diverged: makespan {makespan!r} "
+                    f"vs {makespan2!r}"
+                ),
+            }
+        )
+    record.update(
+        status="violation" if violations else "ok",
+        violations=violations,
+        makespan=float(makespan),
+        fault_mix=sc.fault_mix,
+        fault_events=len(schedule),
+    )
+    return record
+
+
 def execute(scenario: Scenario) -> Dict[str, object]:
     """Run ``scenario`` with every applicable invariant checked.
 
     Returns a JSONL-ready record: ``status`` is ``"ok"``, ``"violation"``
     (one or more invariants failed) or ``"error"`` (the run raised).
+
+    Extension scenarios take dedicated paths: ``harness_experiment`` runs a
+    whole harness experiment (twice, audited + compared) and ``fault_mix``
+    runs a faulted multi-tenant workload (twice, audited + compared).
     """
     scenario = sanitize(scenario)
     record: Dict[str, object] = {
         "run_id": run_id_for(scenario),
         "scenario": scenario.to_dict(),
     }
+    if scenario.harness_experiment != "none":
+        return _execute_harness(scenario, record)
+    if scenario.fault_mix != "none":
+        return _execute_faulted_workload(scenario, record)
     try:
         comm, outcomes, step_values, problems = _single_run(scenario)
     except Exception as exc:  # noqa: BLE001 - a crash *is* a fuzzing result

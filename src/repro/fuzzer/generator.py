@@ -35,6 +35,8 @@ __all__ = [
     "OPS",
     "CODECS",
     "MESSAGE_ELEMS",
+    "HARNESS_EXPERIMENTS",
+    "FAULT_MIXES",
 ]
 
 #: topology presets the fuzzer sweeps (keys of ``TOPOLOGY_PRESETS``)
@@ -82,6 +84,29 @@ DATA_PROFILES: Tuple[str, ...] = ("gaussian", "ramp", "constant", "zeros", "mixe
 
 DTYPES: Tuple[str, ...] = ("float64", "float32")
 
+#: harness experiment presets the fuzzer can run whole (scale="small"):
+#: "none" keeps the scenario a plain collective run
+HARNESS_EXPERIMENTS: Tuple[str, ...] = (
+    "none",
+    "topo",
+    "fabric",
+    "multitenant",
+    "faults",
+)
+
+#: named fault mixes a scenario can inject into a small workload run
+#: (subset of :data:`repro.faults.FAULT_MIXES` that applies to the fuzzed
+#: fabrics; rail_outage is forced onto a dual-rail fabric by sanitize)
+FAULT_MIXES: Tuple[str, ...] = (
+    "none",
+    "degraded_tier",
+    "flaky_links",
+    "stragglers",
+    "rail_outage",
+    "node_loss",
+    "mixed",
+)
+
 #: both fixed-size fabric presets expose 16 host slots at their default
 #: arity (fat tree k=4 -> 16 hosts; dragonfly 4x4x1 -> 16 hosts)
 _FABRIC_HOSTS = 16
@@ -110,6 +135,14 @@ class Scenario:
     #: back-to-back collective steps per run (same op, fresh per-step inputs);
     #: declared last so seeds from before the knob expand to the same scenario
     program_len: int = 1
+    #: run a whole harness experiment instead of a single collective ("none"
+    #: = plain collective run); drawn after program_len — trailing fields
+    #: keep pre-knob seeds expanding to the same scenario
+    harness_experiment: str = "none"
+    #: named fault mix injected into a small multi-tenant workload run
+    #: ("none" = no fault extension); mutually exclusive with
+    #: harness_experiment (sanitize keeps at most one extension active)
+    fault_mix: str = "none"
 
     def to_dict(self) -> Dict[str, object]:
         return dataclasses.asdict(self)
@@ -214,6 +247,32 @@ def sanitize(scenario: Scenario) -> Scenario:
     if not 1 <= scenario.program_len <= 4:
         updates["program_len"] = min(4, max(1, scenario.program_len))
 
+    # ------------------------------------------------ extension knobs
+    harness = scenario.harness_experiment
+    if harness not in HARNESS_EXPERIMENTS:
+        harness = "none"
+        updates["harness_experiment"] = harness
+    fault_mix = scenario.fault_mix
+    if fault_mix not in FAULT_MIXES:
+        fault_mix = "none"
+        updates["fault_mix"] = fault_mix
+    if harness != "none" and fault_mix != "none":
+        # at most one extension per scenario; the harness run wins (the
+        # faults experiment inside HARNESS_EXPERIMENTS covers fault paths)
+        fault_mix = "none"
+        updates["fault_mix"] = fault_mix
+    if fault_mix != "none":
+        # fault injection drives a workload run on a fixed-size switch
+        # fabric; fold other presets onto the fat tree
+        if preset not in _FABRIC_PRESETS:
+            updates["preset"] = "fat_tree"
+        # judge rails by the effective value: an earlier non-fabric fold may
+        # have already forced nics_per_node to 1 in `updates`
+        nics = updates.get("nics_per_node", scenario.nics_per_node)
+        if fault_mix == "rail_outage" and nics < 2:
+            # a single-rail node would lose all connectivity
+            updates["nics_per_node"] = 2
+
     return scenario.replace(**updates) if updates else scenario
 
 
@@ -244,6 +303,13 @@ def generate_scenario(seed: int) -> Scenario:
         # drawn last (and biased toward 1) so pre-knob seeds keep every other
         # dimension's draw; multi-step runs cost program_len simulations
         program_len=rng.choice((1, 1, 1, 2, 3, 4)),
+        # extension knobs drawn after program_len (same trailing-field rule);
+        # both are rare — a harness experiment or faulted workload run costs
+        # seconds where a plain collective costs milliseconds
+        harness_experiment=rng.choice(
+            ("none",) * 36 + HARNESS_EXPERIMENTS[1:]
+        ),
+        fault_mix=rng.choice(("none",) * 34 + FAULT_MIXES[1:]),
     )
     return sanitize(raw)
 

@@ -28,6 +28,7 @@ from repro.harness.experiments.compressor_tables import (
     run_table6,
 )
 from repro.harness.experiments.fabric_contention import run_fabric_contention
+from repro.harness.experiments.faults import run_faults
 from repro.harness.experiments.multitenant import run_multitenant
 from repro.harness.experiments.fig5_error_distribution import run_fig5_fig6
 from repro.harness.experiments.scatter_bcast import run_fig16_scatter_bcast
@@ -66,6 +67,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "topo": (run_topology_scaling, "Allreduce algorithms across topologies (beyond the paper)"),
     "fabric": (run_fabric_contention, "Switch-level fabric contention (beyond the paper)"),
     "multitenant": (run_multitenant, "Multi-tenant job mix on one fabric (beyond the paper)"),
+    "faults": (run_faults, "Job mix under injected fabric faults (beyond the paper)"),
 }
 
 
@@ -117,7 +119,11 @@ def main(argv=None) -> int:
     names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     for name in names:
         kwargs = {}
-        if args.contention is not None and name.lower() in ("fabric", "multitenant"):
+        if args.contention is not None and name.lower() in (
+            "fabric",
+            "multitenant",
+            "faults",
+        ):
             kwargs["contention"] = args.contention
         result = run_experiment(name, scale=args.scale, **kwargs)
         print(result.to_text())

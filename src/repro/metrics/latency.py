@@ -24,17 +24,10 @@ __all__ = [
 ]
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """The ``q``-th percentile (0..100) by linear interpolation.
-
-    ``values`` need not be sorted; raises ``ValueError`` when empty so a
-    silent 0.0 can never masquerade as a real latency.
-    """
-    if not values:
-        raise ValueError("percentile of an empty sample")
+def _percentile_sorted(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of an already-sorted non-empty sample."""
     if not (0.0 <= q <= 100.0):
         raise ValueError(f"percentile q must be in [0, 100], got {q}")
-    ordered = sorted(float(v) for v in values)
     if len(ordered) == 1:
         return ordered[0]
     rank = (q / 100.0) * (len(ordered) - 1)
@@ -43,6 +36,17 @@ def percentile(values: Sequence[float], q: float) -> float:
     if frac == 0.0:
         return ordered[lo]
     return ordered[lo] + frac * (ordered[lo + 1] - ordered[lo])
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation.
+
+    ``values`` need not be sorted; raises ``ValueError`` when empty so a
+    silent 0.0 can never masquerade as a real latency.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    return _percentile_sorted(sorted(float(v) for v in values), q)
 
 
 class StreamingSummary:
@@ -95,22 +99,25 @@ class StreamingSummary:
             self._sorted = sorted(self._values)
         if not self._sorted:
             raise ValueError("percentile of an empty summary")
-        if not (0.0 <= q <= 100.0):
-            raise ValueError(f"percentile q must be in [0, 100], got {q}")
-        ordered = self._sorted
-        if len(ordered) == 1:
-            return ordered[0]
-        rank = (q / 100.0) * (len(ordered) - 1)
-        lo = int(rank)
-        frac = rank - lo
-        if frac == 0.0:
-            return ordered[lo]
-        return ordered[lo] + frac * (ordered[lo + 1] - ordered[lo])
+        return _percentile_sorted(self._sorted, q)
 
     def summary(self) -> Dict[str, float]:
-        """``{count, mean, p50, p99, min, max}`` (empty -> zero counts only)."""
+        """``{count, mean, p50, p99, min, max}``, all floats.
+
+        The empty summary keeps the full schema with every statistic at
+        ``0.0`` (and ``count == 0.0``), so callers indexing ``["p50"]`` on a
+        quiet interval never hit a ``KeyError``; check ``count`` to tell a
+        genuinely zero latency from an empty sample.
+        """
         if not self._values:
-            return {"count": 0}
+            return {
+                "count": 0.0,
+                "mean": 0.0,
+                "p50": 0.0,
+                "p99": 0.0,
+                "min": 0.0,
+                "max": 0.0,
+            }
         return {
             "count": float(len(self._values)),
             "mean": self.mean,

@@ -390,6 +390,10 @@ class Engine:
         self._barrier_waiting: Dict[Optional[Tuple[int, ...]], List[Tuple[int, float]]] = {}
         # scheduled callbacks, indexed by heap token of the (t, -1, idx) tier
         self._events: List[Callable[[float], None]] = []
+        # rank -> compute-rate multiplier installed by fault events (slow
+        # ranks); empty means every Compute runs at its modelled duration, so
+        # fault-free simulations take the exact historical code path
+        self._compute_scale: Dict[int, float] = {}
         # slot -> the EngineJob currently occupying it (bind to retire)
         self._slot_job: Dict[int, EngineJob] = {}
         self._commands_total = 0
@@ -443,11 +447,31 @@ class Engine:
         Tier ``-1`` sorts before fair commits (tier 0) and rank steps
         (tier rank+1) at the same timestamp, and the token is an index into
         an append-only callback list, so scheduled events are never stale.
-        Callbacks typically call :meth:`bind_job`; they must not schedule
-        events in the past (heap pops must stay non-decreasing in time).
+        Callbacks typically call :meth:`bind_job` (workload arrivals) or
+        mutate fabric state (fault injection, see :mod:`repro.faults`); they
+        must not schedule events in the past (heap pops must stay
+        non-decreasing in time).
         """
         heapq.heappush(self._heap, (float(time), -1, len(self._events)))
         self._events.append(fn)
+
+    def set_compute_scale(self, rank: int, factor: float) -> None:
+        """Scale every subsequent ``Compute`` of ``rank`` by ``factor``.
+
+        The slow-rank fault hook (see :mod:`repro.faults`): ``factor > 1``
+        models a straggling rank (thermal throttling, a noisy neighbour),
+        ``factor == 1`` restores the rank to its modelled speed.  Takes
+        effect from the next ``Compute`` the rank executes; in-progress
+        waits are unaffected.  Cleared by :meth:`reset`.
+        """
+        if not (0 <= rank < self.n_ranks):
+            raise ValueError(f"rank {rank} outside 0..{self.n_ranks - 1}")
+        if not factor > 0.0:
+            raise ValueError(f"compute scale factor must be > 0, got {factor}")
+        if factor == 1.0:
+            self._compute_scale.pop(rank, None)
+        else:
+            self._compute_scale[rank] = float(factor)
 
     def bind_job(
         self,
@@ -580,6 +604,12 @@ class Engine:
                         trace.append((timestamp, -1))
                     counts[EV_SCHEDULED] = counts.get(EV_SCHEDULED, 0) + 1
                     self._events[token](timestamp)
+                    if fair is not None:
+                        # a callback may have re-divided fair rates (fault
+                        # events change stage capacities mid-run); keep the
+                        # commit event at the registry's fresh horizon.  No-op
+                        # while the registry version is unchanged.
+                        self._sync_fair_event()
                     continue
                 if order == 0:
                     heapq.heappop(heap)
@@ -719,6 +749,8 @@ class Engine:
 
     def _handle_compute(self, state: _RankState, cmd: Compute) -> None:
         seconds = cmd.seconds
+        if self._compute_scale:
+            seconds *= self._compute_scale.get(state.rank, 1.0)
         state.clock += seconds
         # inlined TimeBreakdown.add (Compute is the single hottest command)
         acc = state.breakdown.seconds

@@ -249,6 +249,25 @@ class FairShareRegistry:
         assert flow.finish_time is not None
         return flow.finish_time, flow
 
+    def apply_capacity_change(self, now: float, stages: Sequence[Any]) -> None:
+        """Re-divide after ``stages`` changed capacity mid-run (fault events).
+
+        An arrival-like event without a new flow: every active flow first
+        settles up to ``now`` at its *old* rate — capacity changes are never
+        retroactive — then the connected component reachable from ``stages``
+        re-divides against the new capacities, firing rate-change callbacks.
+        Stages carrying no fluid flow are left untouched (their next
+        ``open_flow`` reads the live capacity anyway), so calling this with
+        idle stages is free and changes nothing.
+        """
+        now = max(float(now), self._clock)
+        self._advance(now)
+        seeds = [stage for stage in stages if getattr(stage, "flows", None)]
+        if not seeds:
+            return
+        self._touch()
+        self._redivide(now, seeds=seeds)
+
     def reset(self) -> None:
         """Forget every flow and rewind the fluid clock (simulation reset)."""
         for flow in self._flows.values():

@@ -91,6 +91,43 @@ Both disciplines conserve capacity exactly; ``reservation`` stays the
 bit-for-bit default everywhere (golden makespan pins in ``tests/property``
 freeze it).  Uncontended topologies (flat, hierarchical) have no shared
 stages, so the knob does not apply to them.
+
+Fault model
+-----------
+
+Switch fabrics accept *fault overlays* — keyed by a stage-id prefix — that
+degrade or fail whole families of stages mid-run (installed by the seeded
+schedules of :mod:`repro.faults` through ``Engine.schedule_event``):
+
+* **Degradation** (``set_stage_fault(prefix, factor=f)``): every stage whose
+  id starts with ``prefix`` runs at ``nominal_capacity x f``.  Overlapping
+  overlays multiply.  Already-instantiated stages are re-capacitated in
+  place and cached path-link bottleneck bandwidths are refreshed, so both
+  bulk reservations and windowed poll credits see the degraded wire;
+  ``contention="fair"`` callers additionally feed the returned stages to
+  :meth:`FairShareRegistry.apply_capacity_change` so in-flight fluid flows
+  re-divide at the new capacities (the injector does this automatically).
+* **Failure** (``failed=True``): the stage stays capacitated but routing
+  refuses to cross it — ``_choose_route`` drops candidates containing a
+  failed stage (raising if none survives) and ``resolve_link`` skips failed
+  NIC rails, advancing deterministically to the next live rail.  In-flight
+  transfers drain; only *new* messages re-route, which models link-level
+  retransmission finishing what already entered the wire.
+* **Reaction contract**: with any overlay active, adaptive routing orders
+  candidates by (worst degradation, reservation backlog, placement history),
+  so traffic rebalances around degraded stages before it balances load; and
+  ``effective_inter_bandwidth()`` applies the worst live overlay factor per
+  tier (conservatively treating a single degraded stage as degrading its
+  whole tier), which is what lets the collective selector and the
+  C-Allreduce compression gate react to faults with no code of their own.
+
+Which stages can fail: any stage family a fabric wires — ``nic-up`` /
+``nic-down`` rails, fat-tree ``ft-up`` / ``ft-down`` / ``ft-agg-core`` /
+``ft-core-agg``, dragonfly ``df-local`` / ``df-global``.  Overlays are
+cleared by ``clear_stage_fault`` and by ``reset()`` (a fresh simulation
+starts healthy); with no overlays installed, every code path above is
+byte-identical to the fault-free fabric, which keeps the golden makespan
+pins bit-for-bit.
 """
 
 from __future__ import annotations
@@ -256,9 +293,13 @@ class FairShareLink(SharedLink):
 def trace_reservations():
     """Record every :class:`SharedLink` reservation made while the context is open.
 
-    Yields a list that fills with ``("reserve", stage, finish, nbytes)`` and
-    ``("clear", stage, None, None)`` events in call order (``clear`` marks a
-    simulation reset, which legitimately rewinds a reused stage).  Pair with
+    Yields a list that fills with ``("reserve", stage, finish, nbytes,
+    capacity)`` and ``("clear", stage, None, None, None)`` events in call
+    order (``clear`` marks a simulation reset, which legitimately rewinds a
+    reused stage).  Each reserve event carries the stage capacity *at reserve
+    time*: fault overlays re-capacitate stages mid-run, so auditing against
+    the stage's current capacity would flag spurious overlaps on any
+    reservation made before the change.  Pair with
     :func:`capacity_conservation_violations` to audit whole simulations; the
     property suite and ``bench_fabric_contention.py`` pin the invariant with
     it.
@@ -268,12 +309,12 @@ def trace_reservations():
 
     def reserve(self, start, nbytes):
         finish = real_reserve(self, start, nbytes)
-        events.append(("reserve", self, finish, nbytes))
+        events.append(("reserve", self, finish, nbytes, self.capacity))
         return finish
 
     def clear(self):
         real_clear(self)
-        events.append(("clear", self, None, None))
+        events.append(("clear", self, None, None, None))
 
     SharedLink.reserve, SharedLink.clear = reserve, clear  # type: ignore[method-assign]
     try:
@@ -286,18 +327,19 @@ def capacity_conservation_violations(events, tolerance: float = 1e-12) -> List[T
     """Overlapping reservations in a :func:`trace_reservations` event list.
 
     A stage conserves capacity exactly when its reservations are serial (each
-    occupies ``bytes / capacity`` of wire time and starts no earlier than the
-    previous one finished).  Returns ``(stage, begin, previous_finish)``
-    triples for every violation — empty means aggregate throughput never
-    exceeded any stage's capacity at any time.
+    occupies ``bytes / capacity`` of wire time at its reserve-time capacity
+    and starts no earlier than the previous one finished).  Returns
+    ``(stage, begin, previous_finish)`` triples for every violation — empty
+    means aggregate throughput never exceeded any stage's capacity at any
+    time, including across mid-run capacity changes from fault overlays.
     """
     violations: List[Tuple] = []
     last_finish: Dict[int, float] = {}
-    for kind, stage, finish, nbytes in events:
+    for kind, stage, finish, nbytes, capacity in events:
         if kind == "clear":
             last_finish.pop(id(stage), None)
             continue
-        begin = finish - max(0.0, nbytes) / stage.capacity
+        begin = finish - max(0.0, nbytes) / capacity
         previous = last_finish.get(id(stage), float("-inf"))
         if begin < previous - tolerance:
             violations.append((stage, begin, previous))
@@ -502,6 +544,17 @@ class Topology(ABC):
         """
         return None
 
+    def fault_degradation(self) -> float:
+        """How much fault overlays currently slow the inter-node tier.
+
+        ``nominal / degraded`` effective inter-node bandwidth: 1.0 on a
+        healthy fabric, 2.0 when the bottleneck tier runs at half rate.  The
+        collective selector uses this to steer critical paths off degraded
+        fabric (see the module docstring's "Fault model" section).  Fabrics
+        without fault support always report 1.0.
+        """
+        return 1.0
+
     def reset(self) -> None:
         """Clear any per-simulation contention state (called by the engine)."""
 
@@ -691,6 +744,10 @@ class SharedUplinkTopology(HierarchicalTopology):
 StageKey = Tuple
 StageSpec = Tuple[StageKey, float]
 
+#: stage families that form the NIC tier (everything else is switch fabric);
+#: the tier-level fault factors of ``effective_inter_bandwidth`` use this split
+_NIC_STAGE_FAMILIES = ("nic-up", "nic-down")
+
 
 class SwitchFabricTopology(_PlacedTopology):
     """Path-based fabric: every inter-node pair resolves to a chain of stages.
@@ -782,6 +839,13 @@ class SwitchFabricTopology(_PlacedTopology):
         self._stages: Dict[StageKey, SharedLink] = {}
         self._path_links: Dict[Tuple[StageKey, ...], LinkModel] = {}
         self._stripe_counters: Dict[int, int] = {}
+        # fault overlays: stage-id prefix -> (capacity factor, failed); see
+        # the module docstring's "Fault model" section.  Per contention clone
+        # (a with_contention sibling starts healthy), cleared by reset().
+        self._stage_faults: Dict[StageKey, Tuple[float, bool]] = {}
+        # nominal (fault-free) capacity of every instantiated stage, recorded
+        # at creation so overlays can be applied and removed losslessly
+        self._stage_nominal: Dict[StageKey, float] = {}
 
     # ------------------------------------------------- fabric structure hooks
 
@@ -831,7 +895,15 @@ class SwitchFabricTopology(_PlacedTopology):
         return self._intra
 
     def effective_inter_bandwidth(self) -> Optional[float]:
-        return min(self.nic_bandwidth, self.switch_bandwidth)
+        if not self._stage_faults:
+            return self._nominal_inter_bandwidth()
+        # per-tier worst live overlay factor (see _tier_fault_factor): the
+        # collective selector and the compression break-even gate read this,
+        # so a degraded tier shifts their decisions with no code of their own
+        return min(
+            self.nic_bandwidth * self._tier_fault_factor(_NIC_STAGE_FAMILIES),
+            self.switch_bandwidth * self._tier_fault_factor(None),
+        )
 
     def route_of(self, src: int, dst: int, rail: Optional[int] = None) -> Tuple[StageKey, ...]:
         """Stage ids a ``src -> dst`` message crosses (pure snapshot).
@@ -853,6 +925,110 @@ class SwitchFabricTopology(_PlacedTopology):
         """In-flight transfer count per instantiated stage (load telemetry)."""
         return {key: stage.active for key, stage in self._stages.items()}
 
+    # ---------------------------------------------------------------- faults
+
+    def set_stage_fault(
+        self, prefix: StageKey, factor: float = 1.0, failed: bool = False
+    ) -> List[SharedLink]:
+        """Install a fault overlay on every stage whose id starts with ``prefix``.
+
+        ``factor`` scales the matched stages' nominal capacity (overlapping
+        overlays multiply); ``failed=True`` additionally excludes the stages
+        from routing (see the module docstring's "Fault model" section).  One
+        overlay is live per prefix — setting the same prefix again replaces
+        it.  Returns the already-instantiated stages whose capacity changed;
+        ``contention="fair"`` callers must hand exactly these to
+        :meth:`~repro.mpisim.fairshare.FairShareRegistry.apply_capacity_change`
+        so in-flight fluid flows re-divide at the new rates.
+        """
+        key = tuple(prefix)
+        if not key:
+            raise ValueError("stage-fault prefix must name at least the stage family")
+        if not factor > 0.0:
+            raise ValueError(f"fault factor must be > 0, got {factor}")
+        self._stage_faults[key] = (float(factor), bool(failed))
+        return self._refresh_fault_capacities()
+
+    def clear_stage_fault(self, prefix: StageKey) -> List[SharedLink]:
+        """Remove the overlay installed under ``prefix`` (no-op if absent).
+
+        Matched stages return to ``nominal x remaining overlays``; returns the
+        stages whose capacity changed, exactly like :meth:`set_stage_fault`.
+        """
+        self._stage_faults.pop(tuple(prefix), None)
+        return self._refresh_fault_capacities()
+
+    def active_faults(self) -> Dict[StageKey, Tuple[float, bool]]:
+        """Live fault overlays: ``{prefix: (factor, failed)}`` (a copy)."""
+        return dict(self._stage_faults)
+
+    def _fault_factor(self, key: StageKey) -> float:
+        """Product of the live overlay factors matching one stage id."""
+        factor = 1.0
+        for prefix, (f, _) in self._stage_faults.items():
+            if key[: len(prefix)] == prefix:
+                factor *= f
+        return factor
+
+    def _is_failed(self, key: StageKey) -> bool:
+        """Whether any live overlay marks this stage id failed."""
+        for prefix, (_, failed) in self._stage_faults.items():
+            if failed and key[: len(prefix)] == prefix:
+                return True
+        return False
+
+    def _refresh_fault_capacities(self) -> List[SharedLink]:
+        """Re-capacitate instantiated stages from nominal x live overlays.
+
+        Also refreshes the cached path links' bottleneck bandwidth (windowed
+        poll credits read it), so every timing input reflects the overlay set.
+        Returns the stages whose capacity actually changed.
+        """
+        changed: List[SharedLink] = []
+        for key, stage in self._stages.items():
+            capacity = self._stage_nominal[key] * self._fault_factor(key)
+            if capacity != stage.capacity:
+                stage.capacity = capacity
+                changed.append(stage)
+        if changed:
+            for link in self._path_links.values():
+                link.bandwidth = min(s.capacity for s in link.stages)
+        return changed
+
+    def _tier_fault_factor(self, families: Optional[Tuple[str, ...]]) -> float:
+        """Worst live (non-failed) overlay factor over a tier's stage families.
+
+        ``families=None`` selects every non-NIC family (the switch tier).
+        Deliberately conservative tier-level semantics: an overlay scoped to
+        a single stage counts as degrading its whole tier, so the selector
+        and the compression gate react to the worst case rather than
+        averaging over paths they cannot enumerate.
+        """
+        worst = 1.0
+        for prefix, (factor, failed) in self._stage_faults.items():
+            if failed:
+                continue
+            family = str(prefix[0])
+            in_tier = (
+                family not in _NIC_STAGE_FAMILIES
+                if families is None
+                else family in families
+            )
+            if in_tier and factor < worst:
+                worst = factor
+        return worst
+
+    def _nominal_inter_bandwidth(self) -> float:
+        """Fault-free effective inter-node bandwidth of this fabric."""
+        return min(self.nic_bandwidth, self.switch_bandwidth)
+
+    def fault_degradation(self) -> float:
+        if not self._stage_faults:
+            return 1.0
+        effective = self.effective_inter_bandwidth()
+        assert effective is not None and effective > 0.0
+        return self._nominal_inter_bandwidth() / effective
+
     # ------------------------------------------------------------ resolution
 
     def _check_node(self, node: int) -> None:
@@ -866,6 +1042,9 @@ class SwitchFabricTopology(_PlacedTopology):
         stage = self._stages.get(key)
         if stage is None:
             stage_cls = FairShareLink if self._fair is not None else SharedLink
+            self._stage_nominal[key] = float(capacity)
+            if self._stage_faults:
+                capacity = capacity * self._fault_factor(key)
             stage = stage_cls(capacity=capacity)
             self._stages[key] = stage
         return stage
@@ -885,6 +1064,20 @@ class SwitchFabricTopology(_PlacedTopology):
 
     def _choose_route(self, src_node: int, dst_node: int, rail: int) -> Tuple[StageSpec, ...]:
         routes = self._routes(src_node, dst_node)
+        if self._stage_faults and any(f for _, f in self._stage_faults.values()):
+            # failed stages are excluded from routing outright; degradation is
+            # handled below as a soft penalty
+            alive = tuple(
+                route
+                for route in routes
+                if not any(self._is_failed(key) for key, _ in route)
+            )
+            if not alive:
+                raise RuntimeError(
+                    f"no surviving route {src_node} -> {dst_node}: every "
+                    f"candidate crosses a failed stage ({self.describe()})"
+                )
+            routes = alive
         if len(routes) == 1:
             return routes[0]
         if self.routing == ROUTE_ADAPTIVE:
@@ -894,12 +1087,25 @@ class SwitchFabricTopology(_PlacedTopology):
             # min() is stable, so ties pick the first (minimal) candidate.
             # Probe without instantiating: a stage never routed over is idle,
             # and creating it here would leave phantom entries in stage_loads()
-            def load(route: Tuple[StageSpec, ...]) -> Tuple[float, int]:
-                stages = [self._stages.get(key) for key, _ in route]
-                return (
-                    max((s.busy_until for s in stages if s is not None), default=float("-inf")),
-                    max((s.assigned for s in stages if s is not None), default=0),
-                )
+            if self._stage_faults:
+                # rebalance around degraded stages first: a route crossing a
+                # stage at 1/f of nominal rate ranks behind any healthy route,
+                # then the usual backlog ordering applies
+                def load(route: Tuple[StageSpec, ...]) -> Tuple[float, float, int]:
+                    stages = [self._stages.get(key) for key, _ in route]
+                    return (
+                        max((1.0 / self._fault_factor(key) for key, _ in route), default=1.0),
+                        max((s.busy_until for s in stages if s is not None), default=float("-inf")),
+                        max((s.assigned for s in stages if s is not None), default=0),
+                    )
+
+            else:
+                def load(route: Tuple[StageSpec, ...]) -> Tuple[float, int]:  # type: ignore[misc]
+                    stages = [self._stages.get(key) for key, _ in route]
+                    return (
+                        max((s.busy_until for s in stages if s is not None), default=float("-inf")),
+                        max((s.assigned for s in stages if s is not None), default=0),
+                    )
 
             return min(routes, key=load)
         return routes[_mix(src_node, dst_node, rail) % len(routes)]
@@ -930,10 +1136,13 @@ class SwitchFabricTopology(_PlacedTopology):
         signature = tuple(key for key, _ in spec)
         cached = self._path_links.get(signature)
         if cached is None:
+            # bottleneck bandwidth from the live stages, not the spec: fault
+            # overlays may have re-capacitated them (identical when healthy)
+            stages = tuple(self._stage_link(key, capacity) for key, capacity in spec)
             cached = LinkModel(
                 latency=self.nic_latency + self.hop_latency * (len(spec) - 2),
-                bandwidth=min(capacity for _, capacity in spec),
-                stages=tuple(self._stage_link(key, capacity) for key, capacity in spec),
+                bandwidth=min(stage.capacity for stage in stages),
+                stages=stages,
                 fair=self._fair,
             )
             self._path_links[signature] = cached
@@ -948,18 +1157,40 @@ class SwitchFabricTopology(_PlacedTopology):
             return self._intra
         return self._fabric_link(self.node_of(src), self.node_of(dst), self._hash_rail(src, dst))
 
+    def _live_rail(self, src_node: int, dst_node: int, rail: int) -> int:
+        """The chosen rail, advanced past failed NIC rails (deterministic)."""
+        nics = self._nics_per_node
+        for offset in range(nics):
+            candidate = (rail + offset) % nics
+            if not (
+                self._is_failed(("nic-up", src_node, candidate))
+                or self._is_failed(("nic-down", dst_node, candidate))
+            ):
+                return candidate
+        raise RuntimeError(
+            f"all {nics} NIC rail(s) between nodes {src_node} and {dst_node} "
+            f"have failed ({self.describe()})"
+        )
+
     def resolve_link(self, src: int, dst: int) -> Optional[LinkModel]:
         if self.same_node(src, dst):
             return self._intra
         src_node = self.node_of(src)
+        dst_node = self.node_of(dst)
         if self.rail_policy == RAIL_STRIPE and self._nics_per_node > 1:
             rail = self._stripe_rail(src_node)
         else:
             rail = self._hash_rail(src, dst)
-        return self._fabric_link(src_node, self.node_of(dst), rail, commit=True)
+        if self._stage_faults:
+            rail = self._live_rail(src_node, dst_node, rail)
+        return self._fabric_link(src_node, dst_node, rail, commit=True)
 
     def reset(self) -> None:
         # in-place: cached stages / path links are reused across simulations
+        if self._stage_faults:
+            # a fresh simulation starts healthy; restore nominal capacities
+            self._stage_faults.clear()
+            self._refresh_fault_capacities()
         for stage in self._stages.values():
             stage.clear()
         self._stripe_counters.clear()
@@ -1087,8 +1318,17 @@ class DragonflyTopology(SwitchFabricTopology):
     def n_fabric_nodes(self) -> int:
         return self.n_groups * self.routers_per_group * self.nodes_per_router
 
-    def effective_inter_bandwidth(self) -> Optional[float]:
+    def _nominal_inter_bandwidth(self) -> float:
         return min(self.nic_bandwidth, self.local_bandwidth, self.global_bandwidth)
+
+    def effective_inter_bandwidth(self) -> Optional[float]:
+        if not self._stage_faults:
+            return self._nominal_inter_bandwidth()
+        return min(
+            self.nic_bandwidth * self._tier_fault_factor(_NIC_STAGE_FAMILIES),
+            self.local_bandwidth * self._tier_fault_factor(("df-local",)),
+            self.global_bandwidth * self._tier_fault_factor(("df-global",)),
+        )
 
     def _locate(self, node: int) -> Tuple[int, int]:
         router = node // self.nodes_per_router

@@ -17,6 +17,13 @@ Subcommands
 the fuzzer uses — stage capacity conservation and the max-min bottleneck
 property — and exits non-zero on any violation, which is what the CI
 multi-tenant smoke lane gates on.
+
+``--fault-mix`` injects a named seeded fault scenario (see
+:data:`repro.faults.FAULT_MIXES`) into the run: link degradations and flaps,
+straggler ranks, rail failures, node loss.  ``--fault-seed`` decouples the
+scenario draw from the job-mix seed.  The invariant audits hold under faults
+too — capacity conservation is checked against each stage's reserve-time
+capacity.
 """
 
 from __future__ import annotations
@@ -27,6 +34,12 @@ import sys
 from typing import List, Optional
 
 from repro.api import Cluster
+from repro.faults import (
+    DRAGONFLY_LINK_FAMILIES,
+    FAT_TREE_LINK_FAMILIES,
+    FAULT_MIXES,
+    FaultSchedule,
+)
 from repro.workload.arrivals import JobMix, load_trace, save_trace
 from repro.workload.engine import WorkloadEngine
 from repro.workload.job import COLLECTIVE_OPS, JobSpec
@@ -66,6 +79,14 @@ def _add_fabric_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--seed", type=int, default=7, help="seed (default: 7)")
     parser.add_argument(
+        "--fault-mix", default="none", choices=FAULT_MIXES,
+        help="named fault scenario injected into the run (default: none)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="seed for the fault scenario (default: --seed)",
+    )
+    parser.add_argument(
         "--no-baseline", action="store_true",
         help="skip the isolated-run slowdown baselines (faster)",
     )
@@ -86,10 +107,47 @@ def build_cluster(args: argparse.Namespace) -> Cluster:
     return Cluster.from_preset(args.preset, **kwargs)
 
 
+def build_faults(args: argparse.Namespace, cluster: Cluster) -> Optional[FaultSchedule]:
+    """The seeded fault scenario for this invocation (None when fault-free)."""
+    mix = getattr(args, "fault_mix", "none")
+    if mix == "none":
+        return None
+    if args.preset == "shared_uplink" and mix != "stragglers":
+        raise SystemExit(
+            f"--fault-mix {mix} needs a switch-fabric preset "
+            "(fat_tree / dragonfly / rail_fat_tree); shared_uplink supports "
+            "only the stragglers mix"
+        )
+    topology = cluster.topology
+    n_nodes = int(getattr(topology, "n_fabric_nodes", None) or args.nodes)
+    families = (
+        DRAGONFLY_LINK_FAMILIES
+        if args.preset == "dragonfly"
+        else FAT_TREE_LINK_FAMILIES
+    )
+    seed = args.fault_seed if args.fault_seed is not None else args.seed
+    try:
+        return FaultSchedule.generate(
+            mix,
+            seed,
+            n_nodes=n_nodes,
+            n_ranks=n_nodes * args.ranks_per_node,
+            nics_per_node=int(getattr(topology, "nics_per_node", 1)),
+            link_families=families,
+        )
+    except ValueError as exc:  # e.g. rail_outage on a single-rail preset
+        raise SystemExit(f"--fault-mix {mix}: {exc}")
+
+
 def build_engine(args: argparse.Namespace) -> WorkloadEngine:
     nodes = args.nodes if args.preset == "shared_uplink" else None
+    cluster = build_cluster(args)
     return WorkloadEngine(
-        build_cluster(args), nodes=nodes, policy=args.policy, seed=args.seed
+        cluster,
+        nodes=nodes,
+        policy=args.policy,
+        seed=args.seed,
+        faults=build_faults(args, cluster),
     )
 
 

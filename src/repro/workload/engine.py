@@ -34,6 +34,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.api import Cluster
+from repro.faults import FaultInjector, FaultSchedule
 from repro.mpisim.backends import DEFAULT_MAX_COMMANDS
 from repro.mpisim.commands import Barrier, Irecv, Isend, Probe
 from repro.mpisim.engine import Engine, EngineJob
@@ -129,6 +130,15 @@ class WorkloadEngine:
         Keep per-step per-rank collective results on each
         :class:`JobRecord` (the equivalence tests read them; large runs
         leave this off).
+    faults:
+        Optional :class:`~repro.faults.schedule.FaultSchedule` injected into
+        the *concurrent* run (a :class:`~repro.faults.injector.FaultInjector`
+        is installed on the shared engine before ``run()``).  Node-loss
+        events quarantine the node in the allocator so no queued job lands
+        on it.  Isolated baselines run fault-free on purpose: the reported
+        slowdown then includes the fault impact alongside cross-tenant
+        interference.  ``None`` or an empty schedule changes nothing,
+        bit-for-bit.
     """
 
     def __init__(
@@ -140,6 +150,7 @@ class WorkloadEngine:
         seed: int = 0,
         record_values: bool = False,
         max_commands: int = DEFAULT_MAX_COMMANDS,
+        faults: Optional[FaultSchedule] = None,
     ) -> None:
         topology = cluster.topology
         if topology is None:
@@ -174,6 +185,7 @@ class WorkloadEngine:
         self.seed = int(seed)
         self.record_values = bool(record_values)
         self.max_commands = int(max_commands)
+        self.faults = faults if faults is not None else FaultSchedule()
 
     # ------------------------------------------------------------------ runs
 
@@ -182,11 +194,17 @@ class WorkloadEngine:
         specs = sorted(jobs, key=lambda s: (s.arrival, s.job_id))
         if len({s.job_id for s in specs}) != len(specs):
             raise ValueError("job ids must be unique within one run")
+        losable = sum(1 for event in self.faults if event.kind == "node_loss")
         for spec in specs:
-            if self._nodes_needed(spec) > self.n_nodes:
+            if self._nodes_needed(spec) > self.n_nodes - losable:
                 raise ValueError(
                     f"job {spec.job_id!r} needs {self._nodes_needed(spec)} nodes "
                     f"but the fabric has {self.n_nodes}"
+                    + (
+                        f" of which {losable} may be lost to faults"
+                        if losable
+                        else ""
+                    )
                 )
         records, engine = self._run_concurrent(specs)
         report = self._collect(records, engine)
@@ -233,6 +251,14 @@ class WorkloadEngine:
         engine = self._fresh_engine()
         compile_cluster = self._compile_cluster(engine)
         allocator = NodeAllocator(self.n_nodes, self.policy, self.seed)
+        if not self.faults.empty:
+            # faults interleave with arrivals on the same event heap; node
+            # loss additionally quarantines the node so the drain never
+            # re-places a queued job on dead hardware
+            FaultInjector(
+                self.faults,
+                on_node_loss=lambda node, now: allocator.quarantine(node),
+            ).install(engine)
         records = {spec.job_id: JobRecord(spec=spec) for spec in specs}
         pending: List[JobSpec] = []
 

@@ -72,8 +72,26 @@ class PlacementView(Topology):
     def effective_inter_bandwidth(self) -> Optional[float]:
         return self.base.effective_inter_bandwidth()
 
+    def fault_degradation(self) -> float:
+        return self.base.fault_degradation()
+
     def reset(self) -> None:
         """No-op: the base fabric's live contention state belongs to all jobs."""
+
+    def resolve_link(self, src: int, dst: int) -> Optional[LinkModel]:
+        raise TypeError(
+            "PlacementView is compile-time only: collectives are compiled "
+            "against the view but executed on the base fabric with global "
+            "slot ids. resolve_link (engine-side routing) must be called on "
+            "the base topology, never on the view."
+        )
+
+    def reserve_path(self, *args, **kwargs):
+        raise TypeError(
+            "PlacementView is compile-time only: reserve_path (engine-side "
+            "contention accounting) must be called on the base topology, "
+            "never on the view."
+        )
 
     def describe(self) -> str:
         return f"placement view of [{self.base.describe()}] on slots {list(self.slots)}"
@@ -128,10 +146,29 @@ class NodeAllocator:
         self.policy = policy
         self._rng = random.Random(seed)
         self._free = set(range(self.n_nodes))
+        self._quarantined: set = set()
 
     @property
     def nodes_free(self) -> int:
         return len(self._free)
+
+    @property
+    def quarantined(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._quarantined))
+
+    def quarantine(self, node: int) -> None:
+        """Remove ``node`` from service (fault injection: node loss).
+
+        A free node leaves the pool immediately; a busy node is simply
+        marked, and :meth:`release` drops it instead of refreeing it when
+        its current job retires.  Quarantining is idempotent and permanent
+        for the allocator's lifetime.
+        """
+        node = int(node)
+        if not (0 <= node < self.n_nodes):
+            raise ValueError(f"node {node} outside 0..{self.n_nodes - 1}")
+        self._quarantined.add(node)
+        self._free.discard(node)
 
     def allocate(self, count: int) -> Optional[Tuple[int, ...]]:
         if count < 1:
@@ -150,12 +187,21 @@ class NodeAllocator:
         return tuple(take)
 
     def release(self, nodes: Sequence[int]) -> None:
-        for node in nodes:
+        """Return ``nodes`` to the free pool — all of them or none of them.
+
+        The whole batch is validated before any node is freed, so an invalid
+        batch (double release, out-of-range id, or an internal duplicate)
+        leaves the allocator exactly as it was.
+        """
+        batch = [int(node) for node in nodes]
+        if len(set(batch)) != len(batch):
+            raise ValueError(f"duplicate nodes in release batch {batch}")
+        for node in batch:
             if node in self._free:
                 raise RuntimeError(f"node {node} released twice")
             if not (0 <= node < self.n_nodes):
                 raise ValueError(f"node {node} outside 0..{self.n_nodes - 1}")
-            self._free.add(node)
+        self._free.update(node for node in batch if node not in self._quarantined)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,0 +1,77 @@
+"""Golden pins: empty schedule = bit-for-bit no-op; seeded mixes replay exactly."""
+
+import pytest
+
+from repro.api import Cluster
+from repro.faults import FaultSchedule, NodeLoss
+from repro.workload import JobMix, WorkloadEngine
+
+SEED = 7
+
+
+def _cluster(contention):
+    return Cluster.from_preset(
+        "fat_tree", nodes=8, ranks_per_node=2, nics_per_node=2,
+        contention=contention,
+    )
+
+
+def _specs():
+    # >= 8 ranks -> >= 4 nodes, so jobs span edge switches and switch-tier
+    # faults genuinely intersect their traffic
+    return JobMix(n_jobs=3, arrival_rate=900.0, sizes=(8, 16)).generate(SEED)
+
+
+def _run(cluster, faults):
+    engine = WorkloadEngine(cluster, policy="packed", seed=SEED, faults=faults)
+    report = engine.run(_specs(), baseline=False)
+    return report.makespan, tuple(record.finished for record in report.records)
+
+
+class TestEmptySchedulePin:
+    @pytest.mark.parametrize("contention", ["fair", "reservation"])
+    def test_empty_schedule_is_bit_for_bit_noop(self, contention):
+        cluster = _cluster(contention)
+        assert _run(cluster, FaultSchedule()) == _run(cluster, None)
+
+
+class TestSeededReplay:
+    @pytest.mark.parametrize("mix", ["degraded_tier", "node_loss", "mixed"])
+    def test_same_seed_same_schedule_same_makespan(self, mix):
+        cluster = _cluster("fair")
+        schedule = FaultSchedule.generate(
+            mix, SEED, n_nodes=8, n_ranks=16, nics_per_node=2, horizon=6e-3
+        )
+        assert _run(cluster, schedule) == _run(cluster, schedule)
+
+    def test_degraded_tier_actually_hurts(self):
+        cluster = _cluster("fair")
+        schedule = FaultSchedule.generate(
+            "degraded_tier", SEED, n_nodes=8, n_ranks=16, nics_per_node=2,
+            horizon=6e-3,
+        )
+        healthy_mk, _ = _run(cluster, None)
+        faulted_mk, _ = _run(cluster, schedule)
+        assert faulted_mk > healthy_mk
+
+
+class TestNodeLossWorkload:
+    def test_oversized_job_with_losable_node_rejected_upfront(self):
+        cluster = _cluster("fair")
+        faults = FaultSchedule(events=(NodeLoss(time=1e-3, node=0),))
+        engine = WorkloadEngine(cluster, policy="packed", seed=SEED, faults=faults)
+        n_nodes = engine.n_nodes
+        # a job needing the whole fabric can never be (re)placed once a node
+        # is lost; the engine refuses upfront instead of deadlocking late
+        specs = JobMix(
+            n_jobs=1, sizes=(n_nodes * engine.ranks_per_node,)
+        ).generate(SEED)
+        with pytest.raises(ValueError, match="lost to faults"):
+            engine.run(specs, baseline=False)
+
+    def test_node_loss_run_completes_and_replays(self):
+        cluster = _cluster("fair")
+        faults = FaultSchedule(events=(NodeLoss(time=5e-4, node=0),))
+        first = _run(cluster, faults)
+        second = _run(cluster, faults)
+        assert first == second

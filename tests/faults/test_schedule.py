@@ -1,0 +1,132 @@
+"""Tests for the typed fault schedule: sorting, round-trips, seeded mixes."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    DRAGONFLY_LINK_FAMILIES,
+    FAT_TREE_LINK_FAMILIES,
+    FAULT_MIXES,
+    FaultSchedule,
+    LinkDegrade,
+    NodeLoss,
+    RailFailure,
+    SlowRank,
+)
+
+
+class TestEventValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="time"):
+            SlowRank(time=-0.1, rank=0, factor=2.0)
+
+    def test_zero_factor_rejected(self):
+        with pytest.raises(ValueError, match="factor"):
+            LinkDegrade(time=0.0, stage_prefix=("ft-up",), factor=0.0)
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ValueError, match="prefix"):
+            LinkDegrade(time=0.0, stage_prefix=(), factor=0.5)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            SlowRank(time=0.0, rank=0, factor=2.0, duration=0.0)
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(ValueError):
+            NodeLoss(time=0.0, node=-1)
+        with pytest.raises(ValueError):
+            RailFailure(time=0.0, node=0, rail=-1)
+
+    def test_prefix_normalised_to_tuple(self):
+        event = LinkDegrade(time=0.0, stage_prefix=["ft-up"], factor=0.5)
+        assert event.stage_prefix == ("ft-up",)
+
+
+class TestSchedule:
+    def test_sorted_regardless_of_listing_order(self):
+        a = SlowRank(time=2e-3, rank=0, factor=2.0)
+        b = LinkDegrade(time=1e-3, stage_prefix=("ft-up",), factor=0.5)
+        assert FaultSchedule(events=(a, b)) == FaultSchedule(events=(b, a))
+        assert FaultSchedule(events=(a, b)).events == (b, a)
+
+    def test_empty_flag_and_len(self):
+        assert FaultSchedule().empty
+        assert len(FaultSchedule()) == 0
+        schedule = FaultSchedule(events=(NodeLoss(time=0.0, node=1),))
+        assert not schedule.empty
+        assert len(schedule) == 1
+
+    def test_round_trip_through_dicts_is_json_safe(self):
+        schedule = FaultSchedule(
+            events=(
+                LinkDegrade(time=1e-3, stage_prefix=("ft-down",), factor=0.25,
+                            duration=5e-4),
+                RailFailure(time=2e-3, node=3, rail=1),
+                SlowRank(time=0.0, rank=7, factor=3.0),
+                NodeLoss(time=1.5e-3, node=2),
+            )
+        )
+        payload = json.loads(json.dumps(schedule.to_dicts()))
+        assert FaultSchedule.from_dicts(payload) == schedule
+
+    def test_from_dicts_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault event kind"):
+            FaultSchedule.from_dicts([{"kind": "meteor_strike", "time": 0.0}])
+
+    def test_describe_counts_kinds(self):
+        assert FaultSchedule().describe() == "fault schedule: empty"
+        schedule = FaultSchedule(
+            events=(
+                SlowRank(time=0.0, rank=0, factor=2.0),
+                SlowRank(time=1e-3, rank=1, factor=2.0),
+                NodeLoss(time=2e-3, node=0),
+            )
+        )
+        assert "3 event(s)" in schedule.describe()
+        assert "2x slow_rank" in schedule.describe()
+        assert "1x node_loss" in schedule.describe()
+
+
+class TestGenerate:
+    def test_none_mix_is_empty(self):
+        assert FaultSchedule.generate("none", 7, n_nodes=8).empty
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault mix"):
+            FaultSchedule.generate("bitrot", 7, n_nodes=8)
+
+    def test_rail_outage_needs_multirail(self):
+        with pytest.raises(ValueError, match="nics_per_node"):
+            FaultSchedule.generate("rail_outage", 7, n_nodes=8, nics_per_node=1)
+
+    @pytest.mark.parametrize("mix", [m for m in FAULT_MIXES if m != "none"])
+    def test_same_seed_same_schedule(self, mix):
+        kwargs = dict(n_nodes=8, n_ranks=16, nics_per_node=2, horizon=6e-3)
+        first = FaultSchedule.generate(mix, 7, **kwargs)
+        second = FaultSchedule.generate(mix, 7, **kwargs)
+        assert first == second
+        assert not first.empty
+        assert all(0.0 <= ev.time <= 6e-3 for ev in first)
+
+    def test_different_seeds_diverge_somewhere(self):
+        schedules = {
+            FaultSchedule.generate("mixed", seed, n_nodes=8, n_ranks=16)
+            for seed in range(5)
+        }
+        assert len(schedules) > 1
+
+    def test_link_families_parameter_scopes_degradations(self):
+        schedule = FaultSchedule.generate(
+            "flaky_links", 3, n_nodes=8,
+            link_families=DRAGONFLY_LINK_FAMILIES,
+        )
+        families = {ev.stage_prefix[0] for ev in schedule}
+        assert families <= set(DRAGONFLY_LINK_FAMILIES)
+        assert not families & set(FAT_TREE_LINK_FAMILIES)
+
+    def test_horizon_scales_event_times(self):
+        small = FaultSchedule.generate("degraded_tier", 7, n_nodes=8, horizon=1e-3)
+        large = FaultSchedule.generate("degraded_tier", 7, n_nodes=8, horizon=1.0)
+        assert large.events[0].time == pytest.approx(small.events[0].time * 1e3)

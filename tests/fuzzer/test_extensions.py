@@ -1,0 +1,114 @@
+"""Fuzzer extension knobs: harness-experiment and fault-mix scenarios."""
+
+import pytest
+
+from repro.fuzzer.autopilot import _REDUCTIONS
+from repro.fuzzer.executor import execute
+from repro.fuzzer.generator import (
+    FAULT_MIXES,
+    HARNESS_EXPERIMENTS,
+    generate_scenario,
+    sanitize,
+)
+
+
+def _base(seed=0, **overrides):
+    scenario = generate_scenario(seed)
+    return scenario.replace(**overrides) if overrides else scenario
+
+
+class TestSanitizeExtensions:
+    def test_unknown_values_fold_to_none(self):
+        scenario = sanitize(
+            _base(harness_experiment="chaos", fault_mix="meteor_strike")
+        )
+        assert scenario.harness_experiment == "none"
+        assert scenario.fault_mix == "none"
+
+    def test_at_most_one_extension_harness_wins(self):
+        scenario = sanitize(
+            _base(harness_experiment="topo", fault_mix="degraded_tier")
+        )
+        assert scenario.harness_experiment == "topo"
+        assert scenario.fault_mix == "none"
+
+    def test_fault_mix_folds_preset_onto_a_fabric(self):
+        scenario = sanitize(
+            _base(preset="flat", harness_experiment="none",
+                  fault_mix="degraded_tier")
+        )
+        assert scenario.preset in ("fat_tree", "dragonfly", "rail_fat_tree")
+
+    def test_rail_outage_forces_multirail(self):
+        scenario = sanitize(
+            _base(preset="fat_tree", nics_per_node=1,
+                  harness_experiment="none", fault_mix="rail_outage")
+        )
+        assert scenario.nics_per_node >= 2
+
+    def test_sanitize_idempotent_on_extension_scenarios(self):
+        for seed in range(40):
+            scenario = generate_scenario(seed)
+            assert sanitize(scenario) == scenario
+
+
+class TestGeneratorDrawsExtensions:
+    def test_both_knobs_eventually_drawn_and_mostly_none(self):
+        scenarios = [generate_scenario(seed) for seed in range(400)]
+        harness = [s.harness_experiment for s in scenarios]
+        faults = [s.fault_mix for s in scenarios]
+        assert set(harness) - {"none"}, "harness experiments never drawn"
+        assert set(faults) - {"none"}, "fault mixes never drawn"
+        assert harness.count("none") > len(scenarios) * 0.7
+        assert faults.count("none") > len(scenarios) * 0.7
+        assert set(harness) <= set(HARNESS_EXPERIMENTS)
+        assert set(faults) <= set(FAULT_MIXES)
+
+    def test_trailing_knobs_keep_other_draws_stable(self):
+        # the extension fields are drawn last: every other field of a seed's
+        # scenario must be independent of them (regression for seed churn)
+        scenario = generate_scenario(11)
+        core = {
+            k: v
+            for k, v in scenario.to_dict().items()
+            if k not in ("harness_experiment", "fault_mix")
+        }
+        assert core["seed"] == 11
+        assert core["n_ranks"] >= 2
+
+
+class TestShrinkerKnowsExtensions:
+    def test_reductions_drop_extensions_first(self):
+        fields = [name for name, _ in _REDUCTIONS]
+        assert fields[0] == "harness_experiment"
+        assert fields[1] == "fault_mix"
+        assert ("harness_experiment", ("none",)) in _REDUCTIONS
+        assert ("fault_mix", ("none",)) in _REDUCTIONS
+
+
+class TestExecuteExtensions:
+    def test_faulted_workload_scenario_executes_clean(self):
+        scenario = sanitize(
+            _base(
+                preset="fat_tree",
+                ranks_per_node=2,
+                nics_per_node=2,
+                placement="block",
+                contention="fair",
+                routing="minimal",
+                harness_experiment="none",
+                fault_mix="stragglers",
+            )
+        )
+        record = execute(scenario)
+        assert record["status"] == "ok", record.get("violations")
+        assert record["fault_mix"] == "stragglers"
+        assert record["fault_events"] >= 1
+
+    def test_harness_scenario_executes_clean(self):
+        scenario = sanitize(
+            _base(harness_experiment="multitenant", fault_mix="none")
+        )
+        record = execute(scenario)
+        assert record["status"] == "ok", record.get("violations")
+        assert record["harness_experiment"] == "multitenant"

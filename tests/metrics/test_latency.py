@@ -44,8 +44,30 @@ class TestPercentile:
 
 
 class TestStreamingSummary:
-    def test_empty_summary_is_count_zero(self):
-        assert StreamingSummary().summary() == {"count": 0}
+    def test_empty_summary_keeps_full_schema(self):
+        # regression: the empty case used to return {"count": 0} (int, no
+        # percentile keys), so callers indexing ["p50"] on a quiet interval
+        # crashed with KeyError
+        out = StreamingSummary().summary()
+        assert out == {
+            "count": 0.0,
+            "mean": 0.0,
+            "p50": 0.0,
+            "p99": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+        }
+        assert all(isinstance(v, float) for v in out.values())
+        assert set(out) == set(StreamingSummary([1.0]).summary())
+
+    def test_streaming_percentile_matches_module_percentile(self):
+        # StreamingSummary.percentile used to be a copy-paste of the module
+        # helper; both now share one implementation and must agree exactly
+        rng = random.Random(29)
+        values = [rng.gauss(0.0, 1.0) for _ in range(101)]
+        summary = StreamingSummary(values)
+        for q in (0.0, 12.5, 50.0, 99.0, 100.0):
+            assert summary.percentile(q) == percentile(values, q)
 
     def test_accumulates_basic_stats(self):
         summary = StreamingSummary()

@@ -50,9 +50,56 @@ class TestNodeAllocator:
         with pytest.raises(RuntimeError, match="released twice"):
             alloc.release(nodes)
 
+    def test_invalid_batch_release_is_atomic(self):
+        # regression: release used to free nodes one by one while validating,
+        # so a batch with one bad node left the earlier nodes already freed
+        alloc = NodeAllocator(8, "packed", seed=0)
+        nodes = alloc.allocate(3)
+        assert nodes == (0, 1, 2)
+        with pytest.raises(ValueError, match="outside"):
+            alloc.release([0, 1, 99])
+        assert alloc.nodes_free == 5  # nothing freed
+        with pytest.raises(RuntimeError, match="released twice"):
+            alloc.release([3, 0, 1])  # 3 is already free
+        assert alloc.nodes_free == 5
+        with pytest.raises(ValueError, match="duplicate"):
+            alloc.release([0, 0])
+        assert alloc.nodes_free == 5
+        alloc.release(nodes)  # the valid batch still releases cleanly
+        assert alloc.nodes_free == 8
+
     def test_unknown_policy_rejected(self):
         with pytest.raises(ValueError):
             NodeAllocator(4, "diagonal", seed=0)
+
+    def test_quarantine_free_node_leaves_pool(self):
+        alloc = NodeAllocator(4, "packed", seed=0)
+        alloc.quarantine(0)
+        assert alloc.quarantined == (0,)
+        assert alloc.nodes_free == 3
+        assert alloc.allocate(3) == (1, 2, 3)
+
+    def test_quarantined_busy_node_is_dropped_on_release(self):
+        # node-loss fault mid-job: the node must not return to service when
+        # the job retires
+        alloc = NodeAllocator(4, "packed", seed=0)
+        nodes = alloc.allocate(2)
+        assert nodes == (0, 1)
+        alloc.quarantine(1)
+        alloc.release(nodes)
+        assert alloc.nodes_free == 3
+        assert alloc.allocate(3) == (0, 2, 3)
+
+    def test_quarantine_is_idempotent_and_validated(self):
+        alloc = NodeAllocator(4, "packed", seed=0)
+        alloc.quarantine(2)
+        alloc.quarantine(2)
+        assert alloc.quarantined == (2,)
+        assert alloc.nodes_free == 3
+        with pytest.raises(ValueError, match="outside"):
+            alloc.quarantine(4)
+        with pytest.raises(ValueError, match="outside"):
+            alloc.quarantine(-1)
 
 
 class TestPlacementView:
@@ -66,6 +113,17 @@ class TestPlacementView:
         assert view.shares_uplinks == topology.shares_uplinks
         assert view.link(0, 1) == topology.link(4, 5)
         assert view.link(0, 2) == topology.link(4, 10)
+
+    def test_engine_only_methods_raise(self):
+        # regression: the view used to inherit the base-class resolve_link
+        # default (delegating to link), so a caller executing against the
+        # view got flat-fabric timing with no error
+        topology = Cluster.from_preset("fat_tree", ranks_per_node=2).topology
+        view = PlacementView(topology, (0, 1, 2, 3))
+        with pytest.raises(TypeError, match="compile-time only"):
+            view.resolve_link(0, 1)
+        with pytest.raises(TypeError, match="compile-time only"):
+            view.reserve_path(0, 1, 1024, 0.0)
 
     def test_delegates_fabric_wide_properties(self):
         topology = Cluster.from_preset("fat_tree", ranks_per_node=2, contention="fair").topology
