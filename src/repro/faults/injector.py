@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.faults.schedule import (
+    DomainOutage,
     FaultSchedule,
     LinkDegrade,
     NodeLoss,
@@ -47,7 +48,13 @@ class FaultInjector:
     on_node_loss:
         Optional ``(node, time)`` callback fired when a :class:`NodeLoss`
         event lands — the workload layer hooks its allocator's quarantine
-        here so no later job is placed on the dead node.
+        (and job-kill semantics) here so no later job is placed on the dead
+        node.
+    on_node_heal:
+        Optional ``(node, time)`` callback fired when a *transient*
+        :class:`NodeLoss` heals (its ``duration`` elapsed) — the workload
+        layer un-quarantines the node here so flapping domains return
+        capacity.
     node_loss_factor:
         Capacity factor the lost node's NIC stages collapse to.
 
@@ -60,6 +67,7 @@ class FaultInjector:
         self,
         schedule: FaultSchedule,
         on_node_loss: Optional[Callable[[int, float], None]] = None,
+        on_node_heal: Optional[Callable[[int, float], None]] = None,
         node_loss_factor: float = NODE_LOSS_FACTOR,
     ) -> None:
         if not node_loss_factor > 0.0:
@@ -68,6 +76,7 @@ class FaultInjector:
             )
         self.schedule = schedule
         self.on_node_loss = on_node_loss
+        self.on_node_heal = on_node_heal
         self.node_loss_factor = float(node_loss_factor)
 
     def install(self, engine) -> int:
@@ -159,7 +168,23 @@ class FaultInjector:
                     self.on_node_loss(node, now)
 
             engine.schedule_event(event.time, lose)
-            return 1
+            if event.duration is None:
+                return 1
+
+            def heal(now: float, node=event.node) -> None:
+                self._clear_overlay(engine, ("nic-up", node), now)
+                self._clear_overlay(engine, ("nic-down", node), now)
+                if self.on_node_heal is not None:
+                    self.on_node_heal(node, now)
+
+            engine.schedule_event(event.time + event.duration, heal)
+            return 2
+        if isinstance(event, DomainOutage):
+            # the correlated expansion: every member event rides the same
+            # tier -1 path, all due at the outage timestamp
+            return sum(
+                self._install_event(engine, member) for member in event.expand()
+            )
         raise TypeError(f"unknown fault event {event!r}")  # pragma: no cover
 
     # ------------------------------------------------------------- plumbing

@@ -4,7 +4,7 @@ A :class:`FaultSchedule` is an immutable, time-sorted list of typed fault
 events — the scenario script a :class:`~repro.faults.injector.FaultInjector`
 replays through ``Engine.schedule_event`` so faults interleave
 deterministically with the engine's ``(timestamp, priority, token)`` heap.
-Four event types cover the taxonomy in the ROADMAP's failure-scenarios item:
+The event types cover the taxonomy in the ROADMAP's failure-scenarios item:
 
 * :class:`LinkDegrade` — a stage family (or a single stage) runs at a
   fraction of nominal capacity; with ``duration`` set it is a *flap* that
@@ -15,7 +15,12 @@ Four event types cover the taxonomy in the ROADMAP's failure-scenarios item:
 * :class:`SlowRank` — one rank's compute slows by a factor (straggler);
   optionally transient.
 * :class:`NodeLoss` — a node goes dark mid-run: its NIC stages collapse to a
-  retransmit-class trickle and the workload layer stops placing jobs on it.
+  retransmit-class trickle and the workload layer stops placing jobs on it
+  (and kills/restarts the jobs already there, per their failure policy).
+* :class:`DomainOutage` — a correlated failure: one event over a
+  :class:`FailureDomain` (switch, pod, power zone) expands into
+  ``NodeLoss``/``RailFailure``/``LinkDegrade`` constituents for every member,
+  all at the same timestamp.
 
 Schedules are plain data: they sort, compare, round-trip through
 ``to_dicts``/``from_dicts`` (JSON-friendly), and :meth:`FaultSchedule.generate`
@@ -34,6 +39,8 @@ __all__ = [
     "DRAGONFLY_LINK_FAMILIES",
     "FAT_TREE_LINK_FAMILIES",
     "FAULT_MIXES",
+    "DomainOutage",
+    "FailureDomain",
     "FaultEvent",
     "FaultSchedule",
     "LinkDegrade",
@@ -43,6 +50,7 @@ __all__ = [
 ]
 
 #: named fault mixes understood by :meth:`FaultSchedule.generate`
+#: (``domain_outage`` appended last so pre-existing seeded draws reproduce)
 FAULT_MIXES = (
     "none",
     "degraded_tier",
@@ -51,6 +59,7 @@ FAULT_MIXES = (
     "rail_outage",
     "node_loss",
     "mixed",
+    "domain_outage",
 )
 
 #: default stage families LinkDegrade mixes draw from (a fat tree's switch
@@ -145,31 +154,131 @@ class SlowRank:
 
 @dataclass(frozen=True)
 class NodeLoss:
-    """Node ``node`` goes dark at ``time`` (permanent).
+    """Node ``node`` goes dark at ``time``.
 
-    Modelled as a brutal degradation of the node's NIC stages rather than a
-    hard failure: collectives with ranks on the node still terminate (traffic
-    drains at retransmit-class rates) instead of deadlocking the simulation,
-    and the workload layer quarantines the node so no later job lands on it.
+    The node's NIC stages collapse to retransmit-class rates and the
+    workload layer quarantines the node (killing jobs placed on it, per
+    their :class:`~repro.workload.recovery.FailurePolicy`).  ``duration``
+    makes the loss transient: the overlays clear and the node is healed
+    (un-quarantined) after that many seconds; ``None`` is permanent.
     """
 
     time: float
     node: int
+    duration: Optional[float] = None
     kind: str = "node_loss"
 
     def __post_init__(self) -> None:
         _check_time(self.time)
+        _check_duration(self.duration)
         if self.node < 0:
             raise ValueError(f"NodeLoss node must be >= 0, got {self.node}")
 
 
-FaultEvent = Any  # union of the four dataclasses above (kept duck-typed)
+@dataclass(frozen=True)
+class FailureDomain:
+    """A named group of components that fail together.
+
+    ``kind`` labels the blast radius ("switch", "pod", "power", ...);
+    members are ``nodes`` (lost outright), ``rails`` as ``(node, rail)``
+    pairs, and ``stage_prefixes`` (degraded to
+    :attr:`DomainOutage.degrade_factor`).  A domain is pure data — it only
+    acts through a :class:`DomainOutage` event that expands over it.
+    """
+
+    name: str
+    kind: str = "switch"
+    nodes: Tuple[int, ...] = ()
+    rails: Tuple[Tuple[int, int], ...] = ()
+    stage_prefixes: Tuple[Tuple, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("FailureDomain needs a non-empty name")
+        object.__setattr__(self, "nodes", tuple(int(n) for n in self.nodes))
+        object.__setattr__(
+            self, "rails", tuple(tuple(pair) for pair in self.rails)
+        )
+        object.__setattr__(
+            self,
+            "stage_prefixes",
+            tuple(tuple(prefix) for prefix in self.stage_prefixes),
+        )
+        if not (self.nodes or self.rails or self.stage_prefixes):
+            raise ValueError(f"FailureDomain {self.name!r} has no members")
+        if any(n < 0 for n in self.nodes):
+            raise ValueError("FailureDomain nodes must be >= 0")
+        if any(len(pair) != 2 for pair in self.rails):
+            raise ValueError("FailureDomain rails must be (node, rail) pairs")
+        if any(not prefix for prefix in self.stage_prefixes):
+            raise ValueError("FailureDomain stage prefixes must be non-empty")
+
+
+@dataclass(frozen=True)
+class DomainOutage:
+    """Every member of ``domain`` fails at once (correlated failure).
+
+    One seeded event standing for a whole switch / pod / power-zone outage:
+    it expands (see :meth:`expand`) into one :class:`NodeLoss` per member
+    node, one :class:`RailFailure` per member rail and one
+    :class:`LinkDegrade` (at ``degrade_factor``) per member stage prefix,
+    all at the same timestamp — so the constituents replay through the
+    existing priority-tier ``-1`` path and interleave deterministically.
+    ``duration`` (applied to every constituent) makes the outage heal.
+    """
+
+    time: float
+    domain: FailureDomain
+    duration: Optional[float] = None
+    degrade_factor: float = 1e-3
+    kind: str = "domain_outage"
+
+    def __post_init__(self) -> None:
+        _check_time(self.time)
+        _check_duration(self.duration)
+        if not isinstance(self.domain, FailureDomain):
+            raise ValueError(
+                f"DomainOutage domain must be a FailureDomain, "
+                f"got {type(self.domain).__name__}"
+            )
+        if not self.degrade_factor > 0.0:
+            raise ValueError(
+                f"degrade factor must be > 0, got {self.degrade_factor}"
+            )
+
+    def expand(self) -> Tuple[FaultEvent, ...]:
+        """The correlated constituent events, one per domain member."""
+        events: List[FaultEvent] = []
+        for prefix in self.domain.stage_prefixes:
+            events.append(
+                LinkDegrade(
+                    time=self.time,
+                    stage_prefix=prefix,
+                    factor=self.degrade_factor,
+                    duration=self.duration,
+                )
+            )
+        for node, rail in self.domain.rails:
+            events.append(
+                RailFailure(
+                    time=self.time, node=node, rail=rail, duration=self.duration
+                )
+            )
+        for node in self.domain.nodes:
+            events.append(
+                NodeLoss(time=self.time, node=node, duration=self.duration)
+            )
+        return tuple(events)
+
+
+FaultEvent = Any  # union of the event dataclasses above (kept duck-typed)
 
 _EVENT_TYPES = {
     "link_degrade": LinkDegrade,
     "rail_failure": RailFailure,
     "slow_rank": SlowRank,
     "node_loss": NodeLoss,
+    "domain_outage": DomainOutage,
 }
 
 
@@ -215,6 +324,13 @@ class FaultSchedule:
             payload = asdict(event)
             if "stage_prefix" in payload:
                 payload["stage_prefix"] = list(payload["stage_prefix"])
+            if "domain" in payload:
+                domain = payload["domain"]
+                domain["nodes"] = list(domain["nodes"])
+                domain["rails"] = [list(pair) for pair in domain["rails"]]
+                domain["stage_prefixes"] = [
+                    list(prefix) for prefix in domain["stage_prefixes"]
+                ]
             out.append(payload)
         return out
 
@@ -232,8 +348,26 @@ class FaultSchedule:
                 )
             if "stage_prefix" in payload:
                 payload["stage_prefix"] = tuple(payload["stage_prefix"])
+            if "domain" in payload:
+                payload["domain"] = FailureDomain(**payload["domain"])
             events.append(event_type(**payload))
         return cls(events=tuple(events))
+
+    def permanent_node_losses(self) -> frozenset:
+        """Nodes permanently lost by this schedule (domain outages expanded).
+
+        Transient losses (``duration`` set) heal, so they do not count — the
+        workload fit precheck only refuses jobs that could *never* be placed.
+        """
+        lost = set()
+        for event in self.events:
+            constituents = (
+                event.expand() if isinstance(event, DomainOutage) else (event,)
+            )
+            for member in constituents:
+                if isinstance(member, NodeLoss) and member.duration is None:
+                    lost.add(member.node)
+        return frozenset(lost)
 
     @classmethod
     def generate(
@@ -261,6 +395,8 @@ class FaultSchedule:
         * ``rail_outage`` — one NIC rail failure (needs ``nics_per_node >= 2``).
         * ``node_loss`` — one node goes dark mid-run.
         * ``mixed`` — a degraded tier plus a straggler.
+        * ``domain_outage`` — a correlated power-zone outage: a contiguous
+          block of nodes fails together (transient about half the time).
         """
         if mix not in FAULT_MIXES:
             raise ValueError(
@@ -332,6 +468,25 @@ class FaultSchedule:
                 NodeLoss(
                     time=rng.uniform(0.3, 0.6) * horizon,
                     node=rng.randrange(n_nodes),
+                )
+            )
+        elif mix == "domain_outage":
+            span = 2 if n_nodes >= 4 else 1
+            start = rng.randrange(n_nodes - span + 1)
+            domain = FailureDomain(
+                name=f"power-zone-{start}",
+                kind="power",
+                nodes=tuple(range(start, start + span)),
+            )
+            events.append(
+                DomainOutage(
+                    time=rng.uniform(0.3, 0.6) * horizon,
+                    domain=domain,
+                    duration=(
+                        rng.uniform(0.3, 0.6) * horizon
+                        if rng.random() < 0.5
+                        else None
+                    ),
                 )
             )
         else:  # mixed

@@ -31,7 +31,13 @@ __all__ = ["sweep", "shrink", "SweepReport"]
 #: value.  Ordering goes for the biggest simplifications first so minimal
 #: reproducers collapse onto flat/uncompressed scenarios whenever possible.
 _REDUCTIONS = (
-    # extension knobs first: a failure that reproduces without the harness
+    # recovery knobs first: a failure that reproduces without the domain
+    # outage, the restart machinery or checkpointing is far simpler — and
+    # dropping them re-folds the scenario onto its pre-recovery shape
+    ("domain_outage", (False,)),
+    ("failure_policy", ("fail",)),
+    ("checkpoint_every", (0, 1)),
+    # extension knobs next: a failure that reproduces without the harness
     # run or the fault schedule is a far simpler reproducer
     ("harness_experiment", ("none",)),
     ("fault_mix", ("none",)),

@@ -424,17 +424,25 @@ def _execute_faulted_workload(
 
         def one_run():
             engine = WorkloadEngine(
-                cluster, policy=policy, seed=sc.seed, faults=schedule
+                cluster, policy=policy, seed=sc.seed, faults=schedule,
+                failure_policy=sc.failure_policy,
+                checkpoint=sc.checkpoint_every,
             )
             with trace_reservations() as events, trace_fair_allocations() as fair:
                 report = engine.run(specs, baseline=False)
-            finishes = tuple(rec.finished for rec in report.records)
-            return report.makespan, finishes, _audit_events(
+            # outcome + restart counts join the determinism fingerprint:
+            # recovery decisions must replay exactly, not just finish times
+            finishes = tuple(
+                (rec.finished, rec.outcome, rec.restarts, rec.last_durable_step)
+                for rec in report.records
+            )
+            return report, finishes, _audit_events(
                 events, fair, sc.fault_mix
             )
 
-        makespan, finishes, problems = one_run()
-        makespan2, finishes2, rerun_problems = one_run()
+        report1, finishes, problems = one_run()
+        report2, finishes2, rerun_problems = one_run()
+        makespan, makespan2 = report1.makespan, report2.makespan
     except Exception as exc:  # noqa: BLE001 - a crash *is* a fuzzing result
         record.update(
             status="error",
@@ -461,6 +469,8 @@ def _execute_faulted_workload(
         makespan=float(makespan),
         fault_mix=sc.fault_mix,
         fault_events=len(schedule),
+        failed_jobs=report1.failed_jobs,
+        restarts=report1.total_restarts,
     )
     return record
 

@@ -105,7 +105,24 @@ FAULT_MIXES: Tuple[str, ...] = (
     "rail_outage",
     "node_loss",
     "mixed",
+    "domain_outage",
 )
+
+#: the ``fault_mix`` draw tuple, FROZEN at its pre-domain_outage contents:
+#: extending the live draw would re-map every historical seed's scenario.
+#: domain_outage enters via the trailing ``domain_outage`` knob instead.
+_FAULT_MIX_DRAW: Tuple[str, ...] = ("none",) * 34 + (
+    "degraded_tier",
+    "flaky_links",
+    "stragglers",
+    "rail_outage",
+    "node_loss",
+    "mixed",
+)
+
+#: fault mixes that actually lose nodes (the recovery knobs only bite here;
+#: sanitize folds them to their defaults everywhere else)
+_NODE_LOSS_MIXES: Tuple[str, ...] = ("node_loss", "domain_outage")
 
 #: both fixed-size fabric presets expose 16 host slots at their default
 #: arity (fat tree k=4 -> 16 hosts; dragonfly 4x4x1 -> 16 hosts)
@@ -143,6 +160,15 @@ class Scenario:
     #: ("none" = no fault extension); mutually exclusive with
     #: harness_experiment (sanitize keeps at most one extension active)
     fault_mix: str = "none"
+    #: recovery knobs for faulted workload runs, declared (and drawn) after
+    #: fault_mix so pre-recovery seeds expand to the same scenario; sanitize
+    #: folds them to these defaults whenever the fault mix loses no nodes
+    failure_policy: str = "fail"
+    checkpoint_every: int = 0
+    #: upgrade the fault extension to a correlated failure-domain outage;
+    #: a separate trailing flag (folded into fault_mix by sanitize) because
+    #: appending to the fault_mix draw tuple would remap historical seeds
+    domain_outage: bool = False
 
     def to_dict(self) -> Dict[str, object]:
         return dataclasses.asdict(self)
@@ -261,6 +287,17 @@ def sanitize(scenario: Scenario) -> Scenario:
         # faults experiment inside HARNESS_EXPERIMENTS covers fault paths)
         fault_mix = "none"
         updates["fault_mix"] = fault_mix
+    domain_outage = bool(scenario.domain_outage)
+    if domain_outage is not scenario.domain_outage:
+        updates["domain_outage"] = domain_outage
+    if domain_outage and harness != "none":
+        # the harness extension won above; drop the outage flag with the mix
+        domain_outage = False
+        updates["domain_outage"] = domain_outage
+    if domain_outage and fault_mix != "domain_outage":
+        # the flag upgrades (or installs) the fault extension
+        fault_mix = "domain_outage"
+        updates["fault_mix"] = fault_mix
     if fault_mix != "none":
         # fault injection drives a workload run on a fixed-size switch
         # fabric; fold other presets onto the fat tree
@@ -272,6 +309,27 @@ def sanitize(scenario: Scenario) -> Scenario:
         if fault_mix == "rail_outage" and nics < 2:
             # a single-rail node would lose all connectivity
             updates["nics_per_node"] = 2
+
+    # recovery knobs: valid values, and inert (folded to defaults) unless
+    # the fault mix actually loses nodes — a restart policy on a link-flap
+    # scenario would never fire, and folding keeps shrinking convergent
+    failure_policy = scenario.failure_policy
+    checkpoint_every = scenario.checkpoint_every
+    if failure_policy not in ("fail", "restart", "restart_elsewhere"):
+        failure_policy = "fail"
+        updates["failure_policy"] = failure_policy
+    if (
+        isinstance(checkpoint_every, bool)
+        or not isinstance(checkpoint_every, int)
+        or not 0 <= checkpoint_every <= 8
+    ):
+        checkpoint_every = min(8, max(0, int(checkpoint_every)))
+        updates["checkpoint_every"] = checkpoint_every
+    if fault_mix not in _NODE_LOSS_MIXES:
+        if failure_policy != "fail":
+            updates["failure_policy"] = "fail"
+        if checkpoint_every != 0:
+            updates["checkpoint_every"] = 0
 
     return scenario.replace(**updates) if updates else scenario
 
@@ -309,7 +367,16 @@ def generate_scenario(seed: int) -> Scenario:
         harness_experiment=rng.choice(
             ("none",) * 36 + HARNESS_EXPERIMENTS[1:]
         ),
-        fault_mix=rng.choice(("none",) * 34 + FAULT_MIXES[1:]),
+        fault_mix=rng.choice(_FAULT_MIX_DRAW),
+        # recovery knobs, drawn after every pre-existing dimension; sanitize
+        # folds them to defaults unless the fault mix loses nodes, so they
+        # only change scenarios that were already faulted-workload runs
+        failure_policy=rng.choice(
+            ("fail", "fail", "restart", "restart_elsewhere", "restart_elsewhere")
+        ),
+        checkpoint_every=rng.choice((0, 0, 1, 2, 4)),
+        # rare: upgrades the run to a correlated domain outage (expensive)
+        domain_outage=rng.choice((False,) * 39 + (True,)),
     )
     return sanitize(raw)
 

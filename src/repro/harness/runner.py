@@ -30,6 +30,7 @@ from repro.harness.experiments.compressor_tables import (
 from repro.harness.experiments.fabric_contention import run_fabric_contention
 from repro.harness.experiments.faults import run_faults
 from repro.harness.experiments.multitenant import run_multitenant
+from repro.harness.experiments.recovery import run_recovery
 from repro.harness.experiments.fig5_error_distribution import run_fig5_fig6
 from repro.harness.experiments.scatter_bcast import run_fig16_scatter_bcast
 from repro.harness.experiments.stacking import run_fig17_stacking_perf, run_fig18_stacking_quality
@@ -68,6 +69,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fabric": (run_fabric_contention, "Switch-level fabric contention (beyond the paper)"),
     "multitenant": (run_multitenant, "Multi-tenant job mix on one fabric (beyond the paper)"),
     "faults": (run_faults, "Job mix under injected fabric faults (beyond the paper)"),
+    "recovery": (run_recovery, "Checkpoint/restart goodput under node loss (beyond the paper)"),
 }
 
 
@@ -108,6 +110,12 @@ def main(argv=None) -> int:
         default=None,
         help="shared-stage sharing discipline for the fabric/multitenant experiments",
     )
+    parser.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="audit faulted runs with the fuzzer's capacity/fairness monitors "
+        "(recovery experiment only)",
+    )
     parser.add_argument("--list", action="store_true", help="list available experiments")
     args = parser.parse_args(argv)
 
@@ -123,8 +131,11 @@ def main(argv=None) -> int:
             "fabric",
             "multitenant",
             "faults",
+            "recovery",
         ):
             kwargs["contention"] = args.contention
+        if args.check_invariants and name.lower() == "recovery":
+            kwargs["check_invariants"] = True
         result = run_experiment(name, scale=args.scale, **kwargs)
         print(result.to_text())
         print()

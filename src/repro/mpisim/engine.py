@@ -250,6 +250,7 @@ class EngineJob:
         "slots",
         "started",
         "finished",
+        "killed",
         "finish_times",
         "results",
         "bytes_sent",
@@ -271,6 +272,8 @@ class EngineJob:
         self.slots = slots
         self.started = started
         self.finished: Optional[float] = None
+        # set by Engine.kill_job: the virtual time the job was torn down
+        self.killed: Optional[float] = None
         self.finish_times: Dict[int, float] = {}
         self.results: Dict[int, Any] = {}
         self.bytes_sent = 0
@@ -539,6 +542,90 @@ class Engine:
             self._slot_job.pop(slot, None)
         if job.on_retire is not None:
             job.on_retire(job)
+
+    def kill_job(self, job: EngineJob, now: float) -> None:
+        """Tear down a bound job mid-run (node loss): slots return to idle.
+
+        Only callable from a tier ``-1`` scheduled callback (never mid rank
+        step), mirroring how faults land.  Every slot program is closed, all
+        of the job's posted-but-unmatched sends/receives are dropped, every
+        in-flight transfer is cancelled — fair flows are withdrawn from the
+        :class:`~repro.mpisim.fairshare.FairShareRegistry`, releasing their
+        bandwidth to surviving tenants immediately — and barrier waiters
+        vanish.  The job's slots end idle and rebindable; slot clocks never
+        rewind, so wire time a cancelled reservation-mode transfer had
+        already committed stands (fair-mode flows, by contrast, stop
+        accruing at ``now``).  The handle records ``killed = now``, its
+        byte counters settle to what was sent before the kill, and
+        ``on_retire`` does *not* fire (a kill is not a completion — callers
+        observe it via their own hooks).
+        """
+        if job.retired:
+            raise RuntimeError(f"cannot kill retired job {job.tag!r}")
+        if job.killed is not None:
+            raise RuntimeError(f"job {job.tag!r} was already killed")
+        now = float(now)
+        states = self._states
+        slots = set(job.slots)
+        for slot in job.slots:
+            if self._slot_job.get(slot) is not job:  # pragma: no cover - guard
+                raise RuntimeError(
+                    f"slot {slot} is no longer bound to job {job.tag!r}"
+                )
+        # settle byte counters before slot state is touched
+        job.bytes_sent = (
+            sum(states[s].bytes_sent for s in job.slots) - job._bytes0
+        )
+        job.messages_sent = (
+            sum(states[s].messages_sent for s in job.slots) - job._messages0
+        )
+        for slot in job.slots:
+            state = states[slot]
+            if state.gen is not None:
+                state.gen.close()
+                state.gen = None
+            state.status = _IDLE
+            state.block_kind = None
+            state.block_req_id = None
+            state.wait_pending = []
+            state.wait_pos = 0
+            state.wait_results = []
+            state.resume_value = None
+            if now > state.clock:
+                state.clock = now
+            self._slot_job.pop(slot, None)
+        # drop unmatched postings: job traffic is intra-job, so any key with
+        # an endpoint in the job's slots belongs to it (keys are (dst, src, tag))
+        for table in (self._unmatched_sends, self._unmatched_recvs):
+            for key in [k for k in table if k[0] in slots or k[1] in slots]:
+                del table[key]
+        # cancel matched in-flight transfers (receiver is always a job slot)
+        for slot in job.slots:
+            inflight = self._inflight[slot]
+            for message in inflight.values():
+                message.transfer.cancel(now)
+            inflight.clear()
+        # barrier waiters: job barriers are scoped to job slots, so any group
+        # containing one vanishes whole (a partial overlap cannot occur)
+        for group in [
+            g
+            for g, waiting in self._barrier_waiting.items()
+            if any(rank in slots for rank, _ in waiting)
+        ]:
+            del self._barrier_waiting[group]
+        # request bookkeeping owned by the job's ranks
+        for req_id in [
+            rid
+            for rid, obj in self._req_obj.items()
+            if (
+                obj.rank in slots
+                if isinstance(obj, _RecvPosting)
+                else obj.src in slots or obj.dst in slots
+            )
+        ]:
+            del self._req_obj[req_id]
+        job._pending.clear()
+        job.killed = now
 
     def _sync_fair_event(self) -> None:
         """Keep exactly one live fair-commit event at the earliest departure.

@@ -249,6 +249,35 @@ class FairShareRegistry:
         assert flow.finish_time is not None
         return flow.finish_time, flow
 
+    def cancel_flow(self, flow: FairFlow, now: float) -> bool:
+        """Withdraw ``flow`` mid-stream (job kill): free its bandwidth *now*.
+
+        Settles every active flow up to ``now`` (a cancellation is never
+        retroactive), removes the flow from its stages and the registry
+        without committing a departure, and re-divides the freed capacity
+        across the flow's connected component — surviving tenants' rates
+        rise immediately instead of sharing with a dead flow draining at
+        retransmit rates.  Returns ``True`` if the flow was still
+        streaming; ``False`` if it had already drained while settling (its
+        bytes were fully delivered — the cancel just discards the pending
+        departure commit) or was never registered.
+        """
+        if flow.flow_id not in self._flows:
+            return False
+        now = max(float(now), self._clock)
+        self._advance(now)
+        was_streaming = not flow.drained
+        self._flows.pop(flow.flow_id, None)
+        for stage in flow.stages:
+            stage.flows.pop(flow.flow_id, None)
+        self._touch()
+        if was_streaming:
+            flow.rate = 0.0
+            flow.remaining = 0.0
+            flow.drained = True
+            self._redivide(now, seeds=flow.stages)
+        return was_streaming
+
     def apply_capacity_change(self, now: float, stages: Sequence[Any]) -> None:
         """Re-divide after ``stages`` changed capacity mid-run (fault events).
 

@@ -277,6 +277,31 @@ class TransferState:
         self._mark_complete(finish)
         self.last_ack_time = finish
 
+    def cancel(self, now: float) -> None:
+        """Abort an in-flight transfer (job kill): free wire state *now*.
+
+        A registered fair flow is withdrawn through the registry, which
+        re-divides the freed bandwidth across its connected component
+        immediately; the link occupancy acquired at match time is released.
+        Reservation-mode transfers hold no forward wire state (their
+        completion is only reserved once the receiver waits), so there is
+        nothing to unwind beyond the occupancy count.  Idempotent; a
+        completed transfer is left untouched.
+        """
+        if self.completed:
+            return
+        if self.fair_flow is not None:
+            registry = self.fair
+            if registry is not None:
+                registry.cancel_flow(self.fair_flow, now)
+            self.fair_flow = None
+            self.current_rate = None
+        if self.link is not None and self.is_eligible:
+            self.link.release()
+        self.completed = True
+        self.completion_time = float(now)
+        self.last_ack_time = float(now)
+
     def completion_from(self, now: float) -> float:
         """Absolute completion time assuming the receiver blocks in MPI from ``now``."""
         if self.completed:

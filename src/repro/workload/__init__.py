@@ -36,13 +36,25 @@ from repro.workload.placement import (
     PlacementView,
     slots_for,
 )
+from repro.workload.recovery import (
+    FAILURE_POLICY_MODES,
+    AttemptRecord,
+    CheckpointPolicy,
+    FailurePolicy,
+    JobFailed,
+)
 
 __all__ = [
     "COLLECTIVE_OPS",
+    "FAILURE_POLICY_MODES",
     "PLACEMENT_POLICIES",
     "TAG_STRIDE",
+    "AttemptRecord",
+    "CheckpointPolicy",
     "CollectiveCall",
     "CompiledJob",
+    "FailurePolicy",
+    "JobFailed",
     "JobMix",
     "JobRecord",
     "JobSpec",

@@ -24,6 +24,12 @@ straggler ranks, rail failures, node loss.  ``--fault-seed`` decouples the
 scenario draw from the job-mix seed.  The invariant audits hold under faults
 too — capacity conservation is checked against each stage's reserve-time
 capacity.
+
+``--failure-policy`` and ``--checkpoint-every`` set the engine-level
+recovery defaults: node loss *kills* the jobs running on the node, and the
+policy decides whether each fails for good, restarts in place once its
+nodes heal, or re-places elsewhere — resuming from its last durable
+checkpoint when a checkpoint interval is set.
 """
 
 from __future__ import annotations
@@ -43,6 +49,7 @@ from repro.faults import (
 from repro.workload.arrivals import JobMix, load_trace, save_trace
 from repro.workload.engine import WorkloadEngine
 from repro.workload.job import COLLECTIVE_OPS, JobSpec
+from repro.workload.recovery import FAILURE_POLICY_MODES
 
 #: presets with contended stages the workload layer can arbitrate
 FABRIC_PRESETS = ("fat_tree", "dragonfly", "rail_fat_tree", "shared_uplink")
@@ -85,6 +92,14 @@ def _add_fabric_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--fault-seed", type=int, default=None,
         help="seed for the fault scenario (default: --seed)",
+    )
+    parser.add_argument(
+        "--failure-policy", default="fail", choices=FAILURE_POLICY_MODES,
+        help="what node loss does to a running job (default: fail)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=0,
+        help="checkpoint interval in steps; 0 disables (default: 0)",
     )
     parser.add_argument(
         "--no-baseline", action="store_true",
@@ -148,6 +163,8 @@ def build_engine(args: argparse.Namespace) -> WorkloadEngine:
         policy=args.policy,
         seed=args.seed,
         faults=build_faults(args, cluster),
+        failure_policy=getattr(args, "failure_policy", "fail"),
+        checkpoint=getattr(args, "checkpoint_every", 0),
     )
 
 

@@ -33,6 +33,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
+from dataclasses import dataclass, replace
+
 from repro.api import Cluster
 from repro.faults import FaultInjector, FaultSchedule
 from repro.mpisim.backends import DEFAULT_MAX_COMMANDS
@@ -41,6 +43,12 @@ from repro.mpisim.engine import Engine, EngineJob
 from repro.workload.job import CompiledJob, JobSpec, compile_job
 from repro.workload.metrics import JobRecord, WorkloadReport, accumulate_stage_time
 from repro.workload.placement import NodeAllocator, slots_for
+from repro.workload.recovery import (
+    AttemptRecord,
+    CheckpointPolicy,
+    FailurePolicy,
+    JobFailed,
+)
 
 __all__ = ["TAG_STRIDE", "WorkloadEngine"]
 
@@ -92,12 +100,20 @@ def _job_program(
     local: int,
     record: JobRecord,
     record_values: bool,
+    start_step: int = 0,
 ) -> Generator:
-    """One slot's whole job: its rank program of every step, back to back."""
+    """One slot's whole job: its rank program of every step, back to back.
+
+    ``start_step`` skips steps already covered by a durable checkpoint
+    (restart attempts resume mid-program); tags keep their *global* step
+    stride so a restarted step matches exactly the messages it would have
+    matched the first time.
+    """
     slot = compiled.slots[local]
     n_ranks = compiled.spec.n_ranks
     value = None
-    for step, factory in enumerate(compiled.step_factories):
+    for step in range(start_step, len(compiled.step_factories)):
+        factory = compiled.step_factories[step]
         begin = engine.clock_of(slot)
         value = yield from _translated(
             factory(local, n_ranks), compiled.slots, step * TAG_STRIDE, compiled.slots
@@ -106,6 +122,18 @@ def _job_program(
             step, local, begin, engine.clock_of(slot), value if record_values else None
         )
     return value
+
+
+@dataclass
+class _Tenancy:
+    """One live execution attempt of a job on the shared fabric."""
+
+    spec: JobSpec
+    record: JobRecord
+    job: EngineJob
+    nodes: Tuple[int, ...]
+    slots: Tuple[int, ...]
+    started: float
 
 
 class WorkloadEngine:
@@ -134,11 +162,26 @@ class WorkloadEngine:
         Optional :class:`~repro.faults.schedule.FaultSchedule` injected into
         the *concurrent* run (a :class:`~repro.faults.injector.FaultInjector`
         is installed on the shared engine before ``run()``).  Node-loss
-        events quarantine the node in the allocator so no queued job lands
-        on it.  Isolated baselines run fault-free on purpose: the reported
-        slowdown then includes the fault impact alongside cross-tenant
-        interference.  ``None`` or an empty schedule changes nothing,
-        bit-for-bit.
+        events quarantine the node in the allocator — and *kill* the jobs
+        running on it: their in-flight collectives are torn down
+        (``Engine.kill_job``), fair-share flows are cancelled with their
+        bandwidth re-divided immediately, and the per-job failure policy
+        decides what happens next.  Transient losses heal: the node is
+        un-quarantined when its duration elapses.  Isolated baselines run
+        fault-free on purpose: the reported slowdown then includes the
+        fault impact alongside cross-tenant interference.  ``None`` or an
+        empty schedule changes nothing, bit-for-bit.
+    failure_policy:
+        Engine-level default :class:`~repro.workload.recovery.FailurePolicy`
+        (or bare mode string) applied to jobs whose spec does not override
+        it.  Default ``"fail"``.
+    checkpoint:
+        Engine-level default
+        :class:`~repro.workload.recovery.CheckpointPolicy` (or bare
+        interval int; 0/None disables) for jobs whose spec does not
+        override it.  Checkpoint costs are metered out-of-band — they
+        never perturb the event heap — so any policy combination is
+        bit-for-bit identical to the uninjected run when no fault fires.
     """
 
     def __init__(
@@ -151,6 +194,8 @@ class WorkloadEngine:
         record_values: bool = False,
         max_commands: int = DEFAULT_MAX_COMMANDS,
         faults: Optional[FaultSchedule] = None,
+        failure_policy: Any = "fail",
+        checkpoint: Any = None,
     ) -> None:
         topology = cluster.topology
         if topology is None:
@@ -186,6 +231,8 @@ class WorkloadEngine:
         self.record_values = bool(record_values)
         self.max_commands = int(max_commands)
         self.faults = faults if faults is not None else FaultSchedule()
+        self.failure_policy = FailurePolicy.coerce(failure_policy)
+        self.checkpoint = CheckpointPolicy.coerce(checkpoint)
 
     # ------------------------------------------------------------------ runs
 
@@ -194,7 +241,7 @@ class WorkloadEngine:
         specs = sorted(jobs, key=lambda s: (s.arrival, s.job_id))
         if len({s.job_id for s in specs}) != len(specs):
             raise ValueError("job ids must be unique within one run")
-        losable = sum(1 for event in self.faults if event.kind == "node_loss")
+        losable = len(self.faults.permanent_node_losses())
         for spec in specs:
             if self._nodes_needed(spec) > self.n_nodes - losable:
                 raise ValueError(
@@ -210,7 +257,10 @@ class WorkloadEngine:
         report = self._collect(records, engine)
         if baseline:
             for record in records:
-                record.isolated = self._isolated_makespan(record.spec, record.slots)
+                if record.completed:
+                    record.isolated = self._isolated_makespan(
+                        record.spec, record.slots
+                    )
         return report
 
     def isolated_makespan(self, spec: JobSpec, slots: Optional[Sequence[int]] = None) -> float:
@@ -227,6 +277,22 @@ class WorkloadEngine:
 
     def _nodes_needed(self, spec: JobSpec) -> int:
         return -(-spec.n_ranks // self.ranks_per_node)
+
+    def _policy_for(self, spec: JobSpec) -> FailurePolicy:
+        """The job's failure policy: spec override over the engine default."""
+        if spec.failure_policy is None:
+            return self.failure_policy
+        return replace(self.failure_policy, mode=spec.failure_policy)
+
+    def _checkpoint_for(self, spec: JobSpec) -> Optional[CheckpointPolicy]:
+        """The job's checkpoint policy: spec override over the engine default."""
+        if spec.checkpoint_every is None:
+            return self.checkpoint
+        if spec.checkpoint_every == 0:
+            return None
+        if self.checkpoint is not None:
+            return replace(self.checkpoint, every=spec.checkpoint_every)
+        return CheckpointPolicy(every=spec.checkpoint_every)
 
     def _fresh_engine(self) -> Engine:
         return Engine(
@@ -251,57 +317,207 @@ class WorkloadEngine:
         engine = self._fresh_engine()
         compile_cluster = self._compile_cluster(engine)
         allocator = NodeAllocator(self.n_nodes, self.policy, self.seed)
-        if not self.faults.empty:
-            # faults interleave with arrivals on the same event heap; node
-            # loss additionally quarantines the node so the drain never
-            # re-places a queued job on dead hardware
-            FaultInjector(
-                self.faults,
-                on_node_loss=lambda node, now: allocator.quarantine(node),
-            ).install(engine)
         records = {spec.job_id: JobRecord(spec=spec) for spec in specs}
         pending: List[JobSpec] = []
+        running: Dict[str, _Tenancy] = {}
+        # retry-budget bookkeeping (kills + failed placements both count)
+        retries_used: Dict[str, int] = {}
+
+        def start_attempt(spec: JobSpec, now: float, nodes: Tuple[int, ...]) -> None:
+            slots = tuple(slots_for(nodes, self.ranks_per_node, spec.n_ranks))
+            compiled = compile_job(spec, compile_cluster, slots)
+            record = records[spec.job_id]
+            resume = record.last_durable_step
+            if record.started is None:
+                record.started = now
+                record.prepare(spec.n_steps)
+            else:
+                # a restart: count it, remember the outage gap, and forget
+                # per-step observations the new attempt will re-produce
+                record.restarts += 1
+                record.recovery_times.append(now - record.attempts[-1].ended)
+                record.reset_steps_from(resume)
+            record.nodes = nodes
+            record.slots = slots
+            record.resume_step = resume
+            programs: Dict[int, Callable[[], Generator]] = {
+                slot: (
+                    lambda local=local: _job_program(
+                        engine,
+                        compiled,
+                        local,
+                        record,
+                        self.record_values,
+                        start_step=resume,
+                    )
+                )
+                for local, slot in enumerate(slots)
+            }
+            job = engine.bind_job(
+                now,
+                programs,
+                tag=spec.job_id,
+                on_retire=lambda job, spec=spec: retire(job, spec),
+            )
+            running[spec.job_id] = _Tenancy(
+                spec=spec,
+                record=record,
+                job=job,
+                nodes=nodes,
+                slots=slots,
+                started=now,
+            )
 
         def try_start(spec: JobSpec, now: float) -> bool:
             nodes = allocator.allocate(self._nodes_needed(spec))
             if nodes is None:
                 return False
-            slots = tuple(slots_for(nodes, self.ranks_per_node, spec.n_ranks))
-            compiled = compile_job(spec, compile_cluster, slots)
-            record = records[spec.job_id]
-            record.nodes = nodes
-            record.slots = slots
-            record.started = now
-            record.prepare(spec.n_steps)
-            programs: Dict[int, Callable[[], Generator]] = {
-                slot: (
-                    lambda local=local: _job_program(
-                        engine, compiled, local, record, self.record_values
-                    )
-                )
-                for local, slot in enumerate(slots)
-            }
-            engine.bind_job(
-                now,
-                programs,
-                tag=spec.job_id,
-                on_retire=lambda job, record=record, nodes=nodes: retire(
-                    job, record, nodes
-                ),
-            )
+            start_attempt(spec, now, nodes)
             return True
 
-        def retire(job: EngineJob, record: JobRecord, nodes: Tuple[int, ...]) -> None:
-            record.finished = job.finished
-            record.bytes_sent = job.bytes_sent
-            record.messages_sent = job.messages_sent
-            allocator.release(nodes)
+        def drain(now: float) -> None:
             # first-fit drain in arrival order: a big job at the head does
             # not starve smaller jobs behind it, but started jobs keep
             # arrival order whenever they all fit
-            started = [spec for spec in pending if try_start(spec, job.finished)]
+            started = [spec for spec in pending if try_start(spec, now)]
             for spec in started:
                 pending.remove(spec)
+
+        def account_checkpoints(
+            record: JobRecord, spec: JobSpec, upto: int, kill_time: Optional[float]
+        ) -> int:
+            """Book checkpoint writes for steps ``[resume_step, upto)``.
+
+            Returns the durable resume step: with ``kill_time`` set, only
+            checkpoints whose write committed (step exit + cost <= kill)
+            count — a write caught mid-flight protects nothing.
+            """
+            policy = self._checkpoint_for(spec)
+            durable = record.last_durable_step
+            if policy is None:
+                return durable
+            for step in range(record.resume_step, upto):
+                if not policy.takes_after(step, spec.n_steps):
+                    continue
+                cost = policy.cost(spec, step)
+                record.checkpoints_written += 1
+                record.checkpoint_overhead += cost
+                if kill_time is None:
+                    durable = max(durable, step + 1)
+                else:
+                    committed = record.step_bounds[step][1] + cost
+                    if committed <= kill_time:
+                        durable = max(durable, step + 1)
+            return durable
+
+        def retire(job: EngineJob, spec: JobSpec) -> None:
+            tenancy = running.pop(spec.job_id)
+            record = tenancy.record
+            record.finished = job.finished
+            record.bytes_sent += job.bytes_sent
+            record.messages_sent += job.messages_sent
+            record.outcome = "completed"
+            record.useful_time += job.finished - tenancy.started
+            account_checkpoints(record, spec, spec.n_steps, None)
+            record.last_durable_step = spec.n_steps
+            allocator.release(tenancy.nodes)
+            drain(job.finished)
+
+        def finalize_failed(record: JobRecord, now: float, reason: str) -> None:
+            record.outcome = "failed"
+            record.failure = JobFailed(
+                job_id=record.spec.job_id,
+                time=now,
+                reason=reason,
+                attempts=len(record.attempts),
+            )
+            # a failed job's retained progress is lost with it
+            record.wasted_time += record.useful_time
+            record.useful_time = 0.0
+
+        def schedule_retry(spec: JobSpec, now: float, reason: str) -> None:
+            """Back off and retry, or fail for good once the budget is gone."""
+            record = records[spec.job_id]
+            policy = self._policy_for(spec)
+            used = retries_used.get(spec.job_id, 0)
+            if not policy.restarts or used >= policy.max_retries:
+                finalize_failed(record, now, reason)
+                return
+            retries_used[spec.job_id] = used + 1
+            engine.schedule_event(
+                now + policy.delay(used), retry_callback(spec, reason)
+            )
+
+        def retry_callback(spec: JobSpec, reason: str) -> Callable[[float], None]:
+            def fire(now: float) -> None:
+                record = records[spec.job_id]
+                policy = self._policy_for(spec)
+                if policy.mode == "restart":
+                    # in-place: the original node set, whole or not at all
+                    nodes = record.attempts[-1].nodes
+                    placed = allocator.acquire(nodes)
+                    nodes = nodes if placed else None
+                else:  # restart_elsewhere
+                    nodes = allocator.allocate(self._nodes_needed(spec))
+                if nodes is None:
+                    schedule_retry(spec, now, reason)
+                    return
+                start_attempt(spec, now, nodes)
+
+            return fire
+
+        def fail_attempt(tenancy: _Tenancy, node: int, now: float) -> None:
+            spec, record = tenancy.spec, tenancy.record
+            del running[spec.job_id]
+            engine.kill_job(tenancy.job, now)
+            record.bytes_sent += tenancy.job.bytes_sent
+            record.messages_sent += tenancy.job.messages_sent
+            done = record.completed_through()
+            durable = account_checkpoints(record, spec, done, now)
+            if durable > record.resume_step:
+                useful = record.step_bounds[durable - 1][1] - tenancy.started
+            else:
+                useful = 0.0
+            record.useful_time += useful
+            record.wasted_time += max(0.0, (now - tenancy.started) - useful)
+            record.attempts.append(
+                AttemptRecord(
+                    index=len(record.attempts),
+                    nodes=tenancy.nodes,
+                    slots=tenancy.slots,
+                    started=tenancy.started,
+                    resume_step=record.resume_step,
+                    ended=now,
+                    completed_steps=done - record.resume_step,
+                    next_resume_step=durable,
+                    reason=f"node_loss:{node}",
+                )
+            )
+            record.last_durable_step = durable
+            allocator.release(tenancy.nodes)
+            schedule_retry(spec, now, f"node_loss:{node}")
+
+        def on_node_loss(node: int, now: float) -> None:
+            allocator.quarantine(node)
+            for tenancy in [t for t in running.values() if node in t.nodes]:
+                fail_attempt(tenancy, node, now)
+            drain(now)
+
+        def on_node_heal(node: int, now: float) -> None:
+            if node in allocator.quarantined:
+                allocator.unquarantine(node)
+            drain(now)
+
+        if not self.faults.empty:
+            # faults interleave with arrivals on the same event heap; node
+            # loss additionally quarantines the node (so the drain never
+            # re-places a queued job on dead hardware) and kills the jobs
+            # running on it, handing them to their failure policies
+            FaultInjector(
+                self.faults,
+                on_node_loss=on_node_loss,
+                on_node_heal=on_node_heal,
+            ).install(engine)
 
         def arrival(spec: JobSpec) -> Callable[[float], None]:
             def fire(now: float) -> None:
@@ -320,7 +536,8 @@ class WorkloadEngine:
             )
         ordered = [records[spec.job_id] for spec in specs]
         for record in ordered:
-            if record.finished is None:  # pragma: no cover - defensive
+            if record.finished is None and record.outcome != "failed":
+                # pragma: no cover - defensive
                 raise RuntimeError(f"job {record.spec.job_id!r} never retired")
         self._last_stage_time = occupied
         return ordered, engine
@@ -330,7 +547,12 @@ class WorkloadEngine:
         if registry is not None:
             for record in records:
                 record.fair_bytes = registry.group_bytes.get(record.spec.job_id, 0.0)
-        makespan = max(record.finished for record in records)
+        # failed jobs never retire: their terminal event still bounds the run
+        endings = [
+            record.finished if record.finished is not None else record.failure.time
+            for record in records
+        ]
+        makespan = max(endings, default=0.0)
         names = self._stage_names(engine.topology)
         utilization: Dict[str, float] = {}
         if makespan > 0.0:

@@ -19,12 +19,13 @@ factories are replayed later on the shared multi-job engine.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.api import Cluster, Communicator
 from repro.workload.placement import PlacementView
+from repro.workload.recovery import FAILURE_POLICY_MODES
 
 __all__ = [
     "COLLECTIVE_OPS",
@@ -74,7 +75,13 @@ class CollectiveCall:
 
 @dataclass(frozen=True)
 class JobSpec:
-    """A tenant's workload: when it arrives, how big it is, what it runs."""
+    """A tenant's workload: when it arrives, how big it is, what it runs.
+
+    ``failure_policy`` and ``checkpoint_every`` are optional per-job
+    overrides of the :class:`~repro.workload.engine.WorkloadEngine`-level
+    recovery defaults (``None`` inherits them); they serialise only when
+    set, so traces written before they existed round-trip unchanged.
+    """
 
     job_id: str
     n_ranks: int
@@ -82,6 +89,8 @@ class JobSpec:
     iterations: int = 1
     seed: int = 0
     calls: Tuple[CollectiveCall, ...] = field(default_factory=lambda: (CollectiveCall(),))
+    failure_policy: Optional[str] = None
+    checkpoint_every: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n_ranks < 2:
@@ -92,6 +101,16 @@ class JobSpec:
             raise ValueError(f"arrival must be >= 0, got {self.arrival}")
         if not self.calls:
             raise ValueError("a job needs at least one collective call")
+        if self.failure_policy is not None and self.failure_policy not in FAILURE_POLICY_MODES:
+            raise ValueError(
+                f"unknown failure policy {self.failure_policy!r}; "
+                f"available: {', '.join(FAILURE_POLICY_MODES)}"
+            )
+        if self.checkpoint_every is not None and self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0 (0 disables), "
+                f"got {self.checkpoint_every}"
+            )
         object.__setattr__(self, "calls", tuple(self.calls))
 
     @property
@@ -104,7 +123,7 @@ class JobSpec:
         return replace(self, arrival=float(arrival))
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "job_id": self.job_id,
             "n_ranks": self.n_ranks,
             "arrival": self.arrival,
@@ -112,6 +131,13 @@ class JobSpec:
             "seed": self.seed,
             "calls": [call.to_dict() for call in self.calls],
         }
+        # recovery overrides serialise only when set: pre-recovery traces
+        # stay byte-identical and old readers keep loading new unset traces
+        if self.failure_policy is not None:
+            out["failure_policy"] = self.failure_policy
+        if self.checkpoint_every is not None:
+            out["checkpoint_every"] = self.checkpoint_every
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":

@@ -17,7 +17,7 @@ Two pieces live here:
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.mpisim.topology import LinkModel, Topology
 
@@ -147,6 +147,9 @@ class NodeAllocator:
         self._rng = random.Random(seed)
         self._free = set(range(self.n_nodes))
         self._quarantined: set = set()
+        self._busy: set = set()
+        # node -> earliest scheduled heal time (see heal_at/advance_to)
+        self._heals: Dict[int, float] = {}
 
     @property
     def nodes_free(self) -> int:
@@ -161,14 +164,57 @@ class NodeAllocator:
 
         A free node leaves the pool immediately; a busy node is simply
         marked, and :meth:`release` drops it instead of refreeing it when
-        its current job retires.  Quarantining is idempotent and permanent
-        for the allocator's lifetime.
+        its current job retires.  Quarantining is idempotent; it lasts
+        until :meth:`unquarantine` (or a scheduled :meth:`heal_at`) heals
+        the node.
         """
-        node = int(node)
-        if not (0 <= node < self.n_nodes):
-            raise ValueError(f"node {node} outside 0..{self.n_nodes - 1}")
+        node = self._check_node(node)
         self._quarantined.add(node)
         self._free.discard(node)
+
+    def unquarantine(self, node: int) -> None:
+        """Return a quarantined ``node`` to service (the heal half).
+
+        The node rejoins the free pool unless it is still busy (a job was
+        running on it when it was marked and has not released it yet — it
+        stays allocated to that job).  Healing a node that is not
+        quarantined raises: a double heal is a scheduling bug, not a no-op.
+        """
+        node = self._check_node(node)
+        if node not in self._quarantined:
+            raise ValueError(
+                f"node {node} is not quarantined (double heal?)"
+            )
+        self._quarantined.discard(node)
+        self._heals.pop(node, None)
+        if node not in self._busy:
+            self._free.add(node)
+
+    def heal_at(self, node: int, time: float) -> None:
+        """Schedule ``node`` to be un-quarantined once :meth:`advance_to`
+        reaches ``time``.
+
+        A node scheduled twice keeps the *earliest* heal (a flapping domain
+        cannot push its recovery later).  The node must currently be
+        quarantined.
+        """
+        node = self._check_node(node)
+        if node not in self._quarantined:
+            raise ValueError(f"node {node} is not quarantined")
+        previous = self._heals.get(node)
+        self._heals[node] = float(time) if previous is None else min(previous, float(time))
+
+    def advance_to(self, now: float) -> Tuple[int, ...]:
+        """Apply every heal scheduled at or before ``now``; return the nodes.
+
+        Nodes manually healed in the meantime are skipped silently (the
+        schedule entry is dropped with them in :meth:`unquarantine`), so
+        interleaving scheduled and event-driven heals stays safe.
+        """
+        due = sorted(n for n, t in self._heals.items() if t <= now)
+        for node in due:
+            self.unquarantine(node)
+        return tuple(due)
 
     def allocate(self, count: int) -> Optional[Tuple[int, ...]]:
         if count < 1:
@@ -184,14 +230,32 @@ class NodeAllocator:
         else:  # random
             take = sorted(self._rng.sample(free, count))
         self._free.difference_update(take)
+        self._busy.update(take)
         return tuple(take)
+
+    def acquire(self, nodes: Sequence[int]) -> bool:
+        """Claim a *specific* node set — all of it or none of it.
+
+        The in-place restart path: a job retrying on its original placement
+        succeeds only once every one of its nodes is free (and therefore
+        un-quarantined).  Returns ``False`` without side effects otherwise.
+        """
+        batch = {self._check_node(node) for node in nodes}
+        if not batch:
+            raise ValueError("acquire needs at least one node")
+        if not batch <= self._free:
+            return False
+        self._free.difference_update(batch)
+        self._busy.update(batch)
+        return True
 
     def release(self, nodes: Sequence[int]) -> None:
         """Return ``nodes`` to the free pool — all of them or none of them.
 
         The whole batch is validated before any node is freed, so an invalid
         batch (double release, out-of-range id, or an internal duplicate)
-        leaves the allocator exactly as it was.
+        leaves the allocator exactly as it was.  Quarantined nodes leave the
+        busy set but stay out of the pool until healed.
         """
         batch = [int(node) for node in nodes]
         if len(set(batch)) != len(batch):
@@ -201,7 +265,14 @@ class NodeAllocator:
                 raise RuntimeError(f"node {node} released twice")
             if not (0 <= node < self.n_nodes):
                 raise ValueError(f"node {node} outside 0..{self.n_nodes - 1}")
+        self._busy.difference_update(batch)
         self._free.update(node for node in batch if node not in self._quarantined)
+
+    def _check_node(self, node: int) -> int:
+        node = int(node)
+        if not (0 <= node < self.n_nodes):
+            raise ValueError(f"node {node} outside 0..{self.n_nodes - 1}")
+        return node
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

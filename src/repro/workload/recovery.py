@@ -1,0 +1,209 @@
+"""Recovery semantics: what happens to a job when its hardware dies.
+
+Three pieces of pure data, consumed by
+:class:`~repro.workload.engine.WorkloadEngine`:
+
+* :class:`FailurePolicy` — ``fail`` (the job is lost), ``restart`` (retry on
+  the *same* node set, waiting for it to heal) or ``restart_elsewhere``
+  (re-place on whatever non-quarantined capacity the allocator has), with
+  exponential backoff between retries and a bounded retry budget.
+* :class:`CheckpointPolicy` — write a checkpoint after every ``every``-th
+  completed step, with a seeded cost model for the write time.  A restarted
+  job resumes from its last *durable* checkpoint instead of step 0.
+* :class:`JobFailed` — the typed outcome attached to a
+  :class:`~repro.workload.metrics.JobRecord` whose job ran out of retries
+  (or whose policy is ``fail``).
+
+The checkpoint cost model is deliberately out-of-band: writes never inject
+events into the engine, so with an empty fault schedule every policy
+combination replays the uninjected run bit-for-bit (the PR's determinism
+contract).  The cost still has semantic bite: a checkpoint taken after step
+``s`` becomes *durable* only once its write commits — the step's exit time
+plus :meth:`CheckpointPolicy.cost` — so a kill landing mid-write falls back
+to the previous durable step, and goodput charges every write in its
+denominator.  That is exactly the Young/Daly trade-off: checkpoint too
+often and overhead dominates, too rarely and re-executed (wasted) work
+dominates; ``python -m repro.harness recovery`` sweeps the curve.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "FAILURE_POLICY_MODES",
+    "AttemptRecord",
+    "CheckpointPolicy",
+    "FailurePolicy",
+    "JobFailed",
+]
+
+#: recovery modes a job may declare
+FAILURE_POLICY_MODES = ("fail", "restart", "restart_elsewhere")
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """How the workload engine reacts when a node under a running job dies.
+
+    ``mode``:
+
+    * ``fail`` — the job is killed and reported as a :class:`JobFailed`
+      outcome; its nodes (minus the dead one) return to the pool.
+    * ``restart`` — retry on the *same* node set.  Placement only succeeds
+      once every original node is free and un-quarantined, so this mode
+      pairs with transient losses (the node heals) and otherwise burns its
+      retry budget.
+    * ``restart_elsewhere`` — re-place through the allocator on currently
+      free, non-quarantined nodes (the usual elastic-training behaviour).
+
+    Retries back off exponentially: retry ``i`` (0-based) fires
+    ``backoff * backoff_factor**i`` virtual seconds after the failure it
+    reacts to.  A failed placement at retry time consumes budget too; once
+    ``max_retries`` is exhausted the job fails for good.
+    """
+
+    mode: str = "fail"
+    max_retries: int = 4
+    backoff: float = 2e-4
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in FAILURE_POLICY_MODES:
+            raise ValueError(
+                f"unknown failure policy {self.mode!r}; "
+                f"available: {', '.join(FAILURE_POLICY_MODES)}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if not self.backoff > 0.0:
+            raise ValueError(f"backoff must be > 0, got {self.backoff}")
+        if not self.backoff_factor >= 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    @property
+    def restarts(self) -> bool:
+        return self.mode != "fail"
+
+    def delay(self, retry_index: int) -> float:
+        """Backoff before 0-based retry ``retry_index`` fires."""
+        return self.backoff * self.backoff_factor ** max(0, int(retry_index))
+
+    @classmethod
+    def coerce(cls, value: Union[None, str, "FailurePolicy"]) -> "FailurePolicy":
+        """Accept a policy, a bare mode string, or None (-> default)."""
+        if value is None:
+            return cls()
+        if isinstance(value, FailurePolicy):
+            return value
+        if isinstance(value, str):
+            return cls(mode=value)
+        raise TypeError(
+            f"failure policy must be a FailurePolicy or mode string, "
+            f"got {type(value).__name__}"
+        )
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Checkpoint every ``every`` completed steps, at a seeded write cost.
+
+    The modelled state is the job's working set — ``n_ranks`` times its
+    largest per-rank payload — streamed to stable storage at
+    ``write_bandwidth`` after a fixed ``write_latency``, with a seeded
+    ``jitter`` fraction so no two writes cost exactly alike but every rerun
+    reproduces the same costs bit-for-bit (the seed folds the job seed and
+    the step index).  No checkpoint is taken after the final step — there is
+    nothing left to protect.
+    """
+
+    every: int
+    write_bandwidth: float = 2e9
+    write_latency: float = 5e-5
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise ValueError(f"checkpoint interval must be >= 1, got {self.every}")
+        if not self.write_bandwidth > 0.0:
+            raise ValueError(
+                f"write_bandwidth must be > 0, got {self.write_bandwidth}"
+            )
+        if self.write_latency < 0.0:
+            raise ValueError(
+                f"write_latency must be >= 0, got {self.write_latency}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def takes_after(self, step: int, n_steps: int) -> bool:
+        """Whether a checkpoint is written once step ``step`` completes."""
+        return (step + 1) % self.every == 0 and step + 1 < n_steps
+
+    @staticmethod
+    def state_bytes(spec) -> int:
+        """Modelled per-job state: ranks x the largest per-rank payload."""
+        per_rank = max(
+            call.msg_elems * np.dtype(call.dtype).itemsize for call in spec.calls
+        )
+        return spec.n_ranks * per_rank
+
+    def cost(self, spec, step: int) -> float:
+        """Seeded write time of the checkpoint taken after ``step``.
+
+        Deterministic in ``(spec.seed, step)`` alone, so a re-executed step
+        (an attempt that replays it after a restart) re-pays exactly the
+        same cost.
+        """
+        base = self.write_latency + self.state_bytes(spec) / self.write_bandwidth
+        rng = random.Random(f"repro.checkpoint:{spec.seed}:{step}")
+        return base * (1.0 + self.jitter * rng.uniform(-1.0, 1.0))
+
+    @classmethod
+    def coerce(
+        cls, value: Union[None, int, "CheckpointPolicy"]
+    ) -> Optional["CheckpointPolicy"]:
+        """Accept a policy, a bare interval (0 -> no checkpointing), or None."""
+        if value is None or isinstance(value, CheckpointPolicy):
+            return value
+        if isinstance(value, bool):  # bool is an int; reject it explicitly
+            raise TypeError("checkpoint interval must be an int, not bool")
+        if isinstance(value, int):
+            return None if value == 0 else cls(every=value)
+        raise TypeError(
+            f"checkpoint policy must be a CheckpointPolicy or interval int, "
+            f"got {type(value).__name__}"
+        )
+
+
+@dataclass(frozen=True)
+class JobFailed:
+    """Typed terminal outcome of a job that could not be recovered."""
+
+    job_id: str
+    time: float
+    reason: str
+    attempts: int
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One killed execution attempt of a job (successful runs leave none)."""
+
+    index: int
+    nodes: Tuple[int, ...]
+    slots: Tuple[int, ...]
+    started: float
+    resume_step: int
+    ended: float
+    #: steps this attempt fully completed (all ranks) beyond its resume point
+    completed_steps: int
+    #: durable step the next attempt resumes from (checkpoint-gated)
+    next_resume_step: int
+    reason: str = field(default="node_loss")

@@ -8,6 +8,8 @@ from repro.faults import (
     DRAGONFLY_LINK_FAMILIES,
     FAT_TREE_LINK_FAMILIES,
     FAULT_MIXES,
+    DomainOutage,
+    FailureDomain,
     FaultSchedule,
     LinkDegrade,
     NodeLoss,
@@ -87,6 +89,74 @@ class TestSchedule:
         assert "3 event(s)" in schedule.describe()
         assert "2x slow_rank" in schedule.describe()
         assert "1x node_loss" in schedule.describe()
+
+
+class TestFailureDomains:
+    def _domain(self):
+        return FailureDomain(
+            name="pod0", kind="power", nodes=(1, 2),
+            rails=((1, 0), (2, 0)), stage_prefixes=(("ft-up", 0),),
+        )
+
+    def test_domain_needs_at_least_one_member(self):
+        with pytest.raises(ValueError, match="no members"):
+            FailureDomain(name="empty")
+
+    def test_domain_member_validation(self):
+        with pytest.raises(ValueError):
+            FailureDomain(name="bad", nodes=(-1,))
+        with pytest.raises(ValueError):
+            FailureDomain(name="bad", rails=((0,),))
+        with pytest.raises(ValueError, match="prefix"):
+            FailureDomain(name="bad", stage_prefixes=((),))
+
+    def test_expand_covers_every_member_at_outage_time(self):
+        outage = DomainOutage(time=1e-3, domain=self._domain(), duration=5e-4)
+        expanded = outage.expand()
+        assert len(expanded) == 5  # 1 prefix + 2 rails + 2 nodes
+        assert all(ev.time == 1e-3 for ev in expanded)
+        assert all(ev.duration == 5e-4 for ev in expanded)
+        kinds = sorted(type(ev).__name__ for ev in expanded)
+        assert kinds == [
+            "LinkDegrade", "NodeLoss", "NodeLoss", "RailFailure", "RailFailure",
+        ]
+        assert {ev.node for ev in expanded if isinstance(ev, NodeLoss)} == {1, 2}
+
+    def test_permanent_expand_has_no_durations(self):
+        outage = DomainOutage(time=1e-3, domain=self._domain())
+        assert all(ev.duration is None for ev in outage.expand())
+
+    def test_round_trip_with_domain_outage(self):
+        schedule = FaultSchedule(
+            events=(
+                DomainOutage(time=2e-3, domain=self._domain(), duration=1e-3),
+                NodeLoss(time=1e-3, node=5),
+            )
+        )
+        payload = json.loads(json.dumps(schedule.to_dicts()))
+        assert FaultSchedule.from_dicts(payload) == schedule
+
+    def test_old_schema_without_domain_outage_still_loads(self):
+        # a schedule serialised before DomainOutage (and before
+        # NodeLoss.duration) existed: plain kind/time/field dicts
+        payload = [
+            {"kind": "node_loss", "time": 1e-3, "node": 2},
+            {"kind": "link_degrade", "time": 0.0, "stage_prefix": ["ft-up"],
+             "factor": 0.5},
+        ]
+        schedule = FaultSchedule.from_dicts(payload)
+        assert schedule.events[1] == NodeLoss(time=1e-3, node=2)
+        assert schedule.events[1].duration is None
+
+    def test_permanent_node_losses_sees_through_domains(self):
+        schedule = FaultSchedule(
+            events=(
+                NodeLoss(time=1e-3, node=7),
+                NodeLoss(time=2e-3, node=8, duration=1e-3),  # transient
+                DomainOutage(time=3e-3, domain=self._domain()),
+            )
+        )
+        assert schedule.permanent_node_losses() == frozenset({1, 2, 7})
 
 
 class TestGenerate:

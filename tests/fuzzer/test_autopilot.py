@@ -79,3 +79,35 @@ class TestSweep:
         report = sweep(time_budget=3.0, seed=7, clock=lambda: float(next(ticks)))
         # the injected clock advances one second per check: at most 3 runs fit
         assert 1 <= report.runs <= 3
+
+
+class TestRecoveryKnobShrinking:
+    def test_recovery_knobs_reduce_before_the_fault_mix(self):
+        from repro.fuzzer.autopilot import _REDUCTIONS
+
+        names = [name for name, _ in _REDUCTIONS]
+        # the newest (cheapest-to-drop) knobs shrink first, so a repro that
+        # never needed recovery collapses onto a pre-PR-10 scenario shape
+        assert names[:3] == ["domain_outage", "failure_policy", "checkpoint_every"]
+        assert names.index("checkpoint_every") < names.index("fault_mix")
+
+    def test_failure_independent_of_recovery_knobs_sheds_them(self):
+        seed_scenario = sanitize(
+            generate_scenario(11).replace(
+                harness_experiment="none",
+                fault_mix="node_loss",
+                failure_policy="restart_elsewhere",
+                checkpoint_every=4,
+                domain_outage=True,
+            )
+        )
+        assert seed_scenario.fault_mix == "domain_outage"
+
+        def planted(scenario) -> bool:
+            return scenario.fault_mix in ("node_loss", "domain_outage")
+
+        minimal = shrink(seed_scenario, planted)
+        assert planted(minimal)
+        assert minimal.domain_outage is False
+        assert minimal.failure_policy == "fail"
+        assert minimal.checkpoint_every == 0

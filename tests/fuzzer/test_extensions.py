@@ -80,8 +80,12 @@ class TestGeneratorDrawsExtensions:
 class TestShrinkerKnowsExtensions:
     def test_reductions_drop_extensions_first(self):
         fields = [name for name, _ in _REDUCTIONS]
-        assert fields[0] == "harness_experiment"
-        assert fields[1] == "fault_mix"
+        # newest knobs first (PR 10 recovery), then the extension switches,
+        # all ahead of every core dimension
+        assert fields[:5] == [
+            "domain_outage", "failure_policy", "checkpoint_every",
+            "harness_experiment", "fault_mix",
+        ]
         assert ("harness_experiment", ("none",)) in _REDUCTIONS
         assert ("fault_mix", ("none",)) in _REDUCTIONS
 

@@ -128,3 +128,102 @@ class TestPlacementList:
     def test_unknown_pattern_rejected(self):
         with pytest.raises(ValueError, match="unknown placement pattern"):
             placement_list("diagonal", 4, 2)
+
+
+class TestRecoveryKnobs:
+    """The PR-10 trailing knobs: failure_policy, checkpoint_every, domain_outage."""
+
+    def _faulted(self, **overrides):
+        fields = dict(
+            seed=0,
+            preset="fat_tree",
+            n_ranks=8,
+            ranks_per_node=2,
+            placement="block",
+            nics_per_node=2,
+            routing="deterministic",
+            contention="fair",
+            op="allreduce",
+            algorithm="auto",
+            compression="off",
+            codec="szx",
+            error_bound=1e-3,
+            msg_elems=128,
+            dtype="float64",
+            data_profile="gaussian",
+            fault_mix="node_loss",
+        )
+        fields.update(overrides)
+        return Scenario(**fields)
+
+    def test_domain_outage_flag_upgrades_the_fault_mix(self):
+        fixed = sanitize(self._faulted(fault_mix="none", domain_outage=True))
+        assert fixed.fault_mix == "domain_outage"
+        assert fixed.domain_outage is True
+        fixed = sanitize(self._faulted(fault_mix="node_loss", domain_outage=True))
+        assert fixed.fault_mix == "domain_outage"
+
+    def test_harness_extension_wins_over_the_outage_flag(self):
+        fixed = sanitize(self._faulted(
+            harness_experiment="topo", fault_mix="node_loss",
+            domain_outage=True, failure_policy="restart", checkpoint_every=2,
+        ))
+        assert fixed.harness_experiment == "topo"
+        assert fixed.fault_mix == "none"
+        assert fixed.domain_outage is False
+        # with the fault extension gone the recovery knobs fold too
+        assert fixed.failure_policy == "fail"
+        assert fixed.checkpoint_every == 0
+
+    def test_recovery_knobs_fold_unless_nodes_are_lost(self):
+        # "mixed" degrades links and slows ranks but never loses a node
+        for mix in ("none", "flaky_links", "mixed"):
+            fixed = sanitize(self._faulted(
+                fault_mix=mix, failure_policy="restart_elsewhere",
+                checkpoint_every=4,
+            ))
+            assert fixed.failure_policy == "fail", mix
+            assert fixed.checkpoint_every == 0, mix
+        for mix in ("node_loss", "domain_outage"):
+            fixed = sanitize(self._faulted(
+                fault_mix=mix, failure_policy="restart_elsewhere",
+                checkpoint_every=4,
+            ))
+            assert fixed.failure_policy == "restart_elsewhere", mix
+            assert fixed.checkpoint_every == 4, mix
+
+    def test_invalid_recovery_values_fold_to_legal_ones(self):
+        assert sanitize(self._faulted(failure_policy="shrug")).failure_policy == "fail"
+        assert sanitize(self._faulted(checkpoint_every=99)).checkpoint_every == 8
+        assert sanitize(self._faulted(checkpoint_every=-3)).checkpoint_every == 0
+        # bool is an int subclass the workload engine rejects: fold it
+        fixed = sanitize(self._faulted(checkpoint_every=True))
+        assert fixed.checkpoint_every == 1
+        assert not isinstance(fixed.checkpoint_every, bool)
+        assert sanitize(self._faulted(domain_outage=1)).domain_outage is True
+
+    def test_crafted_recovery_scenarios_sanitize_idempotently(self):
+        crafted = [
+            self._faulted(fault_mix="none", domain_outage=True),
+            self._faulted(harness_experiment="faults", domain_outage=True),
+            self._faulted(failure_policy="restart", checkpoint_every=True),
+            self._faulted(fault_mix="mixed", failure_policy="restart"),
+        ]
+        for scenario in crafted:
+            once = sanitize(scenario)
+            assert sanitize(once) == once
+
+    def test_knob_draws_are_trailing_and_rare(self):
+        scenarios = scenario_matrix(0, 2000)
+        mixes = {s.fault_mix for s in scenarios}
+        assert "domain_outage" in mixes  # the flag installs the new mix
+        # knobs are inert off the node-loss mixes ...
+        for s in scenarios:
+            if s.fault_mix not in ("node_loss", "domain_outage"):
+                assert s.failure_policy == "fail"
+                assert s.checkpoint_every == 0
+                assert s.domain_outage is False
+        # ... and genuinely vary on them
+        lossy = [s for s in scenarios if s.fault_mix in ("node_loss", "domain_outage")]
+        assert any(s.failure_policy != "fail" for s in lossy)
+        assert any(s.checkpoint_every > 0 for s in lossy)

@@ -183,3 +183,166 @@ class TestGroupBarriers:
         engine.schedule_event(0.0, lambda now: engine.bind_job(now, {0: lambda: stray(0, 1)}))
         with pytest.raises(InvalidCommandError, match="scoped to group"):
             engine.run()
+
+
+class TestKillJob:
+    def _exchange(self, nbytes=4000):
+        """A slow two-slot exchange (big payload over the 1 MB/s network)."""
+        payload = np.zeros(max(1, nbytes // 8))
+
+        def sender(rank, n_ranks):
+            handle = yield Isend(1, data=payload, tag=0)
+            yield Wait(handle)
+            return "sent"
+
+        def receiver(rank, n_ranks):
+            handle = yield Irecv(0, tag=0)
+            yield Wait(handle)
+            return "received"
+
+        return sender, receiver
+
+    def test_kill_mid_transfer_frees_slots_for_rebinding(self):
+        engine = Engine(2, None, network=NET)
+        sender, receiver = self._exchange(nbytes=400_000)  # ~0.4s on the wire
+        handles = []
+        retired = []
+        finishes = []
+
+        def bind_first(now):
+            handles.append(
+                engine.bind_job(
+                    now,
+                    {0: lambda: sender(0, 2), 1: lambda: receiver(1, 2)},
+                    tag="victim",
+                    on_retire=retired.append,
+                )
+            )
+
+        def compute(rank, n_ranks):
+            yield Compute(1.0)
+            return None
+
+        engine.schedule_event(0.0, bind_first)
+        engine.schedule_event(0.1, lambda now: engine.kill_job(handles[0], now))
+        # the killed job's slots are idle again: a new job binds onto them
+        engine.schedule_event(
+            0.2,
+            lambda now: engine.bind_job(
+                now,
+                {0: lambda: compute(0, 1)},
+                tag="next",
+                on_retire=lambda job: finishes.append(job.finished),
+            ),
+        )
+        engine.run()
+        job = handles[0]
+        assert job.killed == 0.1
+        assert not job.retired
+        assert retired == []  # a kill is not a completion
+        # slot clocks never rewind: the cancelled rendezvous had already
+        # committed wire time to 0.4, so the next job starts there, not 0.2
+        assert finishes == [1.4]
+
+    def test_kill_settles_byte_counters_to_pre_kill_traffic(self):
+        engine = Engine(2, None, network=NET)
+        sender, receiver = self._exchange(nbytes=400_000)
+        handles = []
+        engine.schedule_event(
+            0.0,
+            lambda now: handles.append(
+                engine.bind_job(
+                    now, {0: lambda: sender(0, 2), 1: lambda: receiver(1, 2)},
+                    tag="victim",
+                )
+            ),
+        )
+        engine.schedule_event(0.1, lambda now: engine.kill_job(handles[0], now))
+        engine.run()
+        assert handles[0].messages_sent == 1
+        assert handles[0].bytes_sent == 400_000
+
+    def test_kill_releases_barrier_waiters(self):
+        """A killed job's half-arrived barrier group vanishes (no deadlock,
+        no stray waiters for a later job on the same slots)."""
+        engine = Engine(2, None, network=NET)
+
+        def early(rank, slots):
+            yield Barrier(group=slots)
+            return None
+
+        def late(rank, slots):
+            yield Compute(3.0)
+            yield Barrier(group=slots)
+            return None
+
+        handles = []
+        engine.schedule_event(
+            0.0,
+            lambda now: handles.append(
+                engine.bind_job(
+                    now,
+                    {0: lambda: early(0, (0, 1)), 1: lambda: late(1, (0, 1))},
+                    tag="stuck",
+                )
+            ),
+        )
+        engine.schedule_event(1.0, lambda now: engine.kill_job(handles[0], now))
+        retired = []
+        engine.schedule_event(
+            5.0,
+            lambda now: engine.bind_job(
+                now,
+                {0: lambda: early(0, (0, 1)), 1: lambda: early(1, (0, 1))},
+                tag="fresh",
+                on_retire=retired.append,
+            ),
+        )
+        engine.run()
+        assert handles[0].killed == 1.0
+        assert [job.tag for job in retired] == ["fresh"]
+        # the killed job's half-arrived waiter is gone: the fresh barrier
+        # needs BOTH fresh ranks (releases at 5.0, when they arrive), not
+        # one fresh rank completing a stale group
+        assert retired[0].finished == 5.0
+
+    def test_kill_retired_or_killed_job_raises(self):
+        engine = Engine(1, None, network=NET)
+
+        def compute(rank, n_ranks):
+            yield Compute(1.0)
+            return None
+
+        handles = []
+        engine.schedule_event(
+            0.0,
+            lambda now: handles.append(
+                engine.bind_job(now, {0: lambda: compute(0, 1)}, tag="done")
+            ),
+        )
+        engine.run()
+        with pytest.raises(RuntimeError, match="retired"):
+            engine.kill_job(handles[0], 5.0)
+
+        engine2 = Engine(1, None, network=NET)
+        handles2 = []
+
+        def slow(rank, n_ranks):
+            yield Compute(100.0)
+            return None
+
+        engine2.schedule_event(
+            0.0,
+            lambda now: handles2.append(
+                engine2.bind_job(now, {0: lambda: slow(0, 1)}, tag="victim")
+            ),
+        )
+        engine2.schedule_event(1.0, lambda now: engine2.kill_job(handles2[0], now))
+        engine2.schedule_event(
+            2.0,
+            lambda now: pytest.raises(
+                RuntimeError, engine2.kill_job, handles2[0], now
+            ),
+        )
+        engine2.run()
+        assert handles2[0].killed == 1.0

@@ -95,6 +95,42 @@ class TestRegistryMechanics:
         with pytest.raises(RuntimeError):
             FairShareRegistry().commit_departure()
 
+    def test_cancel_flow_redivides_immediately(self):
+        """Cancelling a mid-stream flow hands its bandwidth to survivors now,
+        not when the dead flow would have drained (the node-loss fix)."""
+        stage = FairShareLink(capacity=100.0)
+        registry = FairShareRegistry()
+        events = []
+        survivor = registry.open_flow(
+            [stage], 0.0, 1000.0,
+            on_rate_change=lambda f, t, r: events.append((t, r)),
+        )
+        doomed = registry.open_flow([stage], 0.0, 1000.0)
+        assert survivor.rate == 50.0
+        assert registry.cancel_flow(doomed, 2.0) is True
+        # the survivor jumped back to full capacity at the cancel time
+        assert survivor.rate == 100.0
+        assert (2.0, 100.0) in events
+        assert doomed.drained and doomed.rate == 0.0
+        # 100 shared bytes by t=2, the remaining 900 at full rate
+        finish, flow = registry.commit_departure()
+        assert flow is survivor
+        assert finish == pytest.approx(2.0 + 9.0)
+        # the cancelled flow never reserved wire time for undelivered bytes
+        assert stage.flows == {}
+
+    def test_cancel_flow_is_idempotent_and_handles_drained(self):
+        stage = FairShareLink(capacity=100.0)
+        registry = FairShareRegistry()
+        flow = registry.open_flow([stage], 0.0, 100.0)
+        assert registry.cancel_flow(flow, 0.5) is True
+        assert registry.cancel_flow(flow, 0.6) is False  # already gone
+        # a flow that drained while settling: cancel discards the pending
+        # departure commit and reports False
+        done = registry.open_flow([stage], 0.0, 100.0)
+        assert registry.cancel_flow(done, 10.0) is False
+        assert registry.earliest_departure() is None
+
     def test_multi_stage_bottleneck_sets_the_rate(self):
         fast = FairShareLink(capacity=100.0)
         slow = FairShareLink(capacity=25.0)

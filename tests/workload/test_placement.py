@@ -101,6 +101,87 @@ class TestNodeAllocator:
         with pytest.raises(ValueError, match="outside"):
             alloc.quarantine(-1)
 
+    def test_unquarantine_restores_a_free_node(self):
+        alloc = NodeAllocator(4, "packed", seed=0)
+        alloc.quarantine(1)
+        assert alloc.nodes_free == 3
+        alloc.unquarantine(1)
+        assert alloc.quarantined == ()
+        assert alloc.nodes_free == 4
+        assert alloc.allocate(4) == (0, 1, 2, 3)
+
+    def test_double_heal_raises(self):
+        alloc = NodeAllocator(4, "packed", seed=0)
+        alloc.quarantine(1)
+        alloc.unquarantine(1)
+        with pytest.raises(ValueError, match="double heal"):
+            alloc.unquarantine(1)
+        with pytest.raises(ValueError, match="double heal"):
+            alloc.unquarantine(0)  # never quarantined at all
+
+    def test_unquarantine_busy_node_stays_allocated(self):
+        # transient loss heals while the killed job's nodes are still being
+        # torn down: the node must not re-enter the pool under the old job
+        alloc = NodeAllocator(4, "packed", seed=0)
+        nodes = alloc.allocate(2)
+        alloc.quarantine(1)
+        alloc.unquarantine(1)
+        assert alloc.quarantined == ()
+        assert alloc.nodes_free == 2  # node 1 still held by its job
+        alloc.release(nodes)
+        assert alloc.nodes_free == 4
+
+    def test_heal_at_applies_on_advance_and_keeps_earliest(self):
+        alloc = NodeAllocator(4, "packed", seed=0)
+        alloc.quarantine(0)
+        alloc.quarantine(1)
+        alloc.heal_at(0, 5.0)
+        alloc.heal_at(0, 3.0)  # flapping domain: earliest heal wins
+        alloc.heal_at(0, 9.0)
+        alloc.heal_at(1, 7.0)
+        assert alloc.advance_to(2.9) == ()
+        assert alloc.advance_to(3.0) == (0,)
+        assert alloc.quarantined == (1,)
+        assert alloc.advance_to(7.0) == (1,)
+        assert alloc.nodes_free == 4
+
+    def test_heal_at_requires_quarantined_node(self):
+        alloc = NodeAllocator(4, "packed", seed=0)
+        with pytest.raises(ValueError, match="not quarantined"):
+            alloc.heal_at(2, 1.0)
+
+    def test_manual_heal_drops_the_scheduled_one(self):
+        alloc = NodeAllocator(4, "packed", seed=0)
+        alloc.quarantine(2)
+        alloc.heal_at(2, 5.0)
+        alloc.unquarantine(2)  # event-driven heal arrives first
+        assert alloc.advance_to(10.0) == ()  # no double heal attempt
+        assert alloc.nodes_free == 4
+
+    def test_acquire_is_all_or_nothing(self):
+        alloc = NodeAllocator(4, "packed", seed=0)
+        assert alloc.acquire((1, 2)) is True
+        assert alloc.nodes_free == 2
+        # overlapping set: 2 is busy, so nothing is taken
+        assert alloc.acquire((2, 3)) is False
+        assert alloc.nodes_free == 2
+        alloc.release((1, 2))
+        assert alloc.acquire((2, 3)) is True
+
+    def test_acquire_refuses_quarantined_nodes(self):
+        alloc = NodeAllocator(4, "packed", seed=0)
+        alloc.quarantine(1)
+        assert alloc.acquire((0, 1)) is False
+        alloc.unquarantine(1)
+        assert alloc.acquire((0, 1)) is True
+
+    def test_acquire_validates_input(self):
+        alloc = NodeAllocator(4, "packed", seed=0)
+        with pytest.raises(ValueError, match="at least one node"):
+            alloc.acquire(())
+        with pytest.raises(ValueError, match="outside"):
+            alloc.acquire((9,))
+
 
 class TestPlacementView:
     def test_remaps_local_ranks_to_placed_slots(self):

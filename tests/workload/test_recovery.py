@@ -1,0 +1,266 @@
+"""Recovery semantics: failure policies, checkpoint/restart, accounting."""
+
+import pytest
+
+from repro.api import Cluster
+from repro.faults import FaultSchedule, NodeLoss
+from repro.workload import (
+    CheckpointPolicy,
+    CollectiveCall,
+    FailurePolicy,
+    JobFailed,
+    JobSpec,
+    WorkloadEngine,
+)
+
+
+class TestFailurePolicy:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError, match="unknown failure policy"):
+            FailurePolicy(mode="reincarnate")
+        with pytest.raises(ValueError, match="max_retries"):
+            FailurePolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="backoff"):
+            FailurePolicy(backoff=0.0)
+        with pytest.raises(ValueError, match="backoff_factor"):
+            FailurePolicy(backoff_factor=0.5)
+
+    def test_delay_backs_off_exponentially(self):
+        policy = FailurePolicy(mode="restart", backoff=1e-4, backoff_factor=2.0)
+        assert policy.delay(0) == pytest.approx(1e-4)
+        assert policy.delay(1) == pytest.approx(2e-4)
+        assert policy.delay(3) == pytest.approx(8e-4)
+
+    def test_restarts_property(self):
+        assert not FailurePolicy(mode="fail").restarts
+        assert FailurePolicy(mode="restart").restarts
+        assert FailurePolicy(mode="restart_elsewhere").restarts
+
+    def test_coerce(self):
+        assert FailurePolicy.coerce(None) == FailurePolicy()
+        assert FailurePolicy.coerce("restart").mode == "restart"
+        policy = FailurePolicy(mode="restart_elsewhere", max_retries=1)
+        assert FailurePolicy.coerce(policy) is policy
+        with pytest.raises(TypeError, match="mode string"):
+            FailurePolicy.coerce(3)
+
+
+class TestCheckpointPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="interval"):
+            CheckpointPolicy(every=0)
+        with pytest.raises(ValueError, match="write_bandwidth"):
+            CheckpointPolicy(every=1, write_bandwidth=0.0)
+        with pytest.raises(ValueError, match="write_latency"):
+            CheckpointPolicy(every=1, write_latency=-1.0)
+        with pytest.raises(ValueError, match="jitter"):
+            CheckpointPolicy(every=1, jitter=1.0)
+
+    def test_takes_after_skips_the_final_step(self):
+        policy = CheckpointPolicy(every=2)
+        took = [policy.takes_after(step, 6) for step in range(6)]
+        # after steps 1 and 3 only: step 5 is the last, nothing left to protect
+        assert took == [False, True, False, True, False, False]
+
+    def test_coerce(self):
+        assert CheckpointPolicy.coerce(None) is None
+        assert CheckpointPolicy.coerce(0) is None
+        assert CheckpointPolicy.coerce(3).every == 3
+        policy = CheckpointPolicy(every=2)
+        assert CheckpointPolicy.coerce(policy) is policy
+        with pytest.raises(TypeError, match="not bool"):
+            CheckpointPolicy.coerce(True)
+        with pytest.raises(TypeError, match="interval int"):
+            CheckpointPolicy.coerce(2.0)
+
+    def test_cost_is_seeded_and_positive(self):
+        spec = JobSpec(job_id="c", n_ranks=4, seed=9,
+                       calls=(CollectiveCall(msg_elems=4096),))
+        policy = CheckpointPolicy(every=1)
+        assert policy.state_bytes(spec) == 4 * 4096 * 8  # ranks x elems x f64
+        costs = [policy.cost(spec, step) for step in range(4)]
+        assert all(c > 0.0 for c in costs)
+        assert len(set(costs)) > 1  # jitter varies per step...
+        assert costs == [policy.cost(spec, step) for step in range(4)]  # ...but replays
+
+
+def _cluster(nodes=8):
+    return Cluster.from_preset(
+        "fat_tree", nodes=nodes, ranks_per_node=2, contention="fair"
+    )
+
+
+def _specs():
+    """One long job to kill, one small survivor."""
+    return [
+        JobSpec(job_id="train", n_ranks=8, arrival=0.0, iterations=8, seed=11,
+                calls=(CollectiveCall(op="allreduce", msg_elems=8192),)),
+        JobSpec(job_id="side", n_ranks=4, arrival=0.0, iterations=2, seed=12,
+                calls=(CollectiveCall(op="allreduce", msg_elems=2048),)),
+    ]
+
+
+def _run(faults=None, failure_policy="fail", checkpoint=0, specs=None):
+    engine = WorkloadEngine(
+        _cluster(), policy="packed", seed=5,
+        faults=faults, failure_policy=failure_policy, checkpoint=checkpoint,
+    )
+    return engine.run(specs if specs is not None else _specs(), baseline=False)
+
+
+def _loss_schedule(transient=False):
+    """A node loss halfway through the healthy run, on one of train's nodes."""
+    healthy = _run()
+    train = next(r for r in healthy.records if r.spec.job_id == "train")
+    duration = healthy.makespan * 0.1 if transient else None
+    return healthy, FaultSchedule(events=(
+        NodeLoss(time=healthy.makespan * 0.5, node=train.nodes[0],
+                 duration=duration),
+    ))
+
+
+class TestRecoveryRuns:
+    def test_fail_policy_loses_the_job_and_spares_the_survivor(self):
+        healthy, faults = _loss_schedule()
+        report = _run(faults=faults, failure_policy="fail")
+        by_id = {r.spec.job_id: r for r in report.records}
+        train = by_id["train"]
+        assert train.outcome == "failed"
+        assert train.finished is None
+        assert isinstance(train.failure, JobFailed)
+        assert train.failure.attempts == 1
+        assert "node_loss" in train.failure.reason
+        assert train.attempts[0].reason == f"node_loss:{train.nodes[0]}"
+        assert train.useful_time == 0.0 and train.wasted_time > 0.0
+        # the survivor finished before the loss and is untouched
+        side = next(r for r in healthy.records if r.spec.job_id == "side")
+        assert by_id["side"].finished == side.finished
+        assert report.failed_jobs == 1
+        assert report.goodput < 1.0
+
+    def test_restart_elsewhere_recovers_around_a_permanent_loss(self):
+        _, faults = _loss_schedule()
+        lost_node = faults.events[0].node
+        report = _run(faults=faults, failure_policy="restart_elsewhere")
+        train = next(r for r in report.records if r.spec.job_id == "train")
+        assert train.outcome == "completed"
+        assert train.restarts == 1
+        assert len(train.attempts) == 1
+        assert lost_node in train.attempts[0].nodes
+        assert lost_node not in train.nodes  # re-placed off the dead node
+        assert train.goodput is not None and train.goodput > 0.0
+        assert report.total_restarts == 1
+        assert report.recovery_summary()["count"] == 1.0
+
+    def test_restart_waits_out_a_transient_loss_on_the_same_nodes(self):
+        healthy, faults = _loss_schedule(transient=True)
+        report = _run(faults=faults, failure_policy="restart")
+        train = next(r for r in report.records if r.spec.job_id == "train")
+        assert train.outcome == "completed"
+        assert train.restarts == 1
+        # in-place restart: the second placement is the original node set
+        assert train.nodes == train.attempts[0].nodes
+        healthy_train = next(
+            r for r in healthy.records if r.spec.job_id == "train"
+        )
+        assert train.finished > healthy_train.finished
+
+    def test_restart_on_a_permanent_loss_exhausts_the_budget(self):
+        _, faults = _loss_schedule()
+        engine = WorkloadEngine(
+            _cluster(), policy="packed", seed=5, faults=faults,
+            failure_policy=FailurePolicy(
+                mode="restart", max_retries=2, backoff=1e-4
+            ),
+        )
+        report = engine.run(_specs(), baseline=False)
+        train = next(r for r in report.records if r.spec.job_id == "train")
+        # the original node set never heals, so every retry fails to place
+        assert train.outcome == "failed"
+        assert train.failure is not None
+        assert train.failure.time > faults.events[0].time
+
+    def test_checkpoints_shrink_the_replay(self):
+        _, faults = _loss_schedule()
+        plain = _run(faults=faults, failure_policy="restart_elsewhere")
+        ckpt = _run(faults=faults, failure_policy="restart_elsewhere",
+                    checkpoint=2)
+        plain_train = next(
+            r for r in plain.records if r.spec.job_id == "train"
+        )
+        ckpt_train = next(r for r in ckpt.records if r.spec.job_id == "train")
+        assert plain_train.outcome == ckpt_train.outcome == "completed"
+        assert plain_train.attempts[0].next_resume_step == 0
+        assert ckpt_train.attempts[0].next_resume_step > 0
+        assert ckpt_train.checkpoints_written > 0
+        assert ckpt_train.checkpoint_overhead > 0.0
+        assert ckpt_train.last_durable_step == 8  # completion is durable
+        assert ckpt_train.wasted_time < plain_train.wasted_time
+
+    def test_identical_runs_replay_bit_for_bit(self):
+        _, faults = _loss_schedule()
+        first = _run(faults=faults, failure_policy="restart_elsewhere",
+                     checkpoint=2)
+        second = _run(faults=faults, failure_policy="restart_elsewhere",
+                      checkpoint=2)
+        assert first.to_dict() == second.to_dict()
+
+    def test_empty_schedule_is_identical_across_every_policy(self):
+        """Acceptance pin: no faults => recovery knobs change nothing."""
+        baseline = _run()
+        base = [
+            (r.started, r.finished, r.bytes_sent, r.fair_bytes)
+            for r in baseline.records
+        ]
+        for mode in ("fail", "restart", "restart_elsewhere"):
+            for every in (0, 2):
+                report = _run(failure_policy=mode, checkpoint=every)
+                got = [
+                    (r.started, r.finished, r.bytes_sent, r.fair_bytes)
+                    for r in report.records
+                ]
+                assert got == base, (mode, every)
+                assert report.makespan == baseline.makespan
+                assert all(r.restarts == 0 for r in report.records)
+
+    def test_spec_level_policy_overrides_the_engine_default(self):
+        _, faults = _loss_schedule()
+        specs = _specs()
+        specs[0] = JobSpec(
+            job_id="train", n_ranks=8, arrival=0.0, iterations=8, seed=11,
+            calls=(CollectiveCall(op="allreduce", msg_elems=8192),),
+            failure_policy="restart_elsewhere", checkpoint_every=2,
+        )
+        report = _run(faults=faults, failure_policy="fail", specs=specs)
+        train = next(r for r in report.records if r.spec.job_id == "train")
+        assert train.outcome == "completed" and train.restarts == 1
+        assert train.checkpoints_written > 0
+
+
+class TestSpecRoundTrip:
+    def test_recovery_fields_serialise_only_when_set(self):
+        plain = JobSpec(job_id="p", n_ranks=2)
+        assert "failure_policy" not in plain.to_dict()
+        assert "checkpoint_every" not in plain.to_dict()
+        assert JobSpec.from_dict(plain.to_dict()) == plain
+
+        tuned = JobSpec(job_id="t", n_ranks=2, failure_policy="restart",
+                        checkpoint_every=3)
+        data = tuned.to_dict()
+        assert data["failure_policy"] == "restart"
+        assert data["checkpoint_every"] == 3
+        assert JobSpec.from_dict(data) == tuned
+
+    def test_old_dicts_without_recovery_keys_load_as_inherit(self):
+        data = JobSpec(job_id="old", n_ranks=2).to_dict()
+        data.pop("failure_policy", None)
+        data.pop("checkpoint_every", None)
+        spec = JobSpec.from_dict(data)
+        assert spec.failure_policy is None
+        assert spec.checkpoint_every is None
+
+    def test_spec_validates_recovery_fields(self):
+        with pytest.raises(ValueError, match="unknown failure policy"):
+            JobSpec(job_id="bad", n_ranks=2, failure_policy="shrug")
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            JobSpec(job_id="bad", n_ranks=2, checkpoint_every=-1)
